@@ -1,0 +1,100 @@
+//! Lemma 8 (Balle-Wang): exact calibration of the Gaussian mechanism.
+//!
+//! The Gaussian mechanism with sensitivity `S` and noise `sigma` satisfies
+//! `(eps, delta)`-DP iff
+//!
+//! ```text
+//! delta >= Phi(S/(2 sigma) - eps sigma / S) - e^eps * Phi(-S/(2 sigma) - eps sigma / S)
+//! ```
+//!
+//! where `Phi` is the standard normal CDF (Balle & Wang 2018, Theorem 8 —
+//! the same characterization that Lemma 8 of the paper expresses through
+//! `erfc`). We calibrate `sigma` by bisection on this exact expression,
+//! which is monotone decreasing in `sigma`.
+
+use sqm_sampling::special::normal_cdf;
+
+/// The exact `delta` achieved by the Gaussian mechanism at `(eps, sigma, s)`.
+pub fn gaussian_delta(eps: f64, sigma: f64, s: f64) -> f64 {
+    assert!(eps > 0.0 && sigma > 0.0 && s > 0.0);
+    let a = s / (2.0 * sigma);
+    let b = eps * sigma / s;
+    normal_cdf(a - b) - eps.exp() * normal_cdf(-a - b)
+}
+
+/// The minimal `sigma` such that the Gaussian mechanism with L2 sensitivity
+/// `s` satisfies `(eps, delta)`-DP (Lemma 8).
+pub fn analytic_gaussian_sigma(eps: f64, delta: f64, s: f64) -> f64 {
+    assert!(eps > 0.0, "eps must be positive, got {eps}");
+    assert!(delta > 0.0 && delta < 1.0, "delta must be in (0,1), got {delta}");
+    assert!(s > 0.0, "sensitivity must be positive, got {s}");
+
+    // Bracket: delta(sigma) is decreasing; find hi with delta(hi) <= delta.
+    let mut lo = 1e-12 * s;
+    let mut hi = s; // sigma = s is usually already quite private for eps >= ~1
+    while gaussian_delta(eps, hi, s) > delta {
+        hi *= 2.0;
+        assert!(hi.is_finite(), "failed to bracket sigma");
+    }
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if gaussian_delta(eps, mid, s) > delta {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+        if (hi - lo) / hi < 1e-12 {
+            break;
+        }
+    }
+    hi
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn achieved_delta_matches_target() {
+        for (eps, delta) in [(0.5, 1e-5), (1.0, 1e-5), (4.0, 1e-6), (8.0, 1e-5)] {
+            let sigma = analytic_gaussian_sigma(eps, delta, 1.0);
+            let d = gaussian_delta(eps, sigma, 1.0);
+            assert!(d <= delta * (1.0 + 1e-6), "({eps},{delta}): d={d}");
+            // Slightly less noise must violate the target.
+            let d2 = gaussian_delta(eps, sigma * 0.99, 1.0);
+            assert!(d2 > delta, "({eps},{delta}): calibration not tight");
+        }
+    }
+
+    #[test]
+    fn beats_classical_bound() {
+        // Classical: sigma = sqrt(2 ln(1.25/delta)) / eps. The analytic
+        // mechanism never needs more noise.
+        for eps in [0.25, 0.5, 1.0] {
+            let delta = 1e-5f64;
+            let classical = (2.0 * (1.25 / delta).ln()).sqrt() / eps;
+            let analytic = analytic_gaussian_sigma(eps, delta, 1.0);
+            assert!(analytic <= classical, "eps={eps}: {analytic} > {classical}");
+        }
+    }
+
+    #[test]
+    fn scales_linearly_with_sensitivity() {
+        let s1 = analytic_gaussian_sigma(1.0, 1e-5, 1.0);
+        let s7 = analytic_gaussian_sigma(1.0, 1e-5, 7.0);
+        assert!((s7 / s1 - 7.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn monotone_in_eps_and_delta() {
+        let base = analytic_gaussian_sigma(1.0, 1e-5, 1.0);
+        assert!(analytic_gaussian_sigma(2.0, 1e-5, 1.0) < base);
+        assert!(analytic_gaussian_sigma(1.0, 1e-7, 1.0) > base);
+    }
+
+    #[test]
+    fn large_eps_small_sigma() {
+        let sigma = analytic_gaussian_sigma(32.0, 1e-5, 1.0);
+        assert!(sigma < 0.5, "sigma={sigma}");
+    }
+}

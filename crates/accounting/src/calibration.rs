@@ -1,0 +1,195 @@
+//! Noise calibration: the inverse problem every experiment solves.
+//!
+//! Given a target `(eps, delta)`, a number of (composed) rounds, and an
+//! optional Poisson subsampling rate, find the minimal Skellam `mu` (or
+//! Gaussian `sigma`) whose end-to-end accounting meets the target. Both
+//! searches exploit monotonicity of `eps` in the noise scale and bisect in
+//! log-space after doubling to bracket.
+
+use crate::conversion::best_epsilon;
+use crate::default_alpha_grid;
+use crate::gaussian::gaussian_rdp;
+use crate::skellam::{skellam_rdp, Sensitivity};
+use crate::subsampling::subsampled_rdp;
+
+/// A target `(eps, delta)`-DP guarantee.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct CalibrationTarget {
+    pub epsilon: f64,
+    pub delta: f64,
+}
+
+impl CalibrationTarget {
+    pub fn new(epsilon: f64, delta: f64) -> Self {
+        assert!(epsilon > 0.0, "target epsilon must be positive");
+        assert!(delta > 0.0 && delta < 1.0, "target delta must be in (0,1)");
+        CalibrationTarget { epsilon, delta }
+    }
+}
+
+/// The `(eps, alpha)` achieved by `rounds` subsampled Skellam releases.
+pub fn skellam_epsilon(
+    sens: Sensitivity,
+    mu: f64,
+    rounds: u32,
+    q: f64,
+    delta: f64,
+) -> (f64, u64) {
+    let grid = default_alpha_grid();
+    best_epsilon(
+        |a| rounds as f64 * subsampled_rdp(a, q, |l| skellam_rdp(l, sens, mu)),
+        delta,
+        &grid,
+    )
+}
+
+/// The `(eps, alpha)` achieved by `rounds` subsampled Gaussian releases.
+pub fn gaussian_epsilon(
+    delta2: f64,
+    sigma: f64,
+    rounds: u32,
+    q: f64,
+    delta: f64,
+) -> (f64, u64) {
+    let grid = default_alpha_grid();
+    best_epsilon(
+        |a| rounds as f64 * subsampled_rdp(a, q, |l| gaussian_rdp(l as f64, delta2, sigma)),
+        delta,
+        &grid,
+    )
+}
+
+/// Minimal Skellam `mu` meeting `target` for `rounds` releases of a function
+/// with sensitivity `sens`, each on a Poisson subsample of rate `q`
+/// (`q = 1.0` means no subsampling).
+///
+/// ```
+/// use sqm_accounting::calibration::{calibrate_skellam_mu, skellam_epsilon, CalibrationTarget};
+/// use sqm_accounting::skellam::Sensitivity;
+///
+/// let target = CalibrationTarget::new(1.0, 1e-5);
+/// let sens = Sensitivity::new(2.0, 2.0);
+/// let mu = calibrate_skellam_mu(target, sens, 1, 1.0);
+/// let (eps, _) = skellam_epsilon(sens, mu, 1, 1.0, 1e-5);
+/// assert!(eps <= 1.0 + 1e-9);
+/// ```
+pub fn calibrate_skellam_mu(
+    target: CalibrationTarget,
+    sens: Sensitivity,
+    rounds: u32,
+    q: f64,
+) -> f64 {
+    assert!(rounds >= 1, "rounds must be >= 1");
+    calibrate_monotone(target.epsilon, |mu| {
+        skellam_epsilon(sens, mu, rounds, q, target.delta).0
+    })
+}
+
+/// Minimal Gaussian `sigma` meeting `target` for `rounds` releases with L2
+/// sensitivity `delta2`, each on a Poisson subsample of rate `q`.
+pub fn calibrate_gaussian_sigma(
+    target: CalibrationTarget,
+    delta2: f64,
+    rounds: u32,
+    q: f64,
+) -> f64 {
+    assert!(rounds >= 1, "rounds must be >= 1");
+    calibrate_monotone(target.epsilon, |sigma| {
+        gaussian_epsilon(delta2, sigma, rounds, q, target.delta).0
+    })
+}
+
+/// Bisection for the smallest noise scale `s` with `eps_of(s) <= target`,
+/// assuming `eps_of` is decreasing in `s`.
+fn calibrate_monotone<F: Fn(f64) -> f64>(target_eps: f64, eps_of: F) -> f64 {
+    let mut hi = 1.0f64;
+    let mut iters = 0;
+    while eps_of(hi) > target_eps {
+        hi *= 4.0;
+        iters += 1;
+        assert!(iters < 200, "failed to bracket noise scale from above");
+    }
+    let mut lo = hi;
+    while eps_of(lo) <= target_eps && lo > 1e-30 {
+        lo /= 4.0;
+    }
+    for _ in 0..100 {
+        let mid = (lo * hi).sqrt();
+        if eps_of(mid) <= target_eps {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+        if hi / lo < 1.0 + 1e-9 {
+            break;
+        }
+    }
+    hi
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn skellam_calibration_meets_target() {
+        let t = CalibrationTarget::new(1.0, 1e-5);
+        let s = Sensitivity::new(4.0, 2.0);
+        let mu = calibrate_skellam_mu(t, s, 1, 1.0);
+        let (eps, _) = skellam_epsilon(s, mu, 1, 1.0, t.delta);
+        assert!(eps <= 1.0 * (1.0 + 1e-6), "eps={eps}");
+        // Tight: 10% less noise violates.
+        let (eps2, _) = skellam_epsilon(s, mu * 0.9, 1, 1.0, t.delta);
+        assert!(eps2 > 1.0);
+    }
+
+    #[test]
+    fn skellam_matches_gaussian_variance_asymptotically() {
+        // For fine quantization the Skellam mechanism's calibrated variance
+        // 2*mu should be close to the Gaussian sigma^2 calibrated by the
+        // same RDP pipeline (the paper's privacy-utility comparison).
+        let t = CalibrationTarget::new(2.0, 1e-5);
+        let d2 = 100.0; // large sensitivity => large mu => Gaussian regime
+        let s = Sensitivity::from_l2_for_dim(d2, 1);
+        let mu = calibrate_skellam_mu(t, s, 1, 1.0);
+        let sigma = calibrate_gaussian_sigma(t, d2, 1, 1.0);
+        let ratio = (2.0 * mu).sqrt() / sigma;
+        assert!((ratio - 1.0).abs() < 0.05, "ratio={ratio}");
+    }
+
+    #[test]
+    fn gaussian_calibration_meets_target() {
+        let t = CalibrationTarget::new(0.5, 1e-5);
+        let sigma = calibrate_gaussian_sigma(t, 1.0, 10, 0.01);
+        let (eps, _) = gaussian_epsilon(1.0, sigma, 10, 0.01, t.delta);
+        assert!(eps <= 0.5 * (1.0 + 1e-6), "eps={eps}");
+        let (eps2, _) = gaussian_epsilon(1.0, sigma * 0.9, 10, 0.01, t.delta);
+        assert!(eps2 > 0.5);
+    }
+
+    #[test]
+    fn more_rounds_needs_more_noise() {
+        let t = CalibrationTarget::new(1.0, 1e-5);
+        let s = Sensitivity::new(1.0, 1.0);
+        let mu1 = calibrate_skellam_mu(t, s, 1, 1.0);
+        let mu10 = calibrate_skellam_mu(t, s, 10, 1.0);
+        assert!(mu10 > mu1);
+    }
+
+    #[test]
+    fn subsampling_reduces_noise() {
+        let t = CalibrationTarget::new(1.0, 1e-5);
+        let s = Sensitivity::new(1.0, 1.0);
+        let full = calibrate_skellam_mu(t, s, 5, 1.0);
+        let sub = calibrate_skellam_mu(t, s, 5, 0.01);
+        assert!(sub < full / 10.0, "sub={sub} full={full}");
+    }
+
+    #[test]
+    fn larger_eps_needs_less_noise() {
+        let s = Sensitivity::new(1.0, 1.0);
+        let mu_tight = calibrate_skellam_mu(CalibrationTarget::new(0.25, 1e-5), s, 1, 1.0);
+        let mu_loose = calibrate_skellam_mu(CalibrationTarget::new(8.0, 1e-5), s, 1, 1.0);
+        assert!(mu_loose < mu_tight);
+    }
+}

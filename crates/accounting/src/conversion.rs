@@ -1,0 +1,90 @@
+//! Lemma 9 (Canonne-Kamath-Steinke): converting RDP to `(eps, delta)`-DP.
+//!
+//! A mechanism satisfying `(alpha, tau)`-RDP satisfies `(eps, delta)`-DP for
+//! any `delta > 0` with
+//!
+//! ```text
+//! eps = tau + ( log(1/delta) + (alpha-1) log(1 - 1/alpha) - log(alpha) ) / (alpha - 1)
+//! ```
+//!
+//! The best `eps` for a given RDP *curve* is obtained by minimizing over the
+//! Rényi order.
+
+/// Lemma 9 for a single order.
+pub fn rdp_to_dp(alpha: f64, tau: f64, delta: f64) -> f64 {
+    assert!(alpha > 1.0, "RDP order must exceed 1, got {alpha}");
+    assert!(delta > 0.0 && delta < 1.0, "delta must be in (0,1), got {delta}");
+    assert!(tau >= 0.0, "tau must be non-negative");
+    tau + ((1.0 / delta).ln() + (alpha - 1.0) * (1.0 - 1.0 / alpha).ln() - alpha.ln())
+        / (alpha - 1.0)
+}
+
+/// Minimize Lemma 9 over a grid of integer orders given an RDP curve
+/// `tau(alpha)`. Returns `(eps, best_alpha)`.
+pub fn best_epsilon<F>(tau: F, delta: f64, alphas: &[u64]) -> (f64, u64)
+where
+    F: Fn(u64) -> f64,
+{
+    assert!(!alphas.is_empty(), "alpha grid must not be empty");
+    let mut best = (f64::INFINITY, alphas[0]);
+    for &a in alphas {
+        let eps = rdp_to_dp(a as f64, tau(a), delta);
+        if eps < best.0 {
+            best = (eps, a);
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gaussian::gaussian_rdp;
+
+    #[test]
+    fn formula_sanity() {
+        // tau = 0 gives eps = (log(1/delta) + (a-1)log(1-1/a) - log a)/(a-1),
+        // which tends to 0 as alpha grows (for fixed delta the log(1/delta)
+        // term is divided by alpha-1).
+        let e_small = rdp_to_dp(2.0, 0.0, 1e-5);
+        let e_big = rdp_to_dp(10_000.0, 0.0, 1e-5);
+        assert!(e_big < e_small);
+        assert!(e_big < 0.01);
+    }
+
+    #[test]
+    fn gaussian_conversion_is_reasonable() {
+        // sigma chosen so the classical (non-analytic) Gaussian mechanism
+        // with delta = 1e-5 has eps ~ 1: sigma = sqrt(2 ln(1.25/delta))/eps.
+        let sigma = (2.0_f64 * (1.25e5_f64).ln()).sqrt();
+        let alphas: Vec<u64> = (2..=512).collect();
+        let (eps, _) = best_epsilon(|a| gaussian_rdp(a as f64, 1.0, sigma), 1e-5, &alphas);
+        // RDP conversion should give eps in the same ballpark (it is known
+        // to be slightly loose or tight depending on the regime).
+        assert!(eps > 0.3 && eps < 1.5, "eps = {eps}");
+    }
+
+    #[test]
+    fn best_epsilon_picks_interior_alpha() {
+        let sigma = 20.0;
+        let alphas: Vec<u64> = (2..=512).collect();
+        let (_, a) = best_epsilon(|a| gaussian_rdp(a as f64, 1.0, sigma), 1e-5, &alphas);
+        assert!(a > 2 && a < 512, "alpha = {a} should be interior");
+    }
+
+    #[test]
+    fn monotone_in_tau() {
+        assert!(rdp_to_dp(4.0, 1.0, 1e-5) < rdp_to_dp(4.0, 2.0, 1e-5));
+    }
+
+    #[test]
+    fn monotone_in_delta() {
+        assert!(rdp_to_dp(4.0, 1.0, 1e-3) < rdp_to_dp(4.0, 1.0, 1e-9));
+    }
+
+    #[test]
+    #[should_panic(expected = "delta")]
+    fn rejects_bad_delta() {
+        rdp_to_dp(2.0, 1.0, 0.0);
+    }
+}

@@ -1,0 +1,56 @@
+//! Gaussian-mechanism RDP: `tau(alpha) = alpha * Delta^2 / (2 sigma^2)`.
+//!
+//! Used by the central-DP baselines (Analyze Gauss, DPSGD, Approx-Poly) and
+//! the local-DP baseline of Algorithm 4 / Lemma 12.
+
+/// RDP of order `alpha` for the Gaussian mechanism with L2 sensitivity
+/// `delta2` and noise standard deviation `sigma`.
+pub fn gaussian_rdp(alpha: f64, delta2: f64, sigma: f64) -> f64 {
+    assert!(alpha > 1.0, "RDP order must exceed 1, got {alpha}");
+    assert!(sigma > 0.0, "sigma must be positive");
+    assert!(delta2 >= 0.0, "sensitivity must be non-negative");
+    alpha * delta2 * delta2 / (2.0 * sigma * sigma)
+}
+
+/// Lemma 12 (baseline Algorithm 4): server-observed RDP of the local-DP
+/// baseline where each client perturbs its column with `N(0, sigma^2)` and
+/// records have L2 norm at most `c`.
+pub fn local_dp_baseline_rdp_server(alpha: f64, c: f64, sigma: f64) -> f64 {
+    gaussian_rdp(alpha, c, sigma)
+}
+
+/// Lemma 12, client-observed: sensitivity doubles (record replacement).
+pub fn local_dp_baseline_rdp_client(alpha: f64, c: f64, sigma: f64) -> f64 {
+    gaussian_rdp(alpha, 2.0 * c, sigma)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn closed_form() {
+        assert_eq!(gaussian_rdp(2.0, 3.0, 3.0), 1.0);
+        assert_eq!(gaussian_rdp(4.0, 1.0, 1.0), 2.0);
+    }
+
+    #[test]
+    fn linear_in_alpha() {
+        let t2 = gaussian_rdp(2.0, 1.0, 2.0);
+        let t8 = gaussian_rdp(8.0, 1.0, 2.0);
+        assert!((t8 / t2 - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn client_observed_is_4x_server() {
+        let s = local_dp_baseline_rdp_server(3.0, 1.0, 5.0);
+        let c = local_dp_baseline_rdp_client(3.0, 1.0, 5.0);
+        assert!((c / s - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed 1")]
+    fn rejects_small_alpha() {
+        gaussian_rdp(1.0, 1.0, 1.0);
+    }
+}

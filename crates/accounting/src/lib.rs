@@ -1,0 +1,44 @@
+//! Differential-privacy accounting for SQM and its baselines.
+//!
+//! This crate implements, in closed form, every accounting result the paper
+//! relies on:
+//!
+//! * [`skellam::skellam_rdp`] — Lemma 1, the RDP bound of the Skellam
+//!   mechanism for integer-valued functions with bounded L1/L2 sensitivity.
+//! * [`gaussian::gaussian_rdp`] — the classic Gaussian RDP bound
+//!   `alpha * Delta^2 / (2 sigma^2)` (Section II).
+//! * [`conversion::rdp_to_dp`] — Lemma 9 (Canonne-Kamath-Steinke), the
+//!   RDP-to-(eps, delta) conversion.
+//! * [`subsampling::subsampled_rdp`] — Lemma 11 (Zhu-Wang), Poisson
+//!   subsampling amplification for integer Rényi orders.
+//! * Composition (Lemma 10) — RDP curves add; see [`rdp::RdpCurve::compose`].
+//! * [`analytic_gaussian::analytic_gaussian_sigma`] — Lemma 8
+//!   (Balle-Wang), exact calibration of the Gaussian mechanism.
+//! * [`calibration`] — bisection searches that answer the question every
+//!   experiment asks: *given a target `(eps, delta)`, how much noise?*
+
+pub mod analytic_gaussian;
+pub mod budget;
+pub mod calibration;
+pub mod conversion;
+pub mod discrete_gaussian;
+pub mod gaussian;
+pub mod rdp;
+pub mod skellam;
+pub mod subsampling;
+
+pub use analytic_gaussian::analytic_gaussian_sigma;
+pub use budget::{Admission, PrivacyOdometer};
+pub use discrete_gaussian::discrete_gaussian_rdp;
+pub use calibration::{calibrate_gaussian_sigma, calibrate_skellam_mu, CalibrationTarget};
+pub use conversion::rdp_to_dp;
+pub use gaussian::gaussian_rdp;
+pub use rdp::RdpCurve;
+pub use skellam::skellam_rdp;
+pub use subsampling::subsampled_rdp;
+
+/// The default grid of integer Rényi orders used when optimizing the
+/// RDP-to-DP conversion. Lemma 1 and Lemma 11 both require integer orders.
+pub fn default_alpha_grid() -> Vec<u64> {
+    (2..=256).collect()
+}

@@ -1,0 +1,138 @@
+//! RDP curves over a grid of integer Rényi orders, with composition
+//! (Lemma 10) and conversion to `(eps, delta)`-DP (Lemma 9).
+
+use serde::{Deserialize, Serialize};
+
+use crate::conversion::rdp_to_dp;
+
+/// An RDP guarantee tabulated over integer orders: `taus[i]` is the RDP
+/// parameter at order `alphas[i]`.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RdpCurve {
+    alphas: Vec<u64>,
+    taus: Vec<f64>,
+}
+
+impl RdpCurve {
+    /// Tabulate `tau(alpha)` over `alphas`.
+    pub fn from_fn<F: Fn(u64) -> f64>(alphas: &[u64], tau: F) -> Self {
+        assert!(!alphas.is_empty(), "alpha grid must not be empty");
+        assert!(alphas.iter().all(|&a| a >= 2), "orders must be >= 2");
+        let taus = alphas.iter().map(|&a| {
+            let t = tau(a);
+            assert!(t >= 0.0 && t.is_finite(), "tau({a}) = {t} invalid");
+            t
+        }).collect();
+        RdpCurve {
+            alphas: alphas.to_vec(),
+            taus,
+        }
+    }
+
+    /// The zero curve (a mechanism that releases nothing).
+    pub fn zero(alphas: &[u64]) -> Self {
+        Self::from_fn(alphas, |_| 0.0)
+    }
+
+    /// The orders of this curve.
+    pub fn alphas(&self) -> &[u64] {
+        &self.alphas
+    }
+
+    /// `tau` at grid position of order `alpha`. Panics if not on the grid.
+    pub fn tau_at(&self, alpha: u64) -> f64 {
+        let i = self
+            .alphas
+            .iter()
+            .position(|&a| a == alpha)
+            .unwrap_or_else(|| panic!("order {alpha} not on grid"));
+        self.taus[i]
+    }
+
+    /// Lemma 10: adaptive composition adds RDP curves pointwise.
+    pub fn compose(&self, other: &RdpCurve) -> RdpCurve {
+        assert_eq!(self.alphas, other.alphas, "compose: mismatched alpha grids");
+        RdpCurve {
+            alphas: self.alphas.clone(),
+            taus: self
+                .taus
+                .iter()
+                .zip(&other.taus)
+                .map(|(a, b)| a + b)
+                .collect(),
+        }
+    }
+
+    /// Compose this mechanism with itself `rounds` times.
+    pub fn compose_rounds(&self, rounds: u32) -> RdpCurve {
+        RdpCurve {
+            alphas: self.alphas.clone(),
+            taus: self.taus.iter().map(|t| t * rounds as f64).collect(),
+        }
+    }
+
+    /// Lemma 9 optimized over the grid: the best `(eps, alpha)` at `delta`.
+    pub fn to_epsilon(&self, delta: f64) -> (f64, u64) {
+        let mut best = (f64::INFINITY, self.alphas[0]);
+        for (&a, &t) in self.alphas.iter().zip(&self.taus) {
+            let eps = rdp_to_dp(a as f64, t, delta);
+            if eps < best.0 {
+                best = (eps, a);
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::default_alpha_grid;
+    use crate::gaussian::gaussian_rdp;
+
+    #[test]
+    fn composition_adds() {
+        let g = default_alpha_grid();
+        let c1 = RdpCurve::from_fn(&g, |a| a as f64 * 0.01);
+        let c2 = RdpCurve::from_fn(&g, |a| a as f64 * 0.02);
+        let c = c1.compose(&c2);
+        assert!((c.tau_at(10) - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn compose_rounds_matches_repeated_compose() {
+        let g = default_alpha_grid();
+        let c = RdpCurve::from_fn(&g, |a| gaussian_rdp(a as f64, 1.0, 5.0));
+        let r3 = c.compose_rounds(3);
+        let manual = c.compose(&c).compose(&c);
+        for &a in &g[..10] {
+            assert!((r3.tau_at(a) - manual.tau_at(a)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn composition_degrades_epsilon() {
+        let g = default_alpha_grid();
+        let c = RdpCurve::from_fn(&g, |a| gaussian_rdp(a as f64, 1.0, 10.0));
+        let (e1, _) = c.to_epsilon(1e-5);
+        let (e10, _) = c.compose_rounds(10).to_epsilon(1e-5);
+        assert!(e10 > e1);
+        // Sub-linear in rounds (RDP composes better than basic composition).
+        assert!(e10 < 10.0 * e1);
+    }
+
+    #[test]
+    fn zero_curve_epsilon_is_small() {
+        let g = default_alpha_grid();
+        let (e, _) = RdpCurve::zero(&g).to_epsilon(1e-5);
+        assert!(e < 0.1, "eps = {e}");
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatched")]
+    fn compose_rejects_mismatched_grids() {
+        let c1 = RdpCurve::zero(&[2, 3]);
+        let c2 = RdpCurve::zero(&[2, 4]);
+        c1.compose(&c2);
+    }
+}

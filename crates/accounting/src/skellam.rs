@@ -1,0 +1,209 @@
+//! Lemma 1: the RDP guarantee of the Skellam mechanism.
+//!
+//! Injecting `Sk^d(mu)` into a d-dimensional integer-valued function with
+//! L1 sensitivity `Delta_1` and L2 sensitivity `Delta_2` satisfies, for any
+//! integer `alpha > 1`:
+//!
+//! ```text
+//! tau <= (alpha / 2) * Delta_2^2 / (2 mu)
+//!        + min( ((2 alpha - 1) Delta_2^2 + 6 Delta_1) / (16 mu^2),
+//!               3 Delta_1 / (4 mu) )
+//! ```
+
+/// Sensitivity pair for an integer-valued function.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct Sensitivity {
+    /// L1 sensitivity `Delta_1`.
+    pub l1: f64,
+    /// L2 sensitivity `Delta_2`.
+    pub l2: f64,
+}
+
+impl Sensitivity {
+    /// Construct, validating non-negativity and the norm inequality
+    /// `Delta_2 <= Delta_1` (which holds for any vector).
+    pub fn new(l1: f64, l2: f64) -> Self {
+        assert!(l1 >= 0.0 && l2 >= 0.0, "sensitivities must be non-negative");
+        assert!(
+            l2 <= l1 * (1.0 + 1e-12) || l1 == 0.0,
+            "L2 sensitivity ({l2}) cannot exceed L1 sensitivity ({l1})"
+        );
+        Sensitivity { l1, l2 }
+    }
+
+    /// The paper's generic bound for d-dimensional integer outputs
+    /// (Lemma 4): `Delta_1 = min(Delta_2^2, sqrt(d) * Delta_2)`.
+    pub fn from_l2_for_dim(l2: f64, d: usize) -> Self {
+        assert!(l2 >= 0.0);
+        let l1 = (l2 * l2).min((d as f64).sqrt() * l2);
+        // An integer vector's L1 norm is at least its L2 norm; the paper's
+        // bound can dip below Delta_2 only when Delta_2 < 1, where it is
+        // still a valid upper bound on the true L1 sensitivity of an
+        // integer-valued function (which is then 0 or >= 1 <= Delta_2^2).
+        Sensitivity { l1, l2 }
+    }
+}
+
+/// Lemma 1: RDP of order `alpha` (integer, >= 2) for the Skellam mechanism
+/// with noise parameter `mu`.
+pub fn skellam_rdp(alpha: u64, sens: Sensitivity, mu: f64) -> f64 {
+    assert!(alpha >= 2, "Lemma 1 requires integer alpha > 1, got {alpha}");
+    assert!(mu > 0.0, "Skellam noise parameter mu must be positive");
+    let a = alpha as f64;
+    let d1 = sens.l1;
+    let d2sq = sens.l2 * sens.l2;
+    let main = a * d2sq / (4.0 * mu);
+    let corr_a = ((2.0 * a - 1.0) * d2sq + 6.0 * d1) / (16.0 * mu * mu);
+    let corr_b = 3.0 * d1 / (4.0 * mu);
+    main + corr_a.min(corr_b)
+}
+
+/// The paper's client-observed variant: a curious client knows her own local
+/// noise share, so the effective aggregate noise is `Sk((n-1)/n * mu)`, and
+/// neighboring databases *replace* a record (doubling both sensitivities).
+/// See the discussion below Lemma 3.
+pub fn skellam_rdp_client_observed(
+    alpha: u64,
+    sens: Sensitivity,
+    mu: f64,
+    n_clients: usize,
+) -> f64 {
+    assert!(n_clients >= 2, "client-observed DP needs at least 2 clients");
+    let eff_mu = mu * (n_clients as f64 - 1.0) / n_clients as f64;
+    let doubled = Sensitivity::new(2.0 * sens.l1, 2.0 * sens.l2);
+    skellam_rdp(alpha, doubled, eff_mu)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounded_by_lemma3_closed_form() {
+        // Lemma 3 states tau = alpha Delta^2/(4 mu) + 3 Delta/(4 mu), which
+        // uses the linear branch of Lemma 1's min(); the full Lemma 1 bound
+        // is never larger. For large mu the quadratic 1/mu^2 branch wins, so
+        // the bound is strictly smaller there.
+        let delta = 10.0;
+        let mu = 1e6;
+        let alpha = 8;
+        let s = Sensitivity::new(delta, delta);
+        let got = skellam_rdp(alpha, s, mu);
+        let lemma3 = 8.0 * delta * delta / (4.0 * mu) + 3.0 * delta / (4.0 * mu);
+        assert!(got <= lemma3 * (1.0 + 1e-12));
+        let main = 8.0 * delta * delta / (4.0 * mu);
+        let corr_a = ((2.0 * 8.0 - 1.0) * 100.0 + 60.0) / (16.0 * mu * mu);
+        assert!((got - (main + corr_a)).abs() / got < 1e-12);
+    }
+
+    #[test]
+    fn small_mu_uses_quadratic_branch() {
+        // With small mu the 1/mu^2 branch can be the smaller correction.
+        let s = Sensitivity::new(1.0, 1.0);
+        let alpha = 2;
+        let mu = 100.0;
+        let corr_a = ((2.0 * 2.0 - 1.0) * 1.0 + 6.0) / (16.0 * mu * mu);
+        let corr_b = 3.0 / (4.0 * mu);
+        assert!(corr_a < corr_b);
+        let got = skellam_rdp(alpha, s, mu);
+        assert!((got - (2.0 / (4.0 * mu) + corr_a)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn approaches_gaussian_as_mu_grows() {
+        // As mu -> inf with fixed sensitivity, tau -> alpha Delta_2^2/(4 mu),
+        // the Gaussian RDP with sigma^2 = 2 mu (Skellam variance).
+        let s = Sensitivity::new(5.0, 5.0);
+        for alpha in [2u64, 4, 16] {
+            let mu = 1e9;
+            let tau = skellam_rdp(alpha, s, mu);
+            let gaussian = alpha as f64 * 25.0 / (2.0 * (2.0 * mu));
+            assert!((tau - gaussian) / gaussian < 1e-3, "alpha={alpha}");
+        }
+    }
+
+    #[test]
+    fn monotone_in_alpha_and_mu() {
+        let s = Sensitivity::new(3.0, 2.0);
+        let t1 = skellam_rdp(2, s, 1000.0);
+        let t2 = skellam_rdp(8, s, 1000.0);
+        assert!(t2 > t1);
+        let t3 = skellam_rdp(2, s, 10_000.0);
+        assert!(t3 < t1);
+    }
+
+    #[test]
+    fn client_observed_is_weaker() {
+        let s = Sensitivity::new(2.0, 2.0);
+        let server = skellam_rdp(4, s, 5000.0);
+        let client = skellam_rdp_client_observed(4, s, 5000.0, 10);
+        assert!(client > server);
+        // With many clients the gap is dominated by sensitivity doubling
+        // (factor ~4 on the quadratic term).
+        let client_many = skellam_rdp_client_observed(4, s, 5000.0, 100_000);
+        assert!((client_many / server - 4.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn dim_bound_helper() {
+        let s = Sensitivity::from_l2_for_dim(10.0, 4);
+        // min(100, 2*10) = 20.
+        assert_eq!(s.l1, 20.0);
+        let s = Sensitivity::from_l2_for_dim(10.0, 10_000);
+        // min(100, 100*10) = 100.
+        assert_eq!(s.l1, 100.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn rejects_alpha_one() {
+        skellam_rdp(1, Sensitivity::new(1.0, 1.0), 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_zero_mu() {
+        skellam_rdp(2, Sensitivity::new(1.0, 1.0), 0.0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn prop_monotone_in_alpha(
+            alpha in 2u64..200,
+            d in 1.0f64..1e6,
+            mu in 1.0f64..1e12,
+        ) {
+            let s = Sensitivity::new(d, d);
+            prop_assert!(skellam_rdp(alpha + 1, s, mu) >= skellam_rdp(alpha, s, mu));
+        }
+
+        #[test]
+        fn prop_antitone_in_mu(
+            alpha in 2u64..64,
+            d in 1.0f64..1e6,
+            mu in 1.0f64..1e12,
+        ) {
+            let s = Sensitivity::new(d, d);
+            prop_assert!(skellam_rdp(alpha, s, mu * 2.0) <= skellam_rdp(alpha, s, mu));
+        }
+
+        #[test]
+        fn prop_bounded_by_lemma3_form(
+            alpha in 2u64..64,
+            d in 0.1f64..1e4,
+            mu in 1.0f64..1e10,
+        ) {
+            // Lemma 1's min() never exceeds the 3*Delta_1/(4mu) branch.
+            let s = Sensitivity::new(d, d);
+            let full = skellam_rdp(alpha, s, mu);
+            let lemma3 = alpha as f64 * d * d / (4.0 * mu) + 3.0 * d / (4.0 * mu);
+            prop_assert!(full <= lemma3 * (1.0 + 1e-12));
+        }
+    }
+}

@@ -1,0 +1,152 @@
+//! Lemma 11 (Zhu-Wang): privacy amplification by Poisson subsampling for
+//! integer Rényi orders.
+//!
+//! If the base mechanism satisfies `(l, tau_l)`-RDP for `l = 2..=alpha`, then
+//! running it on a uniformly-subsampled batch (each record kept with
+//! probability `q`) satisfies `(alpha, tau)`-RDP with
+//!
+//! ```text
+//! tau = 1/(alpha-1) * log( (1-q)^(alpha-1) (alpha q - q + 1)
+//!        + sum_{l=2}^{alpha} C(alpha, l) (1-q)^(alpha-l) q^l e^{(l-1) tau_l} )
+//! ```
+//!
+//! All terms are assembled in log-space (`log_sum_exp`), so very large
+//! `tau_l` (tiny noise) and very small `q` never overflow.
+
+use sqm_sampling::special::{ln_binomial, log_sum_exp};
+
+/// Lemma 11 for one integer order `alpha >= 2`.
+///
+/// `base_rdp(l)` must return the base mechanism's RDP `tau_l` at integer
+/// order `l` (called for `l = 2..=alpha`).
+pub fn subsampled_rdp<F>(alpha: u64, q: f64, base_rdp: F) -> f64
+where
+    F: Fn(u64) -> f64,
+{
+    assert!(alpha >= 2, "Lemma 11 requires integer alpha >= 2, got {alpha}");
+    assert!((0.0..=1.0).contains(&q), "sampling rate must be in [0,1], got {q}");
+    if q == 0.0 {
+        return 0.0;
+    }
+    if q == 1.0 {
+        // No amplification: the subsample is the full dataset.
+        return base_rdp(alpha);
+    }
+    let a = alpha as f64;
+    let ln_1mq = (1.0 - q).ln();
+    let ln_q = q.ln();
+
+    let mut log_terms = Vec::with_capacity(alpha as usize);
+    // l = 0 and l = 1 terms combined: (1-q)^(alpha-1) (alpha q - q + 1).
+    log_terms.push((a - 1.0) * ln_1mq + (a * q - q + 1.0).ln());
+    for l in 2..=alpha {
+        let lf = l as f64;
+        let tau_l = base_rdp(l);
+        assert!(tau_l >= 0.0, "base RDP must be non-negative (l={l})");
+        log_terms.push(
+            ln_binomial(alpha, l) + (a - lf) * ln_1mq + lf * ln_q + (lf - 1.0) * tau_l,
+        );
+    }
+    log_sum_exp(&log_terms) / (a - 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gaussian::gaussian_rdp;
+
+    #[test]
+    fn zero_rate_means_zero_privacy_loss() {
+        assert_eq!(subsampled_rdp(8, 0.0, |_| 100.0), 0.0);
+    }
+
+    #[test]
+    fn full_rate_means_no_amplification() {
+        let tau = subsampled_rdp(8, 1.0, |l| l as f64 * 0.01);
+        assert_eq!(tau, 0.08);
+    }
+
+    #[test]
+    fn amplification_shrinks_privacy_loss() {
+        let base = |l: u64| gaussian_rdp(l as f64, 1.0, 2.0);
+        let full = base(4);
+        let amp = subsampled_rdp(4, 0.01, base);
+        assert!(amp < full / 10.0, "amp={amp} full={full}");
+    }
+
+    #[test]
+    fn small_q_quadratic_regime() {
+        // For small q and moderate noise, tau ~ q^2 * alpha * something:
+        // halving q should shrink tau by ~4x.
+        let base = |l: u64| gaussian_rdp(l as f64, 1.0, 4.0);
+        let t1 = subsampled_rdp(2, 0.02, base);
+        let t2 = subsampled_rdp(2, 0.01, base);
+        let ratio = t1 / t2;
+        assert!((ratio - 4.0).abs() < 0.5, "ratio {ratio}");
+    }
+
+    #[test]
+    fn monotone_in_q() {
+        let base = |l: u64| gaussian_rdp(l as f64, 1.0, 2.0);
+        let mut last = 0.0;
+        for q in [0.001, 0.01, 0.1, 0.5, 0.9] {
+            let t = subsampled_rdp(8, q, base);
+            assert!(t >= last, "q={q}");
+            last = t;
+        }
+    }
+
+    #[test]
+    fn huge_base_tau_does_not_overflow() {
+        // e^(alpha * 1e6) overflows f64; log-space assembly must survive.
+        let t = subsampled_rdp(64, 0.001, |_| 1e6);
+        assert!(t.is_finite());
+        assert!(t > 0.0);
+    }
+
+    #[test]
+    fn tau_nonnegative() {
+        let base = |l: u64| gaussian_rdp(l as f64, 1.0, 100.0);
+        for alpha in [2u64, 3, 17, 128] {
+            let t = subsampled_rdp(alpha, 0.05, base);
+            assert!(t >= 0.0, "alpha={alpha} tau={t}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "sampling rate")]
+    fn rejects_bad_rate() {
+        subsampled_rdp(2, 1.5, |_| 0.0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::gaussian::gaussian_rdp;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn prop_amplification_never_hurts(
+            alpha in 2u64..64,
+            q in 0.0001f64..1.0,
+            sigma in 0.1f64..100.0,
+        ) {
+            let base = |l: u64| gaussian_rdp(l as f64, 1.0, sigma);
+            let amplified = subsampled_rdp(alpha, q, base);
+            prop_assert!(amplified <= base(alpha) * (1.0 + 1e-9) + 1e-12,
+                "q={q} sigma={sigma}: {amplified} > {}", base(alpha));
+        }
+
+        #[test]
+        fn prop_nonnegative(
+            alpha in 2u64..64,
+            q in 0.0f64..1.0,
+            sigma in 0.1f64..100.0,
+        ) {
+            let t = subsampled_rdp(alpha, q, |l| gaussian_rdp(l as f64, 1.0, sigma));
+            prop_assert!(t >= -1e-12);
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! Accounting throughput: RDP bounds, subsampling amplification, and full
+//! noise calibration (the per-experiment setup cost).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use sqm::accounting::calibration::{calibrate_skellam_mu, CalibrationTarget};
+use sqm::accounting::skellam::{skellam_rdp, Sensitivity};
+use sqm::accounting::subsampled_rdp;
+
+fn bench_accounting(c: &mut Criterion) {
+    let sens = Sensitivity::new(100.0, 50.0);
+
+    c.bench_function("skellam_rdp_single_order", |bch| {
+        bch.iter(|| black_box(skellam_rdp(black_box(16), sens, 1e8)))
+    });
+
+    c.bench_function("subsampled_rdp_alpha256", |bch| {
+        bch.iter(|| {
+            black_box(subsampled_rdp(256, 0.001, |l| {
+                skellam_rdp(l, sens, 1e8)
+            }))
+        })
+    });
+
+    c.bench_function("calibrate_skellam_mu_5000_rounds", |bch| {
+        let target = CalibrationTarget::new(1.0, 1e-5);
+        bch.iter(|| black_box(calibrate_skellam_mu(target, sens, 5000, 0.001)))
+    });
+}
+
+criterion_group!(benches, bench_accounting);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Field-arithmetic throughput: M61 vs M127 (DESIGN.md ablation #1 — the
+//! cost of the wide field that PCA's magnitude bounds sometimes require).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sqm::field::{M127, M61, PrimeField};
+
+fn bench_field(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let a61: Vec<M61> = (0..1024).map(|_| M61::random(&mut rng)).collect();
+    let b61: Vec<M61> = (0..1024).map(|_| M61::random(&mut rng)).collect();
+    let a127: Vec<M127> = (0..1024).map(|_| M127::random(&mut rng)).collect();
+    let b127: Vec<M127> = (0..1024).map(|_| M127::random(&mut rng)).collect();
+
+    let mut g = c.benchmark_group("field_mul_1024");
+    g.bench_function(BenchmarkId::new("mul", "m61"), |bch| {
+        bch.iter(|| {
+            let mut acc = M61::ZERO;
+            for (&x, &y) in a61.iter().zip(&b61) {
+                acc += x * y;
+            }
+            black_box(acc)
+        })
+    });
+    g.bench_function(BenchmarkId::new("mul", "m127"), |bch| {
+        bch.iter(|| {
+            let mut acc = M127::ZERO;
+            for (&x, &y) in a127.iter().zip(&b127) {
+                acc += x * y;
+            }
+            black_box(acc)
+        })
+    });
+    g.finish();
+
+    c.bench_function("field_inverse_m61", |bch| {
+        let x = M61::from_u64(123_456_789);
+        bch.iter(|| black_box(black_box(x).inverse()))
+    });
+}
+
+criterion_group!(benches, bench_field);
+criterion_main!(benches);

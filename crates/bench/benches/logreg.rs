@@ -1,0 +1,26 @@
+//! Logistic-regression step benchmarks (the per-round cost behind Figure 3).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sqm::datasets::ClassificationSpec;
+use sqm::vfl::gradient::gradient_sum_skellam_plaintext;
+
+fn bench_logreg(c: &mut Criterion) {
+    let ds = ClassificationSpec::new(1000, 64).with_seed(1).generate();
+    let data = ds.as_vfl_matrix();
+    let w = vec![0.05; 64];
+    let batch: Vec<usize> = (0..100).collect();
+
+    c.bench_function("sqm_gradient_sum_batch100_d64", |bch| {
+        let mut rng = StdRng::seed_from_u64(2);
+        bch.iter(|| {
+            black_box(gradient_sum_skellam_plaintext(
+                &mut rng, &data, &batch, &w, 8192.0, 1e6, 4, 7,
+            ))
+        })
+    });
+}
+
+criterion_group!(benches, bench_logreg);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! End-to-end PCA pipeline benchmarks (the per-run cost behind Figure 2).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sqm::datasets::SpectralSpec;
+use sqm::linalg::eigen::top_k_eigenvectors;
+use sqm::tasks::pca::SqmPca;
+
+fn bench_pca(c: &mut Criterion) {
+    let data = SpectralSpec::new(500, 32).with_seed(1).generate();
+
+    c.bench_function("eigensolve_n32", |bch| {
+        let g = data.gram();
+        bch.iter(|| black_box(top_k_eigenvectors(&g, 8)))
+    });
+
+    // Ablation: full Jacobi vs shifted orthogonal iteration for top-k.
+    {
+        use sqm::linalg::eigen::{orthogonal_iteration, symmetric_eigen};
+        let big = SpectralSpec::new(300, 128).with_seed(2).generate();
+        let g = big.gram();
+        let mut grp = c.benchmark_group("topk_solver_n128_k8");
+        grp.sample_size(10);
+        grp.bench_function("jacobi_full", |bch| {
+            bch.iter(|| black_box(symmetric_eigen(&g).values[0]))
+        });
+        grp.bench_function("orthogonal_iteration", |bch| {
+            bch.iter(|| black_box(orthogonal_iteration(&g, 8, 300, 1e-10)))
+        });
+        grp.finish();
+    }
+
+    let mut g = c.benchmark_group("sqm_pca_fit_m500_n32");
+    g.sample_size(20);
+    g.bench_function("plaintext", |bch| {
+        let mech = SqmPca::new(8, 1024.0, 1.0, 1e-5);
+        let mut rng = StdRng::seed_from_u64(2);
+        bch.iter(|| black_box(mech.fit(&mut rng, &data)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_pca);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Polynomial representation and SQM mechanism throughput.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sqm::core::mechanism::{sqm_polynomial, SqmParams};
+use sqm::core::Polynomial;
+use sqm::datasets::SpectralSpec;
+
+fn bench_polynomial(c: &mut Criterion) {
+    let data = SpectralSpec::new(200, 16).with_seed(1).generate();
+
+    c.bench_function("polynomial_eval_covariance_n16_m200", |bch| {
+        let p = Polynomial::covariance(16);
+        bch.iter(|| black_box(p.sum_over((0..data.rows()).map(|i| data.row(i)))))
+    });
+
+    c.bench_function("sqm_mechanism_covariance_n16_m200", |bch| {
+        let p = Polynomial::covariance(16);
+        let mut rng = StdRng::seed_from_u64(2);
+        bch.iter(|| {
+            black_box(sqm_polynomial(
+                &mut rng,
+                &p,
+                &data,
+                SqmParams::new(1024.0, 100.0, 4),
+            ))
+        })
+    });
+}
+
+criterion_group!(benches, bench_polynomial);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Quantization throughput (Algorithm 2) and the stochastic-vs-nearest
+//! rounding ablation (DESIGN.md #2).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sqm::core::quantize::{quantize_polynomial, quantize_vec};
+use sqm::core::Polynomial;
+use sqm::sampling::rounding::nearest_round;
+
+fn bench_quantize(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let v: Vec<f64> = (0..4096).map(|_| rng.gen::<f64>() - 0.5).collect();
+
+    let mut g = c.benchmark_group("quantize_vec_4096");
+    for gamma in [16.0, 4096.0, 1048576.0] {
+        g.bench_with_input(BenchmarkId::from_parameter(gamma), &gamma, |bch, &gamma| {
+            let mut rng = StdRng::seed_from_u64(2);
+            bch.iter(|| black_box(quantize_vec(&mut rng, &v, gamma)))
+        });
+    }
+    g.finish();
+
+    c.bench_function("nearest_round_vec_4096", |bch| {
+        bch.iter(|| {
+            let out: Vec<i64> = v.iter().map(|&x| nearest_round(4096.0 * x)).collect();
+            black_box(out)
+        })
+    });
+
+    c.bench_function("quantize_covariance_polynomial_n32", |bch| {
+        let p = Polynomial::covariance(32);
+        let mut rng = StdRng::seed_from_u64(3);
+        bch.iter(|| black_box(quantize_polynomial(&mut rng, &p, 1024.0)))
+    });
+}
+
+criterion_group!(benches, bench_quantize);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Sampler throughput: Poisson across its three regimes, Skellam, Gaussian,
+//! stochastic rounding.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sqm::sampling::{sample_poisson, sample_skellam, sample_standard_normal, stochastic_round};
+
+fn bench_sampling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("poisson");
+    for mu in [1.0, 100.0, 1e9, 1e16] {
+        g.bench_with_input(BenchmarkId::from_parameter(mu), &mu, |bch, &mu| {
+            let mut rng = StdRng::seed_from_u64(1);
+            bch.iter(|| black_box(sample_poisson(&mut rng, mu)))
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("skellam");
+    for mu in [100.0, 1e12, 1e22] {
+        g.bench_with_input(BenchmarkId::from_parameter(mu), &mu, |bch, &mu| {
+            let mut rng = StdRng::seed_from_u64(2);
+            bch.iter(|| black_box(sample_skellam(&mut rng, mu)))
+        });
+    }
+    g.finish();
+
+    c.bench_function("standard_normal", |bch| {
+        let mut rng = StdRng::seed_from_u64(3);
+        bch.iter(|| black_box(sample_standard_normal(&mut rng)))
+    });
+
+    c.bench_function("stochastic_round", |bch| {
+        let mut rng = StdRng::seed_from_u64(4);
+        bch.iter(|| black_box(stochastic_round(&mut rng, black_box(1234.5678))))
+    });
+}
+
+criterion_group!(benches, bench_sampling);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Shamir sharing and reconstruction throughput.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sqm::field::{M61, PrimeField};
+use sqm::mpc::{reconstruct, share_secret};
+
+fn bench_shamir(c: &mut Criterion) {
+    let mut g = c.benchmark_group("share_secret");
+    for &(t, n) in &[(1usize, 3usize), (4, 10), (9, 20)] {
+        g.bench_with_input(BenchmarkId::from_parameter(format!("t{t}_n{n}")), &(t, n), |bch, &(t, n)| {
+            let mut rng = StdRng::seed_from_u64(1);
+            let s = M61::from_u64(12345);
+            bch.iter(|| black_box(share_secret(&mut rng, s, t, n)))
+        });
+    }
+    g.finish();
+
+    c.bench_function("reconstruct_t4_n10", |bch| {
+        let mut rng = StdRng::seed_from_u64(2);
+        let shares = share_secret(&mut rng, M61::from_u64(999), 4, 10);
+        let pairs: Vec<(usize, M61)> = shares.into_iter().enumerate().collect();
+        bch.iter(|| black_box(reconstruct(&pairs)))
+    });
+}
+
+criterion_group!(benches, bench_shamir);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Reduced-size versions of the paper's timing tables (II, IV, V) as
+//! Criterion benchmarks: the full BGW covariance and gradient protocols at
+//! several dimensions / record counts / client counts (zero simulated
+//! latency so only compute+messaging is measured).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use sqm::datasets::SpectralSpec;
+use sqm::vfl::covariance::covariance_skellam;
+use sqm::vfl::gradient::gradient_sum_skellam;
+use sqm::vfl::{ColumnPartition, VflConfig};
+
+fn bench_tables(c: &mut Criterion) {
+    // Table II shape: vary n.
+    let mut g = c.benchmark_group("table2_pca_vs_n_m200_p4");
+    g.sample_size(10);
+    for &n in &[16usize, 32, 64] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |bch, &n| {
+            let data = SpectralSpec::new(200, n).with_seed(1).generate();
+            let partition = ColumnPartition::even(n, 4);
+            let cfg = VflConfig::fast(4);
+            bch.iter(|| black_box(covariance_skellam(&data, &partition, 18.0, 100.0, &cfg)))
+        });
+    }
+    g.finish();
+
+    // Table IV shape: vary m.
+    let mut g = c.benchmark_group("table4_lr_vs_m_n33_p4");
+    g.sample_size(10);
+    for &m in &[100usize, 400, 1600] {
+        g.bench_with_input(BenchmarkId::from_parameter(m), &m, |bch, &m| {
+            let data = SpectralSpec::new(m, 33).with_seed(2).generate();
+            let partition = ColumnPartition::even(33, 4);
+            let cfg = VflConfig::fast(4);
+            let batch: Vec<usize> = (0..m).collect();
+            let w = vec![0.01; 32];
+            bch.iter(|| {
+                black_box(gradient_sum_skellam(
+                    &data, &partition, &batch, &w, 18.0, 100.0, &cfg,
+                ))
+            })
+        });
+    }
+    g.finish();
+
+    // Table V shape: vary P.
+    let mut g = c.benchmark_group("table5_pca_vs_p_m100_n24");
+    g.sample_size(10);
+    for &p in &[2usize, 4, 8] {
+        g.bench_with_input(BenchmarkId::from_parameter(p), &p, |bch, &p| {
+            let data = SpectralSpec::new(100, 24).with_seed(3).generate();
+            let partition = ColumnPartition::even(24, p);
+            let cfg = VflConfig::fast(p);
+            bch.iter(|| black_box(covariance_skellam(&data, &partition, 18.0, 100.0, &cfg)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_tables);
+criterion_main!(benches);

@@ -1,0 +1,107 @@
+//! Minimal CSV I/O for dropping real datasets into the harness.
+//!
+//! Format: one record per line, comma-separated decimal floats, no header.
+//! (Real KDDCUP/ACSIncome exports in this format slot directly into the
+//! experiment binaries via `--data <path>`.)
+
+use std::fs;
+use std::io::{self, Write};
+use std::path::Path;
+
+use sqm_linalg::Matrix;
+
+/// Load a numeric matrix from a headerless CSV file.
+pub fn load_matrix(path: &Path) -> io::Result<Matrix> {
+    let text = fs::read_to_string(path)?;
+    parse_matrix(&text).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+}
+
+/// Parse CSV text into a matrix.
+pub fn parse_matrix(text: &str) -> Result<Matrix, String> {
+    let mut rows: Vec<Vec<f64>> = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let row: Result<Vec<f64>, String> = line
+            .split(',')
+            .map(|tok| {
+                tok.trim()
+                    .parse::<f64>()
+                    .map_err(|e| format!("line {}: bad number {tok:?}: {e}", lineno + 1))
+            })
+            .collect();
+        let row = row?;
+        if let Some(first) = rows.first() {
+            if row.len() != first.len() {
+                return Err(format!(
+                    "line {}: {} columns, expected {}",
+                    lineno + 1,
+                    row.len(),
+                    first.len()
+                ));
+            }
+        }
+        rows.push(row);
+    }
+    if rows.is_empty() {
+        return Err("no data rows".to_string());
+    }
+    Ok(Matrix::from_rows(&rows))
+}
+
+/// Write a matrix as CSV.
+pub fn save_matrix(path: &Path, m: &Matrix) -> io::Result<()> {
+    let mut f = fs::File::create(path)?;
+    for i in 0..m.rows() {
+        let line: Vec<String> = m.row(i).iter().map(|v| format!("{v}")).collect();
+        writeln!(f, "{}", line.join(","))?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_simple() {
+        let m = parse_matrix("1,2,3\n4,5,6\n").unwrap();
+        assert_eq!((m.rows(), m.cols()), (2, 3));
+        assert_eq!(m[(1, 2)], 6.0);
+    }
+
+    #[test]
+    fn parse_skips_blank_lines_and_trims() {
+        let m = parse_matrix("\n 1.5 , -2 \n\n 3 , 4 \n").unwrap();
+        assert_eq!((m.rows(), m.cols()), (2, 2));
+        assert_eq!(m[(0, 0)], 1.5);
+        assert_eq!(m[(0, 1)], -2.0);
+    }
+
+    #[test]
+    fn parse_rejects_ragged() {
+        assert!(parse_matrix("1,2\n3\n").is_err());
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse_matrix("1,two\n").is_err());
+    }
+
+    #[test]
+    fn parse_rejects_empty() {
+        assert!(parse_matrix("").is_err());
+    }
+
+    #[test]
+    fn roundtrip_through_file() {
+        let m = Matrix::from_rows(&[vec![0.25, -1.0], vec![3.5, 2.0]]);
+        let path = std::env::temp_dir().join(format!("sqm_csv_test_{}.csv", std::process::id()));
+        save_matrix(&path, &m).unwrap();
+        let back = load_matrix(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(back, m);
+    }
+}

@@ -1,0 +1,20 @@
+//! Datasets for the SQM experiments.
+//!
+//! The paper evaluates on KDDCUP, ACSIncome (CA/TX/NY/FL), CiteSeer and
+//! Gene. Those files are not redistributable/downloadable in this offline
+//! build, so [`synthetic`] provides generators that reproduce the
+//! *experiment-relevant* structure — row/column counts, bounded record
+//! norms, power-law covariance spectra for PCA, and a planted logistic
+//! model for classification — and [`presets`] instantiates them with each
+//! paper dataset's shape (scaled-down by default; `Scale::Paper` restores
+//! the full sizes). [`csv`] loads real data when available so the presets
+//! can be swapped for the originals.
+
+pub mod csv;
+pub mod presets;
+pub mod synthetic;
+
+pub use presets::{acsincome_like, citeseer_like, gene_like, kddcup_like, Scale};
+pub use synthetic::{
+    ClassificationDataset, ClassificationSpec, RegressionDataset, RegressionSpec, SpectralSpec,
+};

@@ -1,0 +1,134 @@
+//! Named presets with the shapes of the paper's evaluation datasets.
+//!
+//! | Paper dataset | m | n | Task |
+//! |---|---|---|---|
+//! | KDDCUP | 195 666 | 117 | PCA |
+//! | ACSIncome (CA/TX/NY/FL) | ~100 000 | ~800 | PCA + LR |
+//! | CiteSeer | 2 110 | 3 703 | PCA (high-dim) |
+//! | Gene | 801 | 20 531 | PCA (high-dim) |
+//!
+//! `Scale::Laptop` shrinks the sizes so every figure regenerates in minutes;
+//! `Scale::Paper` restores the full sizes. Spectral decay constants are
+//! chosen to mimic each dataset family (network traffic and census data are
+//! strongly low-rank; bag-of-words and gene expression decay more slowly).
+
+use crate::synthetic::{ClassificationDataset, ClassificationSpec, SpectralSpec};
+use sqm_linalg::Matrix;
+
+/// Experiment scale.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Scale {
+    /// Shrunk sizes for fast regeneration (default for the harness).
+    Laptop,
+    /// The paper's full dataset sizes.
+    Paper,
+}
+
+impl Scale {
+    fn pick(self, laptop: (usize, usize), paper: (usize, usize)) -> (usize, usize) {
+        match self {
+            Scale::Laptop => laptop,
+            Scale::Paper => paper,
+        }
+    }
+}
+
+/// KDDCUP-shaped PCA dataset (network traffic: strong spectral decay).
+pub fn kddcup_like(scale: Scale, seed: u64) -> Matrix {
+    let (m, n) = scale.pick((4000, 60), (195_666, 117));
+    SpectralSpec::new(m, n)
+        .with_decay(1.1)
+        .with_seed(seed ^ 0x6BDD)
+        .generate()
+}
+
+/// ACSIncome-shaped dataset for the given "state" (0 = CA, 1 = TX, 2 = NY,
+/// 3 = FL). Census features: moderate decay. Returns the numeric matrix for
+/// PCA use; for LR use [`acsincome_classification`].
+pub fn acsincome_like(state: usize, scale: Scale, seed: u64) -> Matrix {
+    assert!(state < 4, "states are 0..4 (CA, TX, NY, FL)");
+    let (m, n) = scale.pick((2000, 120), (100_000, 800));
+    SpectralSpec::new(m, n)
+        .with_decay(0.9)
+        .with_seed(seed ^ (0xACC0 + state as u64))
+        .generate()
+}
+
+/// ACSIncome-shaped classification dataset (predict income > 50K).
+pub fn acsincome_classification(
+    state: usize,
+    scale: Scale,
+    seed: u64,
+) -> ClassificationDataset {
+    assert!(state < 4, "states are 0..4 (CA, TX, NY, FL)");
+    let (m, d) = match scale {
+        Scale::Laptop => (2000, 100),
+        // The paper trains on a 10% sample: m ~ 10_000, d ~ 800 features.
+        Scale::Paper => (10_000, 799),
+    };
+    ClassificationSpec::new(m, d)
+        .with_seed(seed ^ (0xC1A0 + state as u64))
+        .generate()
+}
+
+/// CiteSeer-shaped high-dimensional PCA dataset (bag-of-words: slower
+/// decay, n >> typical).
+pub fn citeseer_like(scale: Scale, seed: u64) -> Matrix {
+    let (m, n) = scale.pick((400, 500), (2110, 3703));
+    SpectralSpec::new(m, n)
+        .with_decay(0.6)
+        .with_seed(seed ^ 0xC17E)
+        .generate()
+}
+
+/// Gene-expression-shaped high-dimensional PCA dataset.
+pub fn gene_like(scale: Scale, seed: u64) -> Matrix {
+    let (m, n) = scale.pick((200, 600), (801, 20_531));
+    SpectralSpec::new(m, n)
+        .with_decay(0.7)
+        .with_seed(seed ^ 0x9E4E)
+        .generate()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn laptop_shapes() {
+        assert_eq!(kddcup_like(Scale::Laptop, 0).rows(), 4000);
+        assert_eq!(acsincome_like(0, Scale::Laptop, 0).cols(), 120);
+        assert_eq!(citeseer_like(Scale::Laptop, 0).cols(), 500);
+        assert_eq!(gene_like(Scale::Laptop, 0).cols(), 600);
+    }
+
+    #[test]
+    fn states_differ() {
+        let ca = acsincome_like(0, Scale::Laptop, 0);
+        let tx = acsincome_like(1, Scale::Laptop, 0);
+        assert_ne!(ca, tx);
+    }
+
+    #[test]
+    fn classification_preset() {
+        let ds = acsincome_classification(0, Scale::Laptop, 0);
+        assert_eq!(ds.len(), 2000);
+        assert_eq!(ds.features.cols(), 100);
+    }
+
+    #[test]
+    fn norm_bound_holds() {
+        for m in [
+            kddcup_like(Scale::Laptop, 1),
+            citeseer_like(Scale::Laptop, 1),
+        ] {
+            assert!(m.max_row_norm() <= 1.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "states")]
+    fn rejects_unknown_state() {
+        acsincome_like(7, Scale::Laptop, 0);
+    }
+}

@@ -1,0 +1,492 @@
+//! Synthetic data generators.
+//!
+//! * [`SpectralSpec`] — numeric matrices with a planted power-law covariance
+//!   spectrum, the structure that makes top-k PCA meaningful. Records are
+//!   globally rescaled so the maximum row L2 norm equals `c` (the paper's
+//!   norm bound), preserving the spectrum's shape.
+//! * [`ClassificationSpec`] — feature matrices with unit-ball rows and
+//!   labels drawn from a planted logistic model, for the LR experiments.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sqm_linalg::{orth::random_orthogonal, Matrix};
+
+/// Specification of a spectral-decay numeric dataset.
+#[derive(Clone, Debug)]
+pub struct SpectralSpec {
+    /// Number of records `m`.
+    pub m: usize,
+    /// Number of attributes `n`.
+    pub n: usize,
+    /// Power-law exponent: direction `i` has standard deviation
+    /// `(i+1)^(-decay)`. `decay = 0` gives an isotropic cloud; `~1` gives a
+    /// clearly low-rank-dominated spectrum like real tabular data.
+    pub decay: f64,
+    /// Maximum record L2 norm after global rescaling (the paper's `c`).
+    pub c: f64,
+    /// Apply a random orthogonal rotation so the principal directions are
+    /// not axis-aligned. O(n^3) setup; automatically skipped for `n > 512`
+    /// (rotation does not affect any of the rotation-invariant mechanisms
+    /// or baselines).
+    pub rotate: bool,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl SpectralSpec {
+    pub fn new(m: usize, n: usize) -> Self {
+        SpectralSpec { m, n, decay: 0.8, c: 1.0, rotate: true, seed: 0 }
+    }
+
+    pub fn with_decay(mut self, decay: f64) -> Self {
+        self.decay = decay;
+        self
+    }
+
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    pub fn with_norm_bound(mut self, c: f64) -> Self {
+        assert!(c > 0.0);
+        self.c = c;
+        self
+    }
+
+    /// Generate the matrix.
+    pub fn generate(&self) -> Matrix {
+        assert!(self.m > 0 && self.n > 0, "empty dataset");
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0x0DA7_A5E7);
+        let mut x = Matrix::zeros(self.m, self.n);
+        // Column scales: power-law decay.
+        let scales: Vec<f64> = (0..self.n)
+            .map(|i| ((i + 1) as f64).powf(-self.decay))
+            .collect();
+        for i in 0..self.m {
+            for j in 0..self.n {
+                x[(i, j)] = gauss(&mut rng) * scales[j];
+            }
+        }
+        if self.rotate && self.n <= 512 {
+            let q = random_orthogonal(&mut rng, self.n);
+            x = x.matmul(&q);
+        }
+        // Global rescale: max row norm == c.
+        let max_norm = x.max_row_norm();
+        if max_norm > 0.0 {
+            x = x.scaled(self.c / max_norm);
+        }
+        x
+    }
+}
+
+/// Specification of a binary-classification dataset with a planted logistic
+/// model.
+#[derive(Clone, Debug)]
+pub struct ClassificationSpec {
+    /// Number of records `m`.
+    pub m: usize,
+    /// Number of features `d` (the label adds one more column in the VFL
+    /// view, matching the paper's `n = d + 1`).
+    pub d: usize,
+    /// Sharpness of the planted decision boundary: labels are
+    /// `Bernoulli(sigmoid(sharpness * <w*, x>))`.
+    pub sharpness: f64,
+    /// Fraction of labels flipped uniformly at random.
+    pub label_noise: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+/// A generated classification dataset.
+#[derive(Clone, Debug)]
+pub struct ClassificationDataset {
+    /// `m x d` features, every row inside the unit L2 ball.
+    pub features: Matrix,
+    /// Binary labels.
+    pub labels: Vec<u8>,
+    /// The planted ground-truth direction (unit norm).
+    pub true_weights: Vec<f64>,
+}
+
+impl ClassificationSpec {
+    pub fn new(m: usize, d: usize) -> Self {
+        ClassificationSpec { m, d, sharpness: 20.0, label_noise: 0.03, seed: 0 }
+    }
+
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    pub fn with_label_noise(mut self, p: f64) -> Self {
+        assert!((0.0..0.5).contains(&p), "label noise must be in [0, 0.5)");
+        self.label_noise = p;
+        self
+    }
+
+    /// Generate features, labels, and the planted weights.
+    pub fn generate(&self) -> ClassificationDataset {
+        assert!(self.m > 0 && self.d > 0, "empty dataset");
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0xC1A5_51F7);
+        // Planted unit direction.
+        let mut w: Vec<f64> = (0..self.d).map(|_| gauss(&mut rng)).collect();
+        let wn = w.iter().map(|v| v * v).sum::<f64>().sqrt();
+        for v in &mut w {
+            *v /= wn;
+        }
+        let mut features = Matrix::zeros(self.m, self.d);
+        let mut labels = Vec::with_capacity(self.m);
+        let inv_sqrt_d = 1.0 / (self.d as f64).sqrt();
+        for i in 0..self.m {
+            let mut norm_sq = 0.0;
+            for j in 0..self.d {
+                let v = gauss(&mut rng) * inv_sqrt_d;
+                features[(i, j)] = v;
+                norm_sq += v * v;
+            }
+            // Clip into the unit ball (rarely triggered: E||x|| ~ 1).
+            let norm = norm_sq.sqrt();
+            if norm > 1.0 {
+                for j in 0..self.d {
+                    features[(i, j)] /= norm;
+                }
+            }
+            let margin: f64 = (0..self.d).map(|j| w[j] * features[(i, j)]).sum();
+            let p = sigmoid(self.sharpness * margin);
+            let mut y = u8::from(rng.gen::<f64>() < p);
+            if rng.gen::<f64>() < self.label_noise {
+                y ^= 1;
+            }
+            labels.push(y);
+        }
+        ClassificationDataset { features, labels, true_weights: w }
+    }
+}
+
+impl ClassificationDataset {
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// The VFL view: a single `m x (d+1)` matrix whose last column is the
+    /// label, matching the paper's "n = d + 1 attributes, one per client".
+    pub fn as_vfl_matrix(&self) -> Matrix {
+        let (m, d) = (self.features.rows(), self.features.cols());
+        let mut x = Matrix::zeros(m, d + 1);
+        for i in 0..m {
+            for j in 0..d {
+                x[(i, j)] = self.features[(i, j)];
+            }
+            x[(i, d)] = self.labels[i] as f64;
+        }
+        x
+    }
+
+    /// Split into train/test by a deterministic shuffle.
+    pub fn split(&self, train_fraction: f64, seed: u64) -> (ClassificationDataset, ClassificationDataset) {
+        assert!((0.0..=1.0).contains(&train_fraction));
+        let m = self.len();
+        let mut idx: Vec<usize> = (0..m).collect();
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5B17);
+        // Fisher-Yates.
+        for i in (1..m).rev() {
+            let j = rng.gen_range(0..=i);
+            idx.swap(i, j);
+        }
+        let cut = (m as f64 * train_fraction).round() as usize;
+        let make = |ids: &[usize]| {
+            let rows: Vec<Vec<f64>> = ids.iter().map(|&i| self.features.row(i).to_vec()).collect();
+            ClassificationDataset {
+                features: Matrix::from_rows(&rows),
+                labels: ids.iter().map(|&i| self.labels[i]).collect(),
+                true_weights: self.true_weights.clone(),
+            }
+        };
+        (make(&idx[..cut]), make(&idx[cut..]))
+    }
+}
+
+/// Specification of a regression dataset with a planted linear model:
+/// `y = <w*, x> + N(0, noise^2)`, clipped to `[-1, 1]` so the (feature,
+/// label) record stays inside a ball of radius sqrt(2).
+#[derive(Clone, Debug)]
+pub struct RegressionSpec {
+    pub m: usize,
+    pub d: usize,
+    /// Standard deviation of the label noise.
+    pub noise: f64,
+    pub seed: u64,
+}
+
+/// A generated regression dataset.
+#[derive(Clone, Debug)]
+pub struct RegressionDataset {
+    /// `m x d` features, rows in the unit L2 ball.
+    pub features: Matrix,
+    /// Real-valued targets in `[-1, 1]`.
+    pub targets: Vec<f64>,
+    /// The planted unit-norm direction.
+    pub true_weights: Vec<f64>,
+}
+
+impl RegressionSpec {
+    pub fn new(m: usize, d: usize) -> Self {
+        RegressionSpec { m, d, noise: 0.05, seed: 0 }
+    }
+
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    pub fn with_noise(mut self, noise: f64) -> Self {
+        assert!(noise >= 0.0);
+        self.noise = noise;
+        self
+    }
+
+    pub fn generate(&self) -> RegressionDataset {
+        assert!(self.m > 0 && self.d > 0, "empty dataset");
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0x4E64_0A11);
+        let mut w: Vec<f64> = (0..self.d).map(|_| gauss(&mut rng)).collect();
+        let wn = w.iter().map(|v| v * v).sum::<f64>().sqrt();
+        for v in &mut w {
+            *v /= wn;
+        }
+        let inv_sqrt_d = 1.0 / (self.d as f64).sqrt();
+        let mut features = Matrix::zeros(self.m, self.d);
+        let mut targets = Vec::with_capacity(self.m);
+        for i in 0..self.m {
+            let mut norm_sq = 0.0;
+            for j in 0..self.d {
+                let v = gauss(&mut rng) * inv_sqrt_d;
+                features[(i, j)] = v;
+                norm_sq += v * v;
+            }
+            let norm = norm_sq.sqrt();
+            if norm > 1.0 {
+                for j in 0..self.d {
+                    features[(i, j)] /= norm;
+                }
+            }
+            let y: f64 = (0..self.d).map(|j| w[j] * features[(i, j)]).sum::<f64>()
+                + self.noise * gauss(&mut rng);
+            targets.push(y.clamp(-1.0, 1.0));
+        }
+        RegressionDataset { features, targets, true_weights: w }
+    }
+}
+
+impl RegressionDataset {
+    pub fn len(&self) -> usize {
+        self.targets.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.targets.is_empty()
+    }
+
+    /// The VFL view: `m x (d+1)` matrix with the target as the last column.
+    pub fn as_vfl_matrix(&self) -> Matrix {
+        let (m, d) = (self.features.rows(), self.features.cols());
+        let mut x = Matrix::zeros(m, d + 1);
+        for i in 0..m {
+            for j in 0..d {
+                x[(i, j)] = self.features[(i, j)];
+            }
+            x[(i, d)] = self.targets[i];
+        }
+        x
+    }
+
+    /// Mean squared prediction error of weights `w` on this dataset.
+    pub fn mse(&self, w: &[f64]) -> f64 {
+        assert_eq!(w.len(), self.features.cols());
+        let m = self.len();
+        (0..m)
+            .map(|i| {
+                let pred: f64 = w
+                    .iter()
+                    .zip(self.features.row(i))
+                    .map(|(a, b)| a * b)
+                    .sum();
+                (pred - self.targets[i]).powi(2)
+            })
+            .sum::<f64>()
+            / m as f64
+    }
+
+    /// Deterministic train/test split.
+    pub fn split(&self, train_fraction: f64, seed: u64) -> (RegressionDataset, RegressionDataset) {
+        assert!((0.0..=1.0).contains(&train_fraction));
+        let m = self.len();
+        let mut idx: Vec<usize> = (0..m).collect();
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x4E65);
+        for i in (1..m).rev() {
+            let j = rng.gen_range(0..=i);
+            idx.swap(i, j);
+        }
+        let cut = (m as f64 * train_fraction).round() as usize;
+        let make = |ids: &[usize]| {
+            let rows: Vec<Vec<f64>> = ids.iter().map(|&i| self.features.row(i).to_vec()).collect();
+            RegressionDataset {
+                features: Matrix::from_rows(&rows),
+                targets: ids.iter().map(|&i| self.targets[i]).collect(),
+                true_weights: self.true_weights.clone(),
+            }
+        };
+        (make(&idx[..cut]), make(&idx[cut..]))
+    }
+}
+
+fn sigmoid(u: f64) -> f64 {
+    1.0 / (1.0 + (-u).exp())
+}
+
+fn gauss<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u: f64 = rng.gen::<f64>() * 2.0 - 1.0;
+        let v: f64 = rng.gen::<f64>() * 2.0 - 1.0;
+        let s = u * u + v * v;
+        if s > 0.0 && s < 1.0 {
+            return u * (-2.0 * s.ln() / s).sqrt();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqm_linalg::eigen::symmetric_eigen;
+
+    #[test]
+    fn spectral_shape_and_norms() {
+        let x = SpectralSpec::new(500, 20).with_seed(1).generate();
+        assert_eq!((x.rows(), x.cols()), (500, 20));
+        assert!((x.max_row_norm() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn spectrum_decays() {
+        let x = SpectralSpec::new(2000, 16).with_decay(1.0).with_seed(2).generate();
+        let eig = symmetric_eigen(&x.gram());
+        // Top eigenvalue should dominate the 8th by roughly (8)^2 ~ 64x
+        // (variance ratio); allow slack for sampling noise.
+        assert!(eig.values[0] / eig.values[7].max(1e-12) > 10.0);
+    }
+
+    #[test]
+    fn zero_decay_is_isotropic() {
+        let x = SpectralSpec::new(4000, 8).with_decay(0.0).with_seed(3).generate();
+        let eig = symmetric_eigen(&x.gram());
+        assert!(eig.values[0] / eig.values[7] < 2.0);
+    }
+
+    #[test]
+    fn deterministic_by_seed() {
+        let a = SpectralSpec::new(50, 5).with_seed(7).generate();
+        let b = SpectralSpec::new(50, 5).with_seed(7).generate();
+        let c = SpectralSpec::new(50, 5).with_seed(8).generate();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn classification_rows_in_unit_ball() {
+        let ds = ClassificationSpec::new(1000, 30).with_seed(4).generate();
+        assert!(ds.features.max_row_norm() <= 1.0 + 1e-12);
+        assert_eq!(ds.labels.len(), 1000);
+        assert!(ds.labels.iter().all(|&y| y <= 1));
+    }
+
+    #[test]
+    fn labels_correlate_with_planted_direction() {
+        let ds = ClassificationSpec::new(5000, 20).with_seed(5).generate();
+        // The planted direction must separate classes better than chance:
+        // mean margin for y=1 above mean margin for y=0.
+        let mut m1 = 0.0;
+        let mut n1 = 0.0;
+        let mut m0 = 0.0;
+        let mut n0 = 0.0;
+        for i in 0..ds.len() {
+            let margin: f64 = (0..20).map(|j| ds.true_weights[j] * ds.features[(i, j)]).sum();
+            if ds.labels[i] == 1 {
+                m1 += margin;
+                n1 += 1.0;
+            } else {
+                m0 += margin;
+                n0 += 1.0;
+            }
+        }
+        assert!(m1 / n1 > m0 / n0 + 0.05);
+    }
+
+    #[test]
+    fn both_classes_present() {
+        let ds = ClassificationSpec::new(2000, 10).with_seed(6).generate();
+        let ones = ds.labels.iter().filter(|&&y| y == 1).count();
+        assert!(ones > 200 && ones < 1800, "ones = {ones}");
+    }
+
+    #[test]
+    fn vfl_matrix_appends_label_column() {
+        let ds = ClassificationSpec::new(10, 3).with_seed(7).generate();
+        let x = ds.as_vfl_matrix();
+        assert_eq!((x.rows(), x.cols()), (10, 4));
+        for i in 0..10 {
+            assert_eq!(x[(i, 3)], ds.labels[i] as f64);
+        }
+    }
+
+    #[test]
+    fn split_partitions_exactly() {
+        let ds = ClassificationSpec::new(100, 5).with_seed(8).generate();
+        let (train, test) = ds.split(0.8, 0);
+        assert_eq!(train.len(), 80);
+        assert_eq!(test.len(), 20);
+    }
+}
+
+#[cfg(test)]
+mod regression_tests {
+    use super::*;
+
+    #[test]
+    fn regression_shapes_and_bounds() {
+        let ds = RegressionSpec::new(500, 10).with_seed(1).generate();
+        assert_eq!(ds.len(), 500);
+        assert!(ds.features.max_row_norm() <= 1.0 + 1e-12);
+        assert!(ds.targets.iter().all(|y| (-1.0..=1.0).contains(y)));
+    }
+
+    #[test]
+    fn planted_weights_predict_well() {
+        let ds = RegressionSpec::new(2000, 8).with_seed(2).generate();
+        let mse_true = ds.mse(&ds.true_weights);
+        let mse_zero = ds.mse(&[0.0; 8]);
+        assert!(mse_true < mse_zero / 5.0, "true {mse_true} vs zero {mse_zero}");
+    }
+
+    #[test]
+    fn regression_split() {
+        let ds = RegressionSpec::new(100, 4).with_seed(3).generate();
+        let (tr, te) = ds.split(0.7, 0);
+        assert_eq!(tr.len(), 70);
+        assert_eq!(te.len(), 30);
+    }
+
+    #[test]
+    fn regression_vfl_matrix() {
+        let ds = RegressionSpec::new(10, 3).with_seed(4).generate();
+        let x = ds.as_vfl_matrix();
+        assert_eq!((x.rows(), x.cols()), (10, 4));
+        assert_eq!(x[(5, 3)], ds.targets[5]);
+    }
+}

@@ -1,0 +1,35 @@
+//! Ablation: integer noise choice — Skellam versus discrete Gaussian.
+//!
+//! The distributed discrete Gaussian mechanism \[39\] is the closest prior
+//! work; the paper chooses Skellam because it is *exactly* closed under
+//! summation (each client samples Sk(mu/P) and the aggregate is Sk(mu)),
+//! where sums of discrete Gaussians are only approximately discrete
+//! Gaussian. This binary quantifies the price Skellam pays for that
+//! exactness: the calibrated variance ratio versus the (single-party)
+//! discrete Gaussian at the same (eps, delta), across sensitivities.
+//!
+//! `cargo run -p sqm-experiments --release --bin ablation_noise`
+
+use sqm::accounting::discrete_gaussian::compare_integer_noise_variances;
+use sqm::accounting::skellam::Sensitivity;
+
+fn main() {
+    println!("=== Ablation: Skellam vs discrete Gaussian calibrated variance ===");
+    println!("(eps = 1, delta = 1e-5, scalar release; sensitivity = quantized scale)\n");
+    println!(
+        "{:>14} {:>20} {:>20} {:>10}",
+        "sensitivity", "Skellam var (2mu)", "discrete-N var", "ratio"
+    );
+    for exp in [0u32, 2, 4, 8, 12, 16] {
+        let s = 2f64.powi(exp as i32);
+        let sens = Sensitivity::new(s, s);
+        let (sk, dg) = compare_integer_noise_variances(1.0, 1e-5, sens);
+        println!("{:>14.0} {sk:>20.3e} {dg:>20.3e} {:>10.4}", s, sk / dg);
+    }
+    println!(
+        "\nThe ratio converges to 1 as the (quantized) sensitivity grows — i.e. at\n\
+         realistic gamma the Skellam mechanism's second-order RDP penalty is free,\n\
+         while its exact convolution closure removes [39]'s distributed-sum\n\
+         approximation arguments entirely."
+    );
+}

@@ -1,0 +1,125 @@
+//! Figure 2: PCA utility `||X V||_F^2` versus epsilon (and versus the
+//! number of top components), for central DP, SQM at several gamma, and the
+//! local-DP VFL baseline, on all four dataset shapes.
+//!
+//! `cargo run -p sqm-experiments --release --bin fig2_pca [--paper] [--runs N]`
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sqm::linalg::Matrix;
+use sqm::tasks::pca::{pca_utility, AnalyzeGaussPca, LocalDpPca, NonPrivatePca, SqmPca};
+use sqm_experiments::{fmt_pm, mean_std, parse_options};
+
+struct DatasetCase {
+    name: &'static str,
+    data: Matrix,
+    eps_grid: Vec<f64>,
+    gammas_log2: Vec<i32>,
+    k: usize,
+}
+
+fn main() {
+    let opts = parse_options();
+    let delta = 1e-5;
+    println!("=== Figure 2: DP PCA utility (delta = {delta}, {} runs) ===", opts.runs);
+
+    let cases = vec![
+        DatasetCase {
+            name: "KDDCUP",
+            data: sqm::datasets::kddcup_like(opts.scale, opts.seed),
+            eps_grid: vec![0.25, 0.5, 1.0, 2.0, 4.0, 8.0],
+            gammas_log2: vec![6, 10, 14],
+            k: 10,
+        },
+        DatasetCase {
+            name: "ACSIncome(CA)",
+            data: sqm::datasets::acsincome_like(0, opts.scale, opts.seed),
+            eps_grid: vec![0.25, 0.5, 1.0, 2.0, 4.0, 8.0],
+            gammas_log2: vec![6, 10, 14],
+            k: 10,
+        },
+        DatasetCase {
+            name: "CiteSeer",
+            data: sqm::datasets::citeseer_like(opts.scale, opts.seed),
+            eps_grid: vec![4.0, 8.0, 16.0, 32.0],
+            gammas_log2: vec![8, 12, 16],
+            k: 10,
+        },
+        DatasetCase {
+            name: "Gene",
+            data: sqm::datasets::gene_like(opts.scale, opts.seed),
+            eps_grid: vec![4.0, 8.0, 16.0, 32.0],
+            gammas_log2: vec![8, 14, 18],
+            k: 10,
+        },
+    ];
+
+    for case in cases {
+        let (m, n) = (case.data.rows(), case.data.cols());
+        let k = case.k.min(n);
+        println!("\n--- {} (m = {m}, n = {n}, top-{k}) ---", case.name);
+        let ceiling = pca_utility(&case.data, &NonPrivatePca::new(k).fit(&case.data));
+        println!("non-private ceiling: {ceiling:.2}");
+
+        // Header.
+        let mut cols = vec!["eps".to_string(), "central".to_string()];
+        for g in &case.gammas_log2 {
+            cols.push(format!("SQM g=2^{g}"));
+        }
+        cols.push("local-DP".to_string());
+        println!(
+            "{}",
+            cols.iter().map(|c| format!("{c:>22}")).collect::<Vec<_>>().join("")
+        );
+
+        for &eps in &case.eps_grid {
+            let mut row = vec![format!("{eps:>22.2}")];
+            let mut rng = StdRng::seed_from_u64(opts.seed ^ eps.to_bits());
+
+            let central: Vec<f64> = (0..opts.runs)
+                .map(|_| {
+                    pca_utility(&case.data, &AnalyzeGaussPca::new(k, eps, delta).fit(&mut rng, &case.data))
+                })
+                .collect();
+            let (cm, cs) = mean_std(&central);
+            row.push(format!("{:>22}", fmt_pm(cm, cs)));
+
+            for &g in &case.gammas_log2 {
+                let gamma = 2f64.powi(g);
+                let vals: Vec<f64> = (0..opts.runs)
+                    .map(|_| {
+                        pca_utility(
+                            &case.data,
+                            &SqmPca::new(k, gamma, eps, delta).fit(&mut rng, &case.data),
+                        )
+                    })
+                    .collect();
+                let (m1, s1) = mean_std(&vals);
+                row.push(format!("{:>22}", fmt_pm(m1, s1)));
+            }
+
+            let local: Vec<f64> = (0..opts.runs)
+                .map(|_| {
+                    pca_utility(&case.data, &LocalDpPca::new(k, eps, delta).fit(&mut rng, &case.data))
+                })
+                .collect();
+            let (lm, ls) = mean_std(&local);
+            row.push(format!("{:>22}", fmt_pm(lm, ls)));
+            println!("{}", row.join(""));
+        }
+
+        // Secondary sweep: utility vs number of components at mid epsilon.
+        let eps = case.eps_grid[case.eps_grid.len() / 2];
+        let gamma = 2f64.powi(*case.gammas_log2.last().unwrap());
+        println!("  -- utility vs top-k at eps = {eps}, gamma = {gamma} --");
+        println!("{:>8} {:>14} {:>14} {:>14}", "k", "central", "SQM", "local-DP");
+        let mut rng = StdRng::seed_from_u64(opts.seed ^ 0xF162);
+        for k2 in [2usize, 5, 10, 20] {
+            let k2 = k2.min(n);
+            let c = pca_utility(&case.data, &AnalyzeGaussPca::new(k2, eps, delta).fit(&mut rng, &case.data));
+            let s = pca_utility(&case.data, &SqmPca::new(k2, gamma, eps, delta).fit(&mut rng, &case.data));
+            let l = pca_utility(&case.data, &LocalDpPca::new(k2, eps, delta).fit(&mut rng, &case.data));
+            println!("{k2:>8} {c:>14.2} {s:>14.2} {l:>14.2}");
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! Figure 3: logistic-regression test accuracy versus epsilon, on the four
+//! ACSIncome-shaped state datasets, for central DPSGD, SQM at two gammas,
+//! and the local-DP VFL baseline.
+//!
+//! `cargo run -p sqm-experiments --release --bin fig3_lr [--paper] [--runs N]`
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sqm::datasets::presets::acsincome_classification;
+use sqm::datasets::Scale;
+use sqm::tasks::logreg::{accuracy, DpSgd, LocalDpLogReg, LrConfig, NonPrivateLogReg, SqmLogReg};
+use sqm_experiments::{fmt_pm, mean_std, parse_options};
+
+const STATES: [&str; 4] = ["CA", "TX", "NY", "FL"];
+
+fn main() {
+    let opts = parse_options();
+    let delta = 1e-5;
+    // The paper: subsample rate 0.001 and epochs {2,5,8,10,10} for eps
+    // {0.5,1,2,4,8}. At laptop scale we keep the same epoch schedule but a
+    // larger q so batches are non-trivial on 1600 training records.
+    let (q, lr) = match opts.scale {
+        Scale::Laptop => (0.05, 2.0),
+        Scale::Paper => (0.001, 2.0),
+    };
+    let eps_epochs: [(f64, u32); 5] = [(0.5, 2), (1.0, 5), (2.0, 8), (4.0, 10), (8.0, 10)];
+    println!(
+        "=== Figure 3: DP logistic regression (delta = {delta}, q = {q}, {} runs) ===",
+        opts.runs
+    );
+
+    for (state_idx, state) in STATES.iter().enumerate() {
+        let ds = acsincome_classification(state_idx, opts.scale, opts.seed);
+        let (train, test) = ds.split(0.8, opts.seed);
+        let d = train.features.cols();
+        println!(
+            "\n--- ACSIncome({state}) : {} train / {} test, {d} features ---",
+            train.len(),
+            test.len()
+        );
+        println!(
+            "{:>8} {:>8} {:>20} {:>20} {:>20} {:>20} {:>20}",
+            "eps", "epochs", "non-private", "DPSGD", "SQM g=2^10", "SQM g=2^13", "local-DP"
+        );
+
+        for &(eps, epochs) in &eps_epochs {
+            // Rounds: epochs' worth of expected passes at rate q, capped so
+            // laptop runs stay fast (uncapped at paper scale).
+            let cap = if opts.scale == Scale::Paper { u32::MAX } else { 400 };
+            let rounds = (((epochs as f64) / q).round() as u32).min(cap);
+            let cfg = LrConfig::new(rounds, q).with_lr(lr).with_seed(opts.seed);
+            let mut rng = StdRng::seed_from_u64(opts.seed ^ eps.to_bits() ^ state_idx as u64);
+
+            let collect = |f: &mut dyn FnMut(&mut StdRng, u64) -> Vec<f64>, rng: &mut StdRng| {
+                let accs: Vec<f64> = (0..opts.runs)
+                    .map(|r| accuracy(&f(rng, r as u64), &test))
+                    .collect();
+                mean_std(&accs)
+            };
+
+            let (np_m, np_s) = collect(
+                &mut |rng, r| NonPrivateLogReg::new(cfg.clone().with_seed(r)).fit(rng, &train),
+                &mut rng,
+            );
+            let (dp_m, dp_s) = collect(
+                &mut |rng, r| DpSgd::new(cfg.clone().with_seed(r), eps, delta).fit(rng, &train),
+                &mut rng,
+            );
+            let (s10_m, s10_s) = collect(
+                &mut |rng, r| {
+                    SqmLogReg::new(cfg.clone().with_seed(r), 2f64.powi(10), eps, delta)
+                        .fit(rng, &train)
+                },
+                &mut rng,
+            );
+            let (s13_m, s13_s) = collect(
+                &mut |rng, r| {
+                    SqmLogReg::new(cfg.clone().with_seed(r), 2f64.powi(13), eps, delta)
+                        .fit(rng, &train)
+                },
+                &mut rng,
+            );
+            let (lo_m, lo_s) = collect(
+                &mut |rng, _| LocalDpLogReg::new(eps, delta).fit(rng, &train),
+                &mut rng,
+            );
+
+            println!(
+                "{eps:>8.1} {epochs:>8} {:>20} {:>20} {:>20} {:>20} {:>20}",
+                fmt_pm(np_m, np_s),
+                fmt_pm(dp_m, dp_s),
+                fmt_pm(s10_m, s10_s),
+                fmt_pm(s13_m, s13_s),
+                fmt_pm(lo_m, lo_s),
+            );
+        }
+    }
+}

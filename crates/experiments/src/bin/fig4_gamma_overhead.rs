@@ -1,0 +1,54 @@
+//! Figure 4: effect of the scaling parameter gamma on (left) the L2
+//! sensitivity overhead of SQM-LR versus the unquantized bound 3/4, and
+//! (right) the normalized Skellam noise scale versus centralized DPSGD's
+//! Gaussian sigma — both vanish as gamma grows.
+//!
+//! Parameters follow the paper: d = 800, eps = 1, delta = 1e-5, subsample
+//! rate 0.001, 5 epochs.
+//!
+//! `cargo run -p sqm-experiments --release --bin fig4_gamma_overhead`
+
+use sqm::accounting::calibration::{
+    calibrate_gaussian_sigma, calibrate_skellam_mu, CalibrationTarget,
+};
+use sqm::core::sensitivity::{lr_sensitivity, lr_sensitivity_overhead};
+use sqm::tasks::logreg::sqm_normalized_noise_std;
+use sqm_experiments::parse_options;
+
+fn main() {
+    // Figure 4 is fully analytic and takes no parameters, but flags are
+    // still validated so typos fail loudly like in every other binary.
+    let _ = parse_options();
+    let d = 800usize;
+    let target = CalibrationTarget::new(1.0, 1e-5);
+    let q = 0.001;
+    let epochs = 5u32;
+    let rounds = ((epochs as f64 / q).round()) as u32;
+
+    println!("=== Figure 4: effect of gamma (d = {d}, eps = 1, delta = 1e-5, q = {q}, R = {rounds}) ===");
+    println!(
+        "{:>10} {:>26} {:>22} {:>22} {:>18}",
+        "gamma", "sensitivity overhead", "SQM noise std", "DPSGD sigma", "noise overhead"
+    );
+
+    // The centralized reference: DPSGD with clip 3/4 (the same worst-case
+    // gradient norm the polynomial bound gives on the raw data).
+    let sigma_gauss = calibrate_gaussian_sigma(target, 0.75, rounds, q);
+
+    for gamma in [64.0f64, 256.0, 1024.0, 4096.0, 16384.0, 65536.0] {
+        // Left panel: sqrt((3/4)^2 + 9d/gamma + 36/gamma^2) - 3/4.
+        let sens_overhead = lr_sensitivity_overhead(gamma, d);
+        // Right panel: minimal Skellam scale at the target privacy,
+        // normalized to the gradient's units.
+        let mu = calibrate_skellam_mu(target, lr_sensitivity(gamma, d), rounds, q);
+        let sqm_std = sqm_normalized_noise_std(gamma, mu);
+        let noise_overhead = sqm_std / sigma_gauss - 1.0;
+        println!(
+            "{gamma:>10.0} {sens_overhead:>26.6} {sqm_std:>22.6} {sigma_gauss:>22.6} {noise_overhead:>18.6}"
+        );
+    }
+    println!(
+        "\nBoth overheads decay toward 0 as gamma grows (log-scale y in the paper's plot),\n\
+         explaining why SQM approaches the centralized competitor in Figure 3."
+    );
+}

@@ -1,0 +1,64 @@
+//! Table I: complexity of SQM for PCA and LR under BGW — the analytic
+//! formulas, validated against measured communication/round scaling of this
+//! implementation.
+//!
+//! `cargo run -p sqm-experiments --release --bin table1_complexity`
+
+use sqm_experiments::{parse_options, timing};
+
+fn main() {
+    let opts = parse_options();
+    println!("=== Table I: SQM complexity under BGW (m records, n attributes, P clients) ===\n");
+    println!("Paper's asymptotics:");
+    println!("  PCA  computation/client O(mP + n^2 m log m / P + n^2), communication O(n^2 m P log gamma), time O(n^2 m log m)");
+    println!("  LR   computation/client O(m(n-1)P + m(n-1) log m / P),  communication O(m(n-1) P log m log gamma), time O(m(n-1) log m)");
+    println!();
+    println!("This implementation batches record sums at share level before degree");
+    println!("reduction, so *post-input* communication is O(n^2 P^2) for PCA and");
+    println!("O(n P^2) for LR, independent of m; input sharing remains O(m n P^2).");
+    println!("Measured validation:\n");
+
+    // Communication scaling in n (PCA): double n => ~4x non-input bytes.
+    let a = timing::time_pca(50, 16, 4, opts.seed);
+    let b = timing::time_pca(50, 32, 4, opts.seed);
+    println!(
+        "PCA traffic n=16 -> n=32 (m fixed): {:.3} MiB -> {:.3} MiB  (x{:.2}, expect ~4 for the n^2 term)",
+        a.megabytes,
+        b.megabytes,
+        b.megabytes / a.megabytes
+    );
+
+    // Communication scaling in m (PCA input sharing).
+    let c = timing::time_pca(100, 16, 4, opts.seed);
+    let d = timing::time_pca(200, 16, 4, opts.seed);
+    println!(
+        "PCA traffic m=100 -> m=200 (n fixed): {:.3} MiB -> {:.3} MiB  (input sharing grows linearly in m)",
+        c.megabytes, d.megabytes
+    );
+
+    // Communication scaling in P.
+    let e = timing::time_pca(50, 16, 2, opts.seed);
+    let f = timing::time_pca(50, 16, 4, opts.seed);
+    println!(
+        "PCA traffic P=2 -> P=4 (m, n fixed): {:.3} MiB -> {:.3} MiB  (x{:.2}, expect ~P^2 growth of the mesh)",
+        e.megabytes,
+        f.megabytes,
+        f.megabytes / e.megabytes
+    );
+
+    // LR: traffic linear in n.
+    let g = timing::time_lr(50, 17, 4, opts.seed);
+    let h = timing::time_lr(50, 33, 4, opts.seed);
+    println!(
+        "LR  traffic n=17 -> n=33 (m fixed): {:.3} MiB -> {:.3} MiB  (x{:.2}, expect ~2 for the linear term)",
+        g.megabytes,
+        h.megabytes,
+        h.megabytes / g.megabytes
+    );
+
+    // Round counts are constant (the synchronous batching).
+    println!(
+        "\nround counts: PCA = {}, LR = {} — constant in m, n and P.",
+        a.rounds, g.rounds
+    );
+}

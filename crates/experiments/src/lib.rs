@@ -1,0 +1,176 @@
+//! Shared plumbing for the experiment binaries.
+//!
+//! Every binary regenerates one table or figure of the paper (see
+//! `DESIGN.md` for the index) and accepts:
+//!
+//! * `--paper` — run at the paper's full dataset sizes (default: laptop
+//!   scale, which regenerates every figure in minutes);
+//! * `--runs N` — number of independent repetitions to average (paper: 20);
+//! * `--seed S` — base RNG seed.
+
+use sqm::datasets::Scale;
+
+/// Parsed common CLI options.
+#[derive(Clone, Debug)]
+pub struct ExpOptions {
+    pub scale: Scale,
+    pub runs: usize,
+    pub seed: u64,
+    /// Include the most expensive configurations (e.g. n = 2500 in
+    /// Table II).
+    pub full: bool,
+}
+
+impl Default for ExpOptions {
+    fn default() -> Self {
+        ExpOptions {
+            scale: Scale::Laptop,
+            runs: 3,
+            seed: 0,
+            full: false,
+        }
+    }
+}
+
+/// Parse the common flags from `std::env::args`.
+pub fn parse_options() -> ExpOptions {
+    let mut opts = ExpOptions::default();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--paper" => opts.scale = Scale::Paper,
+            "--full" => opts.full = true,
+            "--runs" => {
+                i += 1;
+                opts.runs = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .expect("--runs needs a positive integer");
+            }
+            "--seed" => {
+                i += 1;
+                opts.seed = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .expect("--seed needs an integer");
+            }
+            other => panic!("unknown flag {other} (expected --paper, --full, --runs N, --seed S)"),
+        }
+        i += 1;
+    }
+    opts
+}
+
+/// Mean and sample standard deviation.
+pub fn mean_std(xs: &[f64]) -> (f64, f64) {
+    assert!(!xs.is_empty());
+    let n = xs.len() as f64;
+    let mean = xs.iter().sum::<f64>() / n;
+    if xs.len() == 1 {
+        return (mean, 0.0);
+    }
+    let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0);
+    (mean, var.sqrt())
+}
+
+/// Render `mean +/- std` compactly.
+pub fn fmt_pm(mean: f64, std: f64) -> String {
+    format!("{mean:10.4} ±{std:7.4}")
+}
+
+/// A right-aligned header row.
+pub fn header(cols: &[&str]) -> String {
+    cols.iter()
+        .map(|c| format!("{c:>20}"))
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// Timing harness for the paper's Tables II, IV and V: run the BGW-backed
+/// PCA / LR workloads and report simulated times under the 0.1 s/hop model.
+pub mod timing {
+    use std::time::Duration;
+
+    use sqm::datasets::SpectralSpec;
+    use sqm::vfl::covariance::covariance_skellam;
+    use sqm::vfl::gradient::gradient_sum_skellam;
+    use sqm::vfl::{ColumnPartition, VflConfig};
+
+    /// One timing measurement: overall and DP-noise simulated seconds.
+    #[derive(Copy, Clone, Debug)]
+    pub struct Timing {
+        pub overall: Duration,
+        pub dp_noise: Duration,
+        pub rounds: u64,
+        pub megabytes: f64,
+    }
+
+    fn cfg(p: usize, seed: u64) -> VflConfig {
+        VflConfig {
+            n_clients: p,
+            latency: Duration::from_millis(100),
+            seed,
+        }
+    }
+
+    /// Time the PCA covariance workload (the paper's gamma = 18).
+    pub fn time_pca(m: usize, n: usize, p: usize, seed: u64) -> Timing {
+        let data = SpectralSpec::new(m, n).with_seed(seed).generate();
+        let partition = ColumnPartition::even(n, p);
+        let out = covariance_skellam(&data, &partition, 18.0, 100.0, &cfg(p, seed));
+        Timing {
+            overall: out.stats.simulated_time(),
+            dp_noise: out.stats.phase_time("dp_noise"),
+            rounds: out.stats.total.rounds,
+            megabytes: out.stats.total.bytes as f64 / (1024.0 * 1024.0),
+        }
+    }
+
+    /// Time one full-dataset LR gradient computation (the paper times the
+    /// per-epoch gradient pass).
+    pub fn time_lr(m: usize, n: usize, p: usize, seed: u64) -> Timing {
+        let d = n - 1;
+        let data = SpectralSpec::new(m, n).with_seed(seed).generate();
+        let partition = ColumnPartition::even(n, p);
+        let batch: Vec<usize> = (0..m).collect();
+        let w = vec![0.01; d];
+        let out = gradient_sum_skellam(&data, &partition, &batch, &w, 18.0, 100.0, &cfg(p, seed));
+        Timing {
+            overall: out.stats.simulated_time(),
+            dp_noise: out.stats.phase_time("dp_noise"),
+            rounds: out.stats.total.rounds,
+            megabytes: out.stats.total.bytes as f64 / (1024.0 * 1024.0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timing_smoke() {
+        let t = timing::time_pca(20, 8, 4, 0);
+        assert!(t.overall >= t.dp_noise);
+        assert!(t.rounds >= 4);
+        let t = timing::time_lr(20, 9, 4, 0);
+        assert!(t.overall > std::time::Duration::ZERO);
+    }
+
+    #[test]
+    fn mean_std_basics() {
+        let (m, s) = mean_std(&[1.0, 2.0, 3.0]);
+        assert!((m - 2.0).abs() < 1e-12);
+        assert!((s - 1.0).abs() < 1e-12);
+        let (m1, s1) = mean_std(&[5.0]);
+        assert_eq!((m1, s1), (5.0, 0.0));
+    }
+
+    #[test]
+    fn defaults() {
+        let o = ExpOptions::default();
+        assert_eq!(o.runs, 3);
+        assert!(!o.full);
+    }
+}

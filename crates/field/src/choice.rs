@@ -1,0 +1,85 @@
+//! Automatic field selection from a worst-case magnitude bound.
+//!
+//! SQM's integer computation must not wrap around in the field: correctness
+//! of the centered encoding requires every intermediate value to stay below
+//! `p/2` in magnitude. The mechanism layer computes a worst-case bound
+//! `gamma^(lambda+1) * m * max|f| + noise_tail` and picks the cheapest field
+//! that accommodates it, with a safety margin.
+
+/// Which prime field a computation should run in.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum FieldChoice {
+    /// `GF(2^61 - 1)` — fast path.
+    M61,
+    /// `GF(2^127 - 1)` — large-magnitude path.
+    M127,
+}
+
+impl FieldChoice {
+    /// Bits of signed headroom each field offers (one bit below `p/2`,
+    /// minus a 2-bit safety margin for noise tails).
+    const M61_SAFE_BITS: u32 = 61 - 1 - 2;
+    const M127_SAFE_BITS: u32 = 127 - 1 - 2;
+
+    /// Pick the cheapest field whose centered encoding can hold values of
+    /// magnitude up to `bound` (as `f64`, allowing bounds beyond `u128`).
+    ///
+    /// Returns `None` if even `M127` cannot hold the bound.
+    pub fn for_magnitude(bound: f64) -> Option<FieldChoice> {
+        assert!(bound >= 0.0 && bound.is_finite(), "bound must be finite and non-negative");
+        let bits = if bound <= 1.0 { 0.0 } else { bound.log2() };
+        if bits <= Self::M61_SAFE_BITS as f64 {
+            Some(FieldChoice::M61)
+        } else if bits <= Self::M127_SAFE_BITS as f64 {
+            Some(FieldChoice::M127)
+        } else {
+            None
+        }
+    }
+
+    /// Bits of signed magnitude this choice can safely hold.
+    pub fn safe_bits(self) -> u32 {
+        match self {
+            FieldChoice::M61 => Self::M61_SAFE_BITS,
+            FieldChoice::M127 => Self::M127_SAFE_BITS,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_magnitudes_pick_m61() {
+        assert_eq!(FieldChoice::for_magnitude(0.0), Some(FieldChoice::M61));
+        assert_eq!(FieldChoice::for_magnitude(1e9), Some(FieldChoice::M61));
+        assert_eq!(
+            FieldChoice::for_magnitude(2f64.powi(57)),
+            Some(FieldChoice::M61)
+        );
+    }
+
+    #[test]
+    fn large_magnitudes_pick_m127() {
+        assert_eq!(
+            FieldChoice::for_magnitude(2f64.powi(80)),
+            Some(FieldChoice::M127)
+        );
+        assert_eq!(
+            FieldChoice::for_magnitude(2f64.powi(120)),
+            Some(FieldChoice::M127)
+        );
+    }
+
+    #[test]
+    fn absurd_magnitudes_rejected() {
+        assert_eq!(FieldChoice::for_magnitude(2f64.powi(130)), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn nan_rejected() {
+        FieldChoice::for_magnitude(f64::NAN);
+    }
+}

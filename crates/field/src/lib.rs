@@ -1,0 +1,30 @@
+//! Prime-field arithmetic for secure multiparty computation over integers.
+//!
+//! The Skellam Quantization Mechanism (SQM) evaluates integer-valued
+//! polynomials inside an MPC protocol. The BGW protocol works over a finite
+//! field, so quantized data and Skellam noise are embedded into a prime field
+//! using a *centered* signed encoding: an integer `v` with `|v| < p/2` maps to
+//! `v mod p`, and the inverse map interprets residues above `p/2` as negative.
+//! As long as every intermediate value of the computation stays below `p/2`
+//! in magnitude, field arithmetic coincides with integer arithmetic.
+//!
+//! Two Mersenne-prime fields are provided:
+//!
+//! * [`M61`] — modulus `2^61 - 1`. Fast (single `u128` multiply + fold);
+//!   enough headroom for most logistic-regression workloads.
+//! * [`M127`] — modulus `2^127 - 1`. Uses a 128x128 -> 256-bit school-book
+//!   multiply; needed when the scaled magnitudes of PCA covariance entries
+//!   (`gamma^2 * c^2 * m` plus Skellam noise tails) exceed 60 bits.
+//!
+//! [`FieldChoice::for_magnitude`] picks the cheapest field that can represent
+//! a given worst-case magnitude bound.
+
+pub mod choice;
+pub mod m127;
+pub mod m61;
+pub mod traits;
+
+pub use choice::FieldChoice;
+pub use m127::M127;
+pub use m61::M61;
+pub use traits::PrimeField;

@@ -1,0 +1,146 @@
+//! The [`PrimeField`] trait shared by all field implementations.
+
+use std::fmt::Debug;
+use std::hash::Hash;
+use std::ops::{Add, AddAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+use rand::Rng;
+
+/// A prime field `GF(p)` with a centered signed-integer encoding.
+///
+/// Implementations guarantee the canonical representative of every element is
+/// in `[0, p)`. Equality and hashing are on canonical representatives.
+pub trait PrimeField:
+    Copy
+    + Clone
+    + Eq
+    + PartialEq
+    + Hash
+    + Debug
+    + Send
+    + Sync
+    + 'static
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Neg<Output = Self>
+    + AddAssign
+    + SubAssign
+    + MulAssign
+{
+    /// The additive identity.
+    const ZERO: Self;
+    /// The multiplicative identity.
+    const ONE: Self;
+    /// Number of bits of the modulus.
+    const MODULUS_BITS: u32;
+
+    /// The modulus `p` as a `u128`.
+    fn modulus() -> u128;
+
+    /// Construct from an unsigned integer (reduced mod `p`).
+    fn from_u128(v: u128) -> Self;
+
+    /// Construct from an unsigned 64-bit integer (reduced mod `p`).
+    fn from_u64(v: u64) -> Self {
+        Self::from_u128(v as u128)
+    }
+
+    /// Centered encoding of a signed integer: `v >= 0` maps to `v mod p`,
+    /// `v < 0` maps to `p - (|v| mod p)`.
+    fn from_i128(v: i128) -> Self {
+        if v >= 0 {
+            Self::from_u128(v as u128)
+        } else {
+            -Self::from_u128(v.unsigned_abs())
+        }
+    }
+
+    /// Canonical representative in `[0, p)`.
+    fn to_canonical(self) -> u128;
+
+    /// Centered decoding: representatives in `(p/2, p)` are interpreted as
+    /// negative integers. The result is in `(-p/2, p/2]`.
+    fn to_centered_i128(self) -> i128 {
+        let c = self.to_canonical();
+        let p = Self::modulus();
+        if c > p / 2 {
+            -((p - c) as i128)
+        } else {
+            c as i128
+        }
+    }
+
+    /// Multiplicative inverse. Panics on zero.
+    fn inverse(self) -> Self {
+        assert!(self != Self::ZERO, "inverse of zero");
+        // p is prime: a^(p-2) = a^-1.
+        self.pow(Self::modulus() - 2)
+    }
+
+    /// Exponentiation by square-and-multiply.
+    fn pow(self, mut e: u128) -> Self {
+        let mut base = self;
+        let mut acc = Self::ONE;
+        while e > 0 {
+            if e & 1 == 1 {
+                acc *= base;
+            }
+            base *= base;
+            e >>= 1;
+        }
+        acc
+    }
+
+    /// A uniformly random field element.
+    fn random<R: Rng + ?Sized>(rng: &mut R) -> Self;
+
+    /// `self * 2` (cheap doubling).
+    fn double(self) -> Self {
+        self + self
+    }
+
+    /// `self^2`.
+    fn square(self) -> Self {
+        self * self
+    }
+
+    /// Serialized byte width of one element (for communication accounting).
+    fn byte_width() -> usize {
+        Self::MODULUS_BITS.div_ceil(8) as usize
+    }
+}
+
+/// Evaluate a polynomial with coefficients `coeffs` (constant term first) at
+/// point `x`, by Horner's rule.
+pub fn horner<F: PrimeField>(coeffs: &[F], x: F) -> F {
+    let mut acc = F::ZERO;
+    for &c in coeffs.iter().rev() {
+        acc = acc * x + c;
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::M61;
+
+    #[test]
+    fn horner_constant() {
+        let c = [M61::from_u64(7)];
+        assert_eq!(horner(&c, M61::from_u64(100)), M61::from_u64(7));
+    }
+
+    #[test]
+    fn horner_linear() {
+        // 3 + 5x at x = 2 => 13
+        let c = [M61::from_u64(3), M61::from_u64(5)];
+        assert_eq!(horner(&c, M61::from_u64(2)), M61::from_u64(13));
+    }
+
+    #[test]
+    fn horner_empty_is_zero() {
+        assert_eq!(horner::<M61>(&[], M61::from_u64(9)), M61::ZERO);
+    }
+}

@@ -1,0 +1,22 @@
+//! Dense linear algebra for SQM's PCA pipeline and dataset generators.
+//!
+//! Implemented from scratch (the offline dependency whitelist has no
+//! numerics crates):
+//!
+//! * [`matrix`] — row-major dense [`Matrix`], products, Gram matrices,
+//!   Frobenius norms.
+//! * [`vector`] — small helpers over `&[f64]` (dot products, norms, axpy).
+//! * [`eigen`] — cyclic Jacobi eigensolver for symmetric matrices and top-k
+//!   principal subspace extraction.
+//! * [`orth`] — Gram-Schmidt orthonormalization and random orthogonal
+//!   matrices (used to plant spectra in synthetic datasets).
+
+pub mod eigen;
+pub mod matrix;
+pub mod orth;
+pub mod solve;
+pub mod vector;
+
+pub use eigen::{symmetric_eigen, top_k_eigenvectors, EigenDecomposition};
+pub use matrix::Matrix;
+pub use orth::{gram_schmidt, random_orthogonal};

@@ -1,0 +1,124 @@
+//! Orthonormal bases and random orthogonal matrices.
+//!
+//! The synthetic dataset generators plant a target covariance spectrum by
+//! drawing a Haar-ish random orthogonal basis (QR of a Gaussian matrix via
+//! modified Gram-Schmidt) and scaling its directions.
+
+use rand::Rng;
+
+use crate::matrix::Matrix;
+use crate::vector;
+
+/// Modified Gram-Schmidt on the *columns* of `a`.
+///
+/// Returns an `n x r` matrix with orthonormal columns spanning the column
+/// space of `a` (columns that are numerically dependent are dropped, so
+/// `r <= a.cols()`).
+pub fn gram_schmidt(a: &Matrix) -> Matrix {
+    let n = a.rows();
+    let mut basis: Vec<Vec<f64>> = Vec::with_capacity(a.cols());
+    for j in 0..a.cols() {
+        let mut v = a.col(j);
+        for b in &basis {
+            let proj = vector::dot(&v, b);
+            vector::axpy(-proj, b, &mut v);
+        }
+        // Re-orthogonalize once for numerical robustness (MGS2).
+        for b in &basis {
+            let proj = vector::dot(&v, b);
+            vector::axpy(-proj, b, &mut v);
+        }
+        let norm = vector::normalize(&mut v);
+        if norm > 1e-12 {
+            basis.push(v);
+        }
+    }
+    let r = basis.len();
+    let mut q = Matrix::zeros(n, r);
+    for (j, b) in basis.iter().enumerate() {
+        for i in 0..n {
+            q[(i, j)] = b[i];
+        }
+    }
+    q
+}
+
+/// A random `n x n` orthogonal matrix (QR of an i.i.d. Gaussian matrix).
+pub fn random_orthogonal<R: Rng + ?Sized>(rng: &mut R, n: usize) -> Matrix {
+    loop {
+        let mut g = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                g[(i, j)] = sqm_gauss(rng);
+            }
+        }
+        let q = gram_schmidt(&g);
+        // A Gaussian matrix is full-rank with probability 1; retry on the
+        // measure-zero (numerical) degenerate case.
+        if q.cols() == n {
+            return q;
+        }
+    }
+}
+
+// Local Gaussian sampler to avoid a dependency cycle with sqm-sampling.
+fn sqm_gauss<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u: f64 = rng.gen::<f64>() * 2.0 - 1.0;
+        let v: f64 = rng.gen::<f64>() * 2.0 - 1.0;
+        let s = u * u + v * v;
+        if s > 0.0 && s < 1.0 {
+            return u * (-2.0 * s.ln() / s).sqrt();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn gram_schmidt_orthonormal() {
+        let a = Matrix::from_rows(&[
+            vec![1.0, 1.0, 0.0],
+            vec![0.0, 1.0, 1.0],
+            vec![0.0, 0.0, 1.0],
+        ]);
+        let q = gram_schmidt(&a);
+        let qtq = q.transpose().matmul(&q);
+        assert!(qtq.sub(&Matrix::identity(3)).frobenius_norm() < 1e-12);
+    }
+
+    #[test]
+    fn gram_schmidt_drops_dependent_columns() {
+        let a = Matrix::from_rows(&[
+            vec![1.0, 2.0],
+            vec![1.0, 2.0],
+            vec![1.0, 2.0],
+        ]);
+        let q = gram_schmidt(&a);
+        assert_eq!(q.cols(), 1);
+    }
+
+    #[test]
+    fn random_orthogonal_properties() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let n = 10;
+        let q = random_orthogonal(&mut rng, n);
+        let qtq = q.transpose().matmul(&q);
+        assert!(qtq.sub(&Matrix::identity(n)).frobenius_norm() < 1e-10);
+        let qqt = q.matmul(&q.transpose());
+        assert!(qqt.sub(&Matrix::identity(n)).frobenius_norm() < 1e-10);
+    }
+
+    #[test]
+    fn preserves_norms() {
+        let mut rng = StdRng::seed_from_u64(18);
+        let q = random_orthogonal(&mut rng, 6);
+        let v: Vec<f64> = (0..6).map(|i| i as f64 - 2.5).collect();
+        let qv = q.matvec(&v);
+        assert!((vector::norm2(&qv) - vector::norm2(&v)).abs() < 1e-10);
+    }
+}

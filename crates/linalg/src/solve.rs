@@ -1,0 +1,140 @@
+//! Dense linear solves (Gaussian elimination with partial pivoting).
+//!
+//! Used by the ridge-regression task to solve the (noisy, regularized)
+//! normal equations `(X^T X + lambda I) w = X^T y`.
+
+use crate::matrix::Matrix;
+
+/// Solve `A x = b` for square `A`. Panics if `A` is singular to working
+/// precision or shapes mismatch.
+pub fn solve(a: &Matrix, b: &[f64]) -> Vec<f64> {
+    let n = a.rows();
+    assert_eq!(a.cols(), n, "solve: matrix must be square");
+    assert_eq!(b.len(), n, "solve: rhs length mismatch");
+    let mut m = a.clone();
+    let mut x = b.to_vec();
+
+    for col in 0..n {
+        // Partial pivot.
+        let piv = (col..n)
+            .max_by(|&r1, &r2| {
+                m[(r1, col)]
+                    .abs()
+                    .partial_cmp(&m[(r2, col)].abs())
+                    .expect("NaN during elimination")
+            })
+            .unwrap();
+        let pval = m[(piv, col)];
+        assert!(
+            pval.abs() > 1e-300,
+            "solve: matrix is singular (pivot {pval} in column {col})"
+        );
+        if piv != col {
+            for j in 0..n {
+                let tmp = m[(col, j)];
+                m[(col, j)] = m[(piv, j)];
+                m[(piv, j)] = tmp;
+            }
+            x.swap(col, piv);
+        }
+        let p = m[(col, col)];
+        for r in (col + 1)..n {
+            let f = m[(r, col)] / p;
+            if f == 0.0 {
+                continue;
+            }
+            for j in col..n {
+                m[(r, j)] -= f * m[(col, j)];
+            }
+            x[r] -= f * x[col];
+        }
+    }
+    // Back substitution.
+    for col in (0..n).rev() {
+        let mut s = x[col];
+        for j in (col + 1)..n {
+            s -= m[(col, j)] * x[j];
+        }
+        x[col] = s / m[(col, col)];
+    }
+    x
+}
+
+/// Solve the ridge normal equations `(G + lambda I) w = r` given a Gram-like
+/// matrix `G` (symmetrized defensively) and right-hand side `r`.
+pub fn solve_ridge(g: &Matrix, r: &[f64], lambda: f64) -> Vec<f64> {
+    assert!(lambda >= 0.0, "ridge parameter must be non-negative");
+    let n = g.rows();
+    let mut a = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in 0..n {
+            a[(i, j)] = 0.5 * (g[(i, j)] + g[(j, i)]);
+        }
+        a[(i, i)] += lambda;
+    }
+    solve(&a, r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solves_known_system() {
+        // [[2, 1], [1, 3]] x = [5, 10] => x = [1, 3].
+        let a = Matrix::from_rows(&[vec![2.0, 1.0], vec![1.0, 3.0]]);
+        let x = solve(&a, &[5.0, 10.0]);
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn identity_solve() {
+        let x = solve(&Matrix::identity(4), &[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(x, vec![1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn pivot_handles_zero_leading_entry() {
+        let a = Matrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]);
+        let x = solve(&a, &[3.0, 7.0]);
+        assert!((x[0] - 7.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn random_roundtrip() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 12;
+        let a = Matrix::from_vec(
+            n,
+            n,
+            (0..n * n).map(|_| rng.gen::<f64>() - 0.5).collect(),
+        );
+        let truth: Vec<f64> = (0..n).map(|i| i as f64 - 4.0).collect();
+        let b = a.matvec(&truth);
+        let x = solve(&a, &b);
+        for (xi, ti) in x.iter().zip(&truth) {
+            assert!((xi - ti).abs() < 1e-9, "{xi} vs {ti}");
+        }
+    }
+
+    #[test]
+    fn ridge_regularization_shrinks_solution() {
+        let g = Matrix::from_rows(&[vec![1.0, 0.0], vec![0.0, 1.0]]);
+        let r = [2.0, 4.0];
+        let w0 = solve_ridge(&g, &r, 0.0);
+        let w1 = solve_ridge(&g, &r, 1.0);
+        assert!((w0[1] - 4.0).abs() < 1e-12);
+        assert!((w1[1] - 2.0).abs() < 1e-12); // (1+1) w = 4
+    }
+
+    #[test]
+    #[should_panic(expected = "singular")]
+    fn rejects_singular() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0]]);
+        solve(&a, &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,107 @@
+//! Helpers over `&[f64]` slices.
+
+/// Dot product. Panics if lengths differ.
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot: length mismatch");
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Euclidean (L2) norm.
+pub fn norm2(a: &[f64]) -> f64 {
+    dot(a, a).sqrt()
+}
+
+/// L1 norm.
+pub fn norm1(a: &[f64]) -> f64 {
+    a.iter().map(|x| x.abs()).sum()
+}
+
+/// `y += alpha * x`. Panics if lengths differ.
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "axpy: length mismatch");
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// Scale a vector in place.
+pub fn scale(alpha: f64, x: &mut [f64]) {
+    for xi in x.iter_mut() {
+        *xi *= alpha;
+    }
+}
+
+/// Normalize to unit L2 norm in place; returns the original norm.
+/// Zero vectors are left unchanged (returns 0).
+pub fn normalize(x: &mut [f64]) -> f64 {
+    let n = norm2(x);
+    if n > 0.0 {
+        scale(1.0 / n, x);
+    }
+    n
+}
+
+/// Clip the L2 norm of `x` to at most `c` (DPSGD-style gradient clipping).
+/// Returns the scaling factor applied (1.0 if no clipping occurred).
+pub fn clip_norm(x: &mut [f64], c: f64) -> f64 {
+    assert!(c > 0.0, "clip bound must be positive");
+    let n = norm2(x);
+    if n > c {
+        let f = c / n;
+        scale(f, x);
+        f
+    } else {
+        1.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_and_norms() {
+        assert_eq!(dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+        assert_eq!(norm2(&[3.0, 4.0]), 5.0);
+        assert_eq!(norm1(&[3.0, -4.0]), 7.0);
+        assert_eq!(norm2(&[]), 0.0);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut y = vec![1.0, 1.0];
+        axpy(2.0, &[10.0, 20.0], &mut y);
+        assert_eq!(y, vec![21.0, 41.0]);
+    }
+
+    #[test]
+    fn normalize_unit() {
+        let mut x = vec![3.0, 4.0];
+        let n = normalize(&mut x);
+        assert_eq!(n, 5.0);
+        assert!((norm2(&x) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalize_zero_vector_noop() {
+        let mut x = vec![0.0, 0.0];
+        assert_eq!(normalize(&mut x), 0.0);
+        assert_eq!(x, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn clip_only_when_needed() {
+        let mut x = vec![3.0, 4.0];
+        assert_eq!(clip_norm(&mut x, 10.0), 1.0);
+        assert_eq!(x, vec![3.0, 4.0]);
+        let f = clip_norm(&mut x, 1.0);
+        assert!((f - 0.2).abs() < 1e-12);
+        assert!((norm2(&x) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn dot_length_mismatch_panics() {
+        dot(&[1.0], &[1.0, 2.0]);
+    }
+}

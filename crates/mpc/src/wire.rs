@@ -1,0 +1,91 @@
+//! Wire format for field-element vectors.
+//!
+//! The in-process transport passes typed values, but communication *costs*
+//! are accounted as if every element were serialized with this format
+//! (little-endian, fixed width per field). The encoder/decoder is also used
+//! by tests to validate that the byte accounting matches a real wire format.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use sqm_field::PrimeField;
+
+/// Encode a vector of field elements (fixed `F::byte_width()` bytes each,
+/// little-endian canonical representative).
+pub fn encode<F: PrimeField>(values: &[F]) -> Bytes {
+    let w = F::byte_width();
+    let mut buf = BytesMut::with_capacity(values.len() * w);
+    for v in values {
+        let c = v.to_canonical();
+        buf.put_slice(&c.to_le_bytes()[..w]);
+    }
+    buf.freeze()
+}
+
+/// Decode a buffer produced by [`encode`]. Panics if the buffer length is
+/// not a multiple of the element width or an element is non-canonical.
+pub fn decode<F: PrimeField>(mut buf: Bytes) -> Vec<F> {
+    let w = F::byte_width();
+    assert!(
+        buf.len().is_multiple_of(w),
+        "wire buffer length {} not a multiple of element width {w}",
+        buf.len()
+    );
+    let mut out = Vec::with_capacity(buf.len() / w);
+    while buf.has_remaining() {
+        let mut raw = [0u8; 16];
+        buf.copy_to_slice(&mut raw[..w]);
+        let c = u128::from_le_bytes(raw);
+        assert!(c < F::modulus(), "non-canonical element on the wire");
+        out.push(F::from_u128(c));
+    }
+    out
+}
+
+/// The number of bytes [`encode`] produces for `len` elements.
+pub fn encoded_len<F: PrimeField>(len: usize) -> u64 {
+    (len * F::byte_width()) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sqm_field::{M127, M61};
+
+    #[test]
+    fn roundtrip_m61() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let vals: Vec<M61> = (0..100).map(|_| M61::random(&mut rng)).collect();
+        let bytes = encode(&vals);
+        assert_eq!(bytes.len() as u64, encoded_len::<M61>(vals.len()));
+        assert_eq!(decode::<M61>(bytes), vals);
+    }
+
+    #[test]
+    fn roundtrip_m127() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let vals: Vec<M127> = (0..50).map(|_| M127::random(&mut rng)).collect();
+        let bytes = encode(&vals);
+        assert_eq!(bytes.len() as u64, encoded_len::<M127>(vals.len()));
+        assert_eq!(decode::<M127>(bytes), vals);
+    }
+
+    #[test]
+    fn widths() {
+        assert_eq!(encoded_len::<M61>(1), 8);
+        assert_eq!(encoded_len::<M127>(1), 16);
+    }
+
+    #[test]
+    fn empty() {
+        let bytes = encode::<M61>(&[]);
+        assert!(bytes.is_empty());
+        assert!(decode::<M61>(bytes).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple")]
+    fn rejects_ragged_buffer() {
+        decode::<M61>(Bytes::from_static(&[1, 2, 3]));
+    }
+}

@@ -1,0 +1,88 @@
+//! Gaussian sampling via the Marsaglia polar method.
+//!
+//! Used by the central-DP baselines (Analyze Gauss, DPSGD, Approx-Poly) and
+//! the local-DP baseline (Algorithm 4). SQM itself never samples continuous
+//! noise — that is the point of the paper — but the baselines it is compared
+//! against do.
+
+use rand::Rng;
+
+/// Sample one standard normal variate (mean 0, variance 1).
+pub fn sample_standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Marsaglia polar method; ~78.5% acceptance, no trig calls.
+    loop {
+        let u: f64 = rng.gen::<f64>() * 2.0 - 1.0;
+        let v: f64 = rng.gen::<f64>() * 2.0 - 1.0;
+        let s = u * u + v * v;
+        if s > 0.0 && s < 1.0 {
+            return u * (-2.0 * s.ln() / s).sqrt();
+        }
+    }
+}
+
+/// Sample `N(mean, sigma^2)`.
+pub fn sample_normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, sigma: f64) -> f64 {
+    assert!(sigma >= 0.0, "sigma must be non-negative");
+    mean + sigma * sample_standard_normal(rng)
+}
+
+/// Fill a vector with i.i.d. `N(0, sigma^2)` noise.
+pub fn sample_normal_vec<R: Rng + ?Sized>(rng: &mut R, sigma: f64, len: usize) -> Vec<f64> {
+    (0..len).map(|_| sample_normal(rng, 0.0, sigma)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn moments(xs: &[f64]) -> (f64, f64) {
+        let n = xs.len() as f64;
+        let mean = xs.iter().sum::<f64>() / n;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
+        (mean, var)
+    }
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let xs: Vec<f64> = (0..200_000).map(|_| sample_standard_normal(&mut rng)).collect();
+        let (mean, var) = moments(&xs);
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.02, "var {var}");
+    }
+
+    #[test]
+    fn scaled_normal_moments() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let xs: Vec<f64> = (0..200_000).map(|_| sample_normal(&mut rng, 3.0, 2.0)).collect();
+        let (mean, var) = moments(&xs);
+        assert!((mean - 3.0).abs() < 0.05, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn tail_fraction_is_plausible() {
+        // P(|Z| > 1.96) ~ 0.05.
+        let mut rng = StdRng::seed_from_u64(9);
+        let n = 100_000;
+        let tail = (0..n)
+            .filter(|_| sample_standard_normal(&mut rng).abs() > 1.96)
+            .count() as f64
+            / n as f64;
+        assert!((tail - 0.05).abs() < 0.005, "tail {tail}");
+    }
+
+    #[test]
+    fn zero_sigma_is_deterministic() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(sample_normal(&mut rng, 5.0, 0.0), 5.0);
+    }
+
+    #[test]
+    fn vec_has_requested_length() {
+        let mut rng = StdRng::seed_from_u64(2);
+        assert_eq!(sample_normal_vec(&mut rng, 1.0, 17).len(), 17);
+    }
+}

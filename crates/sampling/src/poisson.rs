@@ -1,0 +1,227 @@
+//! Poisson sampling across the full range of means SQM needs.
+//!
+//! Skellam noise with scale `mu = O(gamma^4)` (Lemma 5) requires Poisson
+//! means up to ~`10^16`. Three regimes:
+//!
+//! * `mu < 10` — inversion by sequential search (exact).
+//! * `10 <= mu < 2^50` — PTRD, Hörmann's transformed-rejection method with
+//!   decomposition (exact up to `f64` evaluation of the acceptance test).
+//! * `mu >= 2^50` — rounded normal approximation `round(N(mu, mu))`. Beyond
+//!   `2^50` the relative skewness `1/sqrt(mu)` is below `3e-8` and `f64`
+//!   cannot exactly represent the candidate integers anyway; the
+//!   approximation error is orders of magnitude below the noise standard
+//!   deviation and has no measurable effect on the DP simulation (the
+//!   *accounting* never uses samples, only closed-form bounds).
+
+use rand::Rng;
+
+use crate::gaussian::sample_standard_normal;
+use crate::special::ln_factorial;
+
+/// Mean threshold between inversion and PTRD.
+const INVERSION_MAX: f64 = 10.0;
+/// Mean threshold between PTRD and the normal approximation.
+const PTRD_MAX: f64 = (1u64 << 50) as f64;
+
+/// Sample `Pois(mu)`. Panics if `mu` is negative, not finite, or so large
+/// that the result would not fit an `i64` (use
+/// [`crate::skellam::sample_skellam`] for huge noise scales — it samples
+/// the centered difference directly and never materializes the Poisson
+/// counts).
+pub fn sample_poisson<R: Rng + ?Sized>(rng: &mut R, mu: f64) -> i64 {
+    assert!(mu.is_finite() && mu >= 0.0, "Poisson mean must be finite and >= 0, got {mu}");
+    assert!(
+        mu < 4.0e18,
+        "Poisson mean {mu} too large for i64 counts; sample the Skellam difference directly"
+    );
+    if mu == 0.0 {
+        0
+    } else if mu < INVERSION_MAX {
+        poisson_inversion(rng, mu)
+    } else if mu < PTRD_MAX {
+        poisson_ptrd(rng, mu)
+    } else {
+        let z = sample_standard_normal(rng);
+        let v = mu + mu.sqrt() * z;
+        v.round().max(0.0) as i64
+    }
+}
+
+/// Inversion by sequential search (Knuth). Exact; O(mu) time.
+fn poisson_inversion<R: Rng + ?Sized>(rng: &mut R, mu: f64) -> i64 {
+    let l = (-mu).exp();
+    let mut k: i64 = 0;
+    let mut p = 1.0f64;
+    loop {
+        p *= rng.gen::<f64>();
+        if p <= l {
+            return k;
+        }
+        k += 1;
+    }
+}
+
+/// PTRD: "The transformed rejection method for generating Poisson random
+/// variables", W. Hörmann, 1993. Valid for `mu >= 10`.
+fn poisson_ptrd<R: Rng + ?Sized>(rng: &mut R, mu: f64) -> i64 {
+    let smu = mu.sqrt();
+    let b = 0.931 + 2.53 * smu;
+    let a = -0.059 + 0.02483 * b;
+    let inv_alpha = 1.1239 + 1.1328 / (b - 3.4);
+    let v_r = 0.9277 - 3.6224 / (b - 2.0);
+
+    loop {
+        let v: f64 = rng.gen();
+        // Fast path: the dominating triangular region.
+        if v <= 0.86 * v_r {
+            let u = v / v_r - 0.43;
+            let us = 0.5 - u.abs();
+            return ((2.0 * a / us + b) * u + mu + 0.445).floor() as i64;
+        }
+
+        let (u, v) = if v >= v_r {
+            (rng.gen::<f64>() - 0.5, v)
+        } else {
+            let u = v / v_r - 0.93;
+            let u = 0.5f64.copysign(u) - u;
+            (u, rng.gen::<f64>() * v_r)
+        };
+
+        let us = 0.5 - u.abs();
+        if us < 0.013 && v > us {
+            continue;
+        }
+
+        let k = ((2.0 * a / us + b) * u + mu + 0.445).floor();
+        if k < 0.0 {
+            continue;
+        }
+        let v = v * inv_alpha / (a / (us * us) + b);
+
+        // Acceptance test: ln(v) <= ln pmf(k) = k*ln(mu) - mu - ln(k!).
+        // For large k, ln(k!) uses the Stirling series (ln_factorial_f);
+        // computing k*ln(mu/k) keeps the difference of large terms stable.
+        let ln_pmf = if k >= 10.0 {
+            (k + 0.5) * (mu / k).ln() - mu + k
+                - 0.5 * mu.ln()
+                - 0.5 * (2.0 * std::f64::consts::PI).ln()
+                - stirling_log_correction(k)
+        } else {
+            k * mu.ln() - mu - ln_factorial(k as u64)
+        };
+        if v.ln() <= ln_pmf {
+            return k as i64;
+        }
+    }
+}
+
+/// Stirling series correction `1/(12k) - 1/(360k^3)`.
+fn stirling_log_correction(k: f64) -> f64 {
+    let inv = 1.0 / k;
+    (1.0 / 12.0 - inv * inv / 360.0) * inv
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sample_moments(mu: f64, n: usize, seed: u64) -> (f64, f64) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let xs: Vec<f64> = (0..n).map(|_| sample_poisson(&mut rng, mu) as f64).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        (mean, var)
+    }
+
+    #[test]
+    fn zero_mean_is_zero() {
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..100 {
+            assert_eq!(sample_poisson(&mut rng, 0.0), 0);
+        }
+    }
+
+    #[test]
+    fn small_mean_moments() {
+        let (mean, var) = sample_moments(3.5, 200_000, 1);
+        assert!((mean - 3.5).abs() < 0.05, "mean {mean}");
+        assert!((var - 3.5).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn ptrd_moments_mid() {
+        let (mean, var) = sample_moments(50.0, 200_000, 2);
+        assert!((mean - 50.0).abs() / 50.0 < 0.01, "mean {mean}");
+        assert!((var - 50.0).abs() / 50.0 < 0.03, "var {var}");
+    }
+
+    #[test]
+    fn ptrd_moments_large() {
+        let (mean, var) = sample_moments(1e6, 100_000, 3);
+        assert!((mean - 1e6).abs() / 1e6 < 1e-3, "mean {mean}");
+        assert!((var - 1e6).abs() / 1e6 < 0.02, "var {var}");
+    }
+
+    #[test]
+    fn normal_regime_moments() {
+        let mu = 2f64.powi(52);
+        let (mean, var) = sample_moments(mu, 20_000, 4);
+        assert!((mean - mu).abs() / mu < 1e-6, "mean {mean}");
+        assert!((var - mu).abs() / mu < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn ptrd_pmf_matches_exact_at_boundary() {
+        // Chi-square style check on mu=12 against the exact pmf.
+        let mu = 12.0;
+        let n = 300_000usize;
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut counts = vec![0usize; 60];
+        for _ in 0..n {
+            let k = sample_poisson(&mut rng, mu) as usize;
+            if k < counts.len() {
+                counts[k] += 1;
+            }
+        }
+        // Compare observed frequency to pmf within 5 sigma for bins with
+        // expected count >= 100.
+        for (k, &c) in counts.iter().enumerate() {
+            let lp = k as f64 * mu.ln() - mu - ln_factorial(k as u64);
+            let p = lp.exp();
+            let expect = p * n as f64;
+            if expect >= 100.0 {
+                let sigma = (expect * (1.0 - p)).sqrt();
+                assert!(
+                    ((c as f64) - expect).abs() < 5.0 * sigma,
+                    "k={k}: observed {c}, expected {expect:.1} +/- {sigma:.1}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn never_negative() {
+        let mut rng = StdRng::seed_from_u64(6);
+        for mu in [0.1, 1.0, 9.9, 10.0, 11.0, 1e3, 1e9] {
+            for _ in 0..1000 {
+                assert!(sample_poisson(&mut rng, mu) >= 0);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn rejects_nan() {
+        let mut rng = StdRng::seed_from_u64(0);
+        sample_poisson(&mut rng, f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn rejects_negative() {
+        let mut rng = StdRng::seed_from_u64(0);
+        sample_poisson(&mut rng, -1.0);
+    }
+}

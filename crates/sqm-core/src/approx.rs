@@ -1,0 +1,247 @@
+//! Polynomial approximation of nonlinear functions.
+//!
+//! SQM evaluates *polynomials*; anything else must first be approximated
+//! (Section V-B uses the degree-1 Taylor expansion of the sigmoid; the
+//! "Extension to more complicated functions" discussion points at higher
+//! degrees and other activations). This module provides:
+//!
+//! * Taylor coefficients of `sigmoid` and `tanh` around 0 up to a requested
+//!   odd degree;
+//! * least-squares (Chebyshev-sampled) polynomial fits for arbitrary
+//!   activations over an interval — the approach used by MPC inference
+//!   systems such as BOLT \[63\] for GELU;
+//! * an evaluator and sup-norm error estimator, so callers can pick the
+//!   degree/interval trade-off *before* spending privacy budget.
+
+/// A univariate polynomial `c[0] + c[1] u + c[2] u^2 + ...`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct UniPoly {
+    /// Coefficients, constant term first.
+    pub coeffs: Vec<f64>,
+}
+
+impl UniPoly {
+    pub fn new(coeffs: Vec<f64>) -> Self {
+        assert!(!coeffs.is_empty(), "polynomial needs at least one coefficient");
+        UniPoly { coeffs }
+    }
+
+    pub fn degree(&self) -> usize {
+        self.coeffs.len() - 1
+    }
+
+    /// Horner evaluation.
+    pub fn eval(&self, u: f64) -> f64 {
+        self.coeffs.iter().rev().fold(0.0, |acc, &c| acc * u + c)
+    }
+
+    /// Sup-norm error against `f` over `[lo, hi]` (dense grid probe).
+    pub fn sup_error<F: Fn(f64) -> f64>(&self, f: F, lo: f64, hi: f64) -> f64 {
+        assert!(lo < hi);
+        let steps = 2000;
+        (0..=steps)
+            .map(|i| {
+                let u = lo + (hi - lo) * i as f64 / steps as f64;
+                (self.eval(u) - f(u)).abs()
+            })
+            .fold(0.0, f64::max)
+    }
+}
+
+/// Taylor expansion of the sigmoid around 0, truncated at `degree`
+/// (only odd-degree terms beyond the constant 1/2 are nonzero).
+///
+/// `sigmoid(u) ~ 1/2 + u/4 - u^3/48 + u^5/480 - 17 u^7 / 80640 + ...`
+/// Degree 1 is exactly the paper's Eq. 9 approximation.
+pub fn sigmoid_taylor(degree: usize) -> UniPoly {
+    // Coefficients of the Maclaurin series of sigmoid up to degree 9.
+    const COEFFS: [f64; 10] = [
+        0.5,
+        0.25,
+        0.0,
+        -1.0 / 48.0,
+        0.0,
+        1.0 / 480.0,
+        0.0,
+        -17.0 / 80640.0,
+        0.0,
+        31.0 / 1_451_520.0,
+    ];
+    assert!(degree < COEFFS.len(), "sigmoid Taylor implemented up to degree 9");
+    UniPoly::new(COEFFS[..=degree].to_vec())
+}
+
+/// Taylor expansion of `tanh` around 0 (`tanh(u) = 2 sigmoid(2u) - 1`).
+pub fn tanh_taylor(degree: usize) -> UniPoly {
+    const COEFFS: [f64; 10] = [
+        0.0,
+        1.0,
+        0.0,
+        -1.0 / 3.0,
+        0.0,
+        2.0 / 15.0,
+        0.0,
+        -17.0 / 315.0,
+        0.0,
+        62.0 / 2835.0,
+    ];
+    assert!(degree < COEFFS.len(), "tanh Taylor implemented up to degree 9");
+    UniPoly::new(COEFFS[..=degree].to_vec())
+}
+
+/// Least-squares polynomial fit of `f` over `[lo, hi]` at Chebyshev nodes —
+/// far better than Taylor away from 0, which is what makes higher-degree
+/// private inference (GELU etc.) feasible.
+pub fn least_squares_fit<F: Fn(f64) -> f64>(f: F, lo: f64, hi: f64, degree: usize) -> UniPoly {
+    assert!(lo < hi, "empty interval");
+    let n_nodes = (4 * (degree + 1)).max(16);
+    // Chebyshev nodes mapped to [lo, hi].
+    let nodes: Vec<f64> = (0..n_nodes)
+        .map(|i| {
+            let t = ((2 * i + 1) as f64) * std::f64::consts::PI / (2.0 * n_nodes as f64);
+            0.5 * (lo + hi) + 0.5 * (hi - lo) * t.cos()
+        })
+        .collect();
+    let ys: Vec<f64> = nodes.iter().map(|&u| f(u)).collect();
+
+    // Normal equations A^T A c = A^T y with A[i][j] = u_i^j. Degrees are
+    // small (<= ~10), so a dense solve with partial pivoting is fine.
+    let k = degree + 1;
+    let mut ata = vec![0.0f64; k * k];
+    let mut aty = vec![0.0f64; k];
+    for (&u, &y) in nodes.iter().zip(&ys) {
+        let mut pow = vec![1.0f64; k];
+        for j in 1..k {
+            pow[j] = pow[j - 1] * u;
+        }
+        for r in 0..k {
+            aty[r] += pow[r] * y;
+            for c2 in 0..k {
+                ata[r * k + c2] += pow[r] * pow[c2];
+            }
+        }
+    }
+    let coeffs = solve_dense(&mut ata, &mut aty, k);
+    UniPoly::new(coeffs)
+}
+
+/// Gaussian elimination with partial pivoting (k x k, k small).
+fn solve_dense(a: &mut [f64], b: &mut [f64], k: usize) -> Vec<f64> {
+    for col in 0..k {
+        // Pivot.
+        let (piv, _) = (col..k)
+            .map(|r| (r, a[r * k + col].abs()))
+            .max_by(|x, y| x.1.partial_cmp(&y.1).unwrap())
+            .unwrap();
+        if piv != col {
+            for j in 0..k {
+                a.swap(col * k + j, piv * k + j);
+            }
+            b.swap(col, piv);
+        }
+        let p = a[col * k + col];
+        assert!(p.abs() > 1e-300, "singular normal equations");
+        for r in (col + 1)..k {
+            let f = a[r * k + col] / p;
+            for j in col..k {
+                a[r * k + j] -= f * a[col * k + j];
+            }
+            b[r] -= f * b[col];
+        }
+    }
+    let mut x = vec![0.0; k];
+    for col in (0..k).rev() {
+        let mut s = b[col];
+        for j in (col + 1)..k {
+            s -= a[col * k + j] * x[j];
+        }
+        x[col] = s / a[col * k + col];
+    }
+    x
+}
+
+/// The GELU activation (exact, via erf-free tanh form used in practice).
+pub fn gelu(u: f64) -> f64 {
+    0.5 * u * (1.0 + ((2.0 / std::f64::consts::PI).sqrt() * (u + 0.044715 * u.powi(3))).tanh())
+}
+
+/// The exact sigmoid — the reference function the approximations above
+/// are measured against.
+pub fn sigmoid(u: f64) -> f64 {
+    1.0 / (1.0 + (-u).exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn degree1_matches_eq9() {
+        let p = sigmoid_taylor(1);
+        assert_eq!(p.coeffs, vec![0.5, 0.25]);
+        assert!((p.eval(0.4) - (0.5 + 0.1)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn taylor_error_shrinks_with_degree_near_zero() {
+        let e1 = sigmoid_taylor(1).sup_error(sigmoid, -0.5, 0.5);
+        let e3 = sigmoid_taylor(3).sup_error(sigmoid, -0.5, 0.5);
+        let e5 = sigmoid_taylor(5).sup_error(sigmoid, -0.5, 0.5);
+        assert!(e3 < e1 && e5 < e3, "{e1} {e3} {e5}");
+        assert!(e5 < 1e-4);
+    }
+
+    #[test]
+    fn degree1_error_on_unit_interval_is_small() {
+        // The paper's justification for H = 1: on |u| <= 1 (unit-ball
+        // features and weights) the Taylor error is ~0.01.
+        let e = sigmoid_taylor(1).sup_error(sigmoid, -1.0, 1.0);
+        assert!(e < 0.02, "error {e}");
+    }
+
+    #[test]
+    fn tanh_taylor_values() {
+        let p = tanh_taylor(5);
+        assert!((p.eval(0.3) - 0.3f64.tanh()).abs() < 1e-4);
+        assert_eq!(p.eval(0.0), 0.0);
+    }
+
+    #[test]
+    fn least_squares_beats_taylor_on_wide_intervals() {
+        let taylor = sigmoid_taylor(3);
+        let fitted = least_squares_fit(sigmoid, -4.0, 4.0, 3);
+        let et = taylor.sup_error(sigmoid, -4.0, 4.0);
+        let ef = fitted.sup_error(sigmoid, -4.0, 4.0);
+        assert!(ef < et / 5.0, "fit {ef} vs taylor {et}");
+        assert!(ef < 0.03, "fit error {ef}");
+    }
+
+    #[test]
+    fn gelu_fit_is_accurate() {
+        // BOLT-style degree-6 fit of GELU over [-3, 3].
+        let fitted = least_squares_fit(gelu, -3.0, 3.0, 6);
+        let e = fitted.sup_error(gelu, -3.0, 3.0);
+        assert!(e < 0.05, "error {e}");
+    }
+
+    #[test]
+    fn fit_recovers_exact_polynomials() {
+        let truth = UniPoly::new(vec![1.0, -2.0, 0.5]);
+        let fitted = least_squares_fit(|u| truth.eval(u), -1.0, 1.0, 2);
+        for (a, b) in fitted.coeffs.iter().zip(&truth.coeffs) {
+            assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn sup_error_zero_for_self() {
+        let p = UniPoly::new(vec![2.0, 3.0]);
+        assert_eq!(p.sup_error(|u| 2.0 + 3.0 * u, -1.0, 1.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "degree 9")]
+    fn taylor_degree_cap() {
+        sigmoid_taylor(10);
+    }
+}

@@ -1,0 +1,93 @@
+//! Algorithm 4: the local-DP baseline for VFL.
+//!
+//! Each client perturbs its raw column with Gaussian noise and ships it to
+//! the server, which reconstructs a noisy dataset and runs *any* analysis on
+//! it (post-processing). Simple and task-agnostic, but the noise needed to
+//! privatize the raw data is far larger than what SQM adds to the final
+//! statistic — this is the utility gap Figures 2 and 3 display.
+
+use rand::Rng;
+use sqm_accounting::analytic_gaussian::analytic_gaussian_sigma;
+use sqm_linalg::Matrix;
+use sqm_sampling::gaussian::sample_normal;
+
+/// Perturb every entry of `data` with `N(0, sigma^2)` (Algorithm 4 lines
+/// 1-3; simulated jointly — per-column noise is independent either way).
+pub fn perturb_dataset<R: Rng + ?Sized>(rng: &mut R, data: &Matrix, sigma: f64) -> Matrix {
+    assert!(sigma >= 0.0, "sigma must be non-negative");
+    let mut out = data.clone();
+    for v in out.as_mut_slice() {
+        *v += sample_normal(rng, 0.0, sigma);
+    }
+    out
+}
+
+/// Calibrate Algorithm 4's noise for `(eps, delta)` server-observed DP.
+///
+/// Releasing the raw record (identity function) of a database whose records
+/// have L2 norm at most `c` has add/remove L2 sensitivity `c`; the analytic
+/// Gaussian mechanism (Lemma 8) then gives the minimal sigma.
+pub fn calibrate_local_dp_sigma(eps: f64, delta: f64, c: f64) -> f64 {
+    analytic_gaussian_sigma(eps, delta, c)
+}
+
+/// End-to-end local-DP release: calibrate and perturb.
+pub fn local_dp_release<R: Rng + ?Sized>(
+    rng: &mut R,
+    data: &Matrix,
+    eps: f64,
+    delta: f64,
+    c: f64,
+) -> Matrix {
+    let sigma = calibrate_local_dp_sigma(eps, delta, c);
+    perturb_dataset(rng, data, sigma)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn perturbation_preserves_shape_and_scale() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let data = Matrix::zeros(200, 50);
+        let sigma = 2.0;
+        let noisy = perturb_dataset(&mut rng, &data, sigma);
+        assert_eq!((noisy.rows(), noisy.cols()), (200, 50));
+        let var = noisy.frobenius_norm_sq() / (200.0 * 50.0);
+        assert!((var - 4.0).abs() < 0.2, "var {var}");
+    }
+
+    #[test]
+    fn zero_sigma_is_identity() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let data = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        assert_eq!(perturb_dataset(&mut rng, &data, 0.0), data);
+    }
+
+    #[test]
+    fn calibration_shrinks_with_eps() {
+        let tight = calibrate_local_dp_sigma(0.25, 1e-5, 1.0);
+        let loose = calibrate_local_dp_sigma(8.0, 1e-5, 1.0);
+        assert!(loose < tight / 10.0);
+    }
+
+    #[test]
+    fn local_noise_dwarfs_unit_records() {
+        // The crux of the baseline's weakness: at eps = 1 the per-entry
+        // noise std is larger than the whole record norm (c = 1).
+        let sigma = calibrate_local_dp_sigma(1.0, 1e-5, 1.0);
+        assert!(sigma > 1.0, "sigma {sigma}");
+    }
+
+    #[test]
+    fn release_runs_end_to_end() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let data = Matrix::from_rows(&[vec![0.5, 0.5], vec![-0.5, 0.5]]);
+        let noisy = local_dp_release(&mut rng, &data, 1.0, 1e-5, 1.0);
+        assert_eq!((noisy.rows(), noisy.cols()), (2, 2));
+        assert_ne!(noisy, data);
+    }
+}

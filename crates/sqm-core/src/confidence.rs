@@ -1,0 +1,121 @@
+//! Confidence intervals for SQM releases.
+//!
+//! A downstream consumer of a DP estimate needs error bars, not just the
+//! point value. An SQM release deviates from the true statistic by (a) the
+//! down-scaled Skellam noise — `Sk(mu) / gamma^(lambda+1)`, which for
+//! calibrated `mu` is extremely well approximated by
+//! `N(0, 2 mu / gamma^(2 lambda + 2))` — and (b) the quantization error,
+//! deterministically bounded by the mechanism's rounding analysis. The
+//! interval below combines a normal-quantile bound for (a) with a
+//! worst-case bound for (b); both are *public* quantities (post-processing)
+//! so computing the interval costs no privacy.
+
+use sqm_sampling::special::normal_cdf;
+
+/// Two-sided `(1 - beta)` confidence half-width for a scalar SQM release.
+///
+/// * `mu` — aggregate Skellam parameter.
+/// * `amplification` — the down-scale factor `gamma^(lambda+1)`
+///   (`gamma^lambda` for Algorithm 1).
+/// * `quantization_bound` — deterministic bound on the down-scaled
+///   rounding error (0 to ignore; the mechanism's `o(1)` term).
+pub fn sqm_half_width(beta: f64, mu: f64, amplification: f64, quantization_bound: f64) -> f64 {
+    assert!((0.0..1.0).contains(&beta) && beta > 0.0, "beta must be in (0,1)");
+    assert!(mu >= 0.0 && amplification > 0.0 && quantization_bound >= 0.0);
+    let z = normal_quantile(1.0 - beta / 2.0);
+    z * (2.0 * mu).sqrt() / amplification + quantization_bound
+}
+
+/// Standard normal quantile (probit), by bisection on the CDF.
+///
+/// Accurate to ~1e-10 over `p in (1e-12, 1 - 1e-12)`; the tails beyond that
+/// are clamped (they would demand more than 7 sigma anyway).
+pub fn normal_quantile(p: f64) -> f64 {
+    assert!(p > 0.0 && p < 1.0, "quantile needs p in (0,1), got {p}");
+    let p = p.clamp(1e-12, 1.0 - 1e-12);
+    let (mut lo, mut hi) = (-8.0f64, 8.0f64);
+    for _ in 0..80 {
+        let mid = 0.5 * (lo + hi);
+        if normal_cdf(mid) < p {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+/// Empirical coverage check helper: does `estimate` lie within the interval
+/// around `truth`?
+pub fn covers(truth: f64, estimate: f64, half_width: f64) -> bool {
+    (estimate - truth).abs() <= half_width
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sqm_sampling::skellam::sample_skellam;
+
+    #[test]
+    fn quantile_reference_values() {
+        assert!((normal_quantile(0.5)).abs() < 1e-9);
+        assert!((normal_quantile(0.975) - 1.959_963_984_540_054).abs() < 1e-6);
+        assert!((normal_quantile(0.8413447460685429) - 1.0).abs() < 1e-6);
+        assert!((normal_quantile(0.025) + 1.959_963_984_540_054).abs() < 1e-6);
+    }
+
+    #[test]
+    fn quantile_is_monotone() {
+        let mut last = f64::NEG_INFINITY;
+        for i in 1..100 {
+            let q = normal_quantile(i as f64 / 100.0);
+            assert!(q > last);
+            last = q;
+        }
+    }
+
+    #[test]
+    fn half_width_scales_correctly() {
+        let w1 = sqm_half_width(0.05, 1e6, 1e3, 0.0);
+        // 4x mu => 2x width; 2x amplification => 0.5x width.
+        let w2 = sqm_half_width(0.05, 4e6, 1e3, 0.0);
+        let w3 = sqm_half_width(0.05, 1e6, 2e3, 0.0);
+        assert!((w2 / w1 - 2.0).abs() < 1e-9);
+        assert!((w3 / w1 - 0.5).abs() < 1e-9);
+        // Quantization bound adds linearly.
+        assert!((sqm_half_width(0.05, 1e6, 1e3, 0.7) - w1 - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empirical_coverage_matches_nominal() {
+        // Sample Skellam noise, check the 95% interval covers ~95%.
+        let mut rng = StdRng::seed_from_u64(3);
+        let mu = 5e4;
+        let amplification = 100.0;
+        let hw = sqm_half_width(0.05, mu, amplification, 0.0);
+        let n = 20_000;
+        let covered = (0..n)
+            .filter(|_| {
+                let noise = sample_skellam(&mut rng, mu) as f64 / amplification;
+                covers(0.0, noise, hw)
+            })
+            .count() as f64
+            / n as f64;
+        assert!((covered - 0.95).abs() < 0.01, "coverage {covered}");
+    }
+
+    #[test]
+    fn tighter_beta_means_wider_interval() {
+        let w95 = sqm_half_width(0.05, 1e6, 1e3, 0.0);
+        let w99 = sqm_half_width(0.01, 1e6, 1e3, 0.0);
+        assert!(w99 > w95);
+    }
+
+    #[test]
+    #[should_panic(expected = "beta")]
+    fn rejects_bad_beta() {
+        sqm_half_width(1.5, 1.0, 1.0, 0.0);
+    }
+}

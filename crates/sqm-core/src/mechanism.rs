@@ -1,0 +1,257 @@
+//! The SQM mechanisms — Algorithm 1 (one-dimensional monomials) and
+//! Algorithm 3 (multi-dimensional polynomials) — in output-equivalent
+//! plaintext simulation.
+//!
+//! The MPC protocol reveals exactly `sum_x hat f(hat x) + sum_j Z_j` and
+//! nothing else, so simulating the mechanism by computing that sum in the
+//! clear produces the *identical output distribution* (this is also how the
+//! paper runs its statistical experiments). The full BGW-backed execution —
+//! same arithmetic, secret-shared — lives in `sqm-vfl`, and the two are
+//! cross-checked in integration tests.
+
+use rand::Rng;
+use sqm_linalg::Matrix;
+use sqm_sampling::skellam::sample_skellam;
+
+use crate::polynomial::{Monomial, Polynomial};
+use crate::quantize::{quantize_matrix, quantize_polynomial};
+
+/// Parameters of one SQM invocation.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct SqmParams {
+    /// Quantization scale `gamma` (Algorithm 2). Larger is finer.
+    pub gamma: f64,
+    /// Total Skellam noise parameter `mu`; each of the `n_clients` samples
+    /// `Sk(mu / n_clients)` locally.
+    pub mu: f64,
+    /// Number of participating clients (one per attribute in the paper's
+    /// canonical partitioning, but any count works).
+    pub n_clients: usize,
+}
+
+impl SqmParams {
+    pub fn new(gamma: f64, mu: f64, n_clients: usize) -> Self {
+        assert!(gamma > 1.0, "gamma must exceed 1, got {gamma}");
+        assert!(mu >= 0.0, "mu must be non-negative, got {mu}");
+        assert!(n_clients >= 1, "need at least one client");
+        SqmParams { gamma, mu, n_clients }
+    }
+
+    /// The aggregate Skellam noise for one output dimension: the sum of the
+    /// clients' local `Sk(mu/n)` draws, which is distributed as `Sk(mu)`.
+    /// Sampling the shares individually (rather than one `Sk(mu)`) keeps
+    /// the simulation faithful to the distributed protocol.
+    pub fn sample_aggregate_noise<R: Rng + ?Sized>(&self, rng: &mut R) -> i64 {
+        if self.mu == 0.0 {
+            return 0;
+        }
+        let local = self.mu / self.n_clients as f64;
+        (0..self.n_clients).map(|_| sample_skellam(rng, local)).sum()
+    }
+}
+
+/// Algorithm 1: SQM for a one-dimensional monomial with unit coefficient.
+///
+/// Returns the server's estimate of `sum_x f(x)` where
+/// `f(x) = prod_j x[j]^(lambda_j)`. The down-scale is `gamma^lambda`
+/// (line 7) since no coefficient quantization happens.
+pub fn sqm_monomial<R: Rng + ?Sized>(
+    rng: &mut R,
+    monomial: &Monomial,
+    data: &Matrix,
+    params: SqmParams,
+) -> f64 {
+    assert!(
+        (monomial.coeff - 1.0).abs() < 1e-12,
+        "Algorithm 1 assumes unit coefficient; post-process for others"
+    );
+    let lambda = monomial.degree();
+    assert!(lambda >= 1, "Algorithm 1 requires degree >= 1");
+
+    // Lines 1-2: quantize each column (simulated jointly; the rounding of
+    // disjoint columns is independent either way).
+    let qdata = quantize_matrix(rng, data, params.gamma);
+
+    // Lines 3-4: local Skellam noise shares, aggregated.
+    let noise = params.sample_aggregate_noise(rng);
+
+    // Line 5: hat y = sum_x hat f(hat x) + sum_j Z_j.
+    let mut acc: i128 = noise as i128;
+    for row in &qdata {
+        acc = acc
+            .checked_add(monomial.eval_vars_i128(row))
+            .expect("SQM accumulator overflowed i128");
+    }
+
+    // Line 7: down-scale by gamma^lambda.
+    acc as f64 / params.gamma.powi(lambda as i32)
+}
+
+/// Algorithm 3: SQM for a multi-dimensional polynomial.
+///
+/// Returns the server's estimate of `sum_x f(x)` (one entry per output
+/// dimension). Each dimension receives an independent aggregate Skellam
+/// noise (lines 6-9); the down-scale is `gamma^(lambda+1)` (line 11).
+pub fn sqm_polynomial<R: Rng + ?Sized>(
+    rng: &mut R,
+    poly: &Polynomial,
+    data: &Matrix,
+    params: SqmParams,
+) -> Vec<f64> {
+    assert_eq!(data.cols(), poly.n_vars(), "data/polynomial dimension mismatch");
+
+    // Lines 1-3: coefficient quantization.
+    let qpoly = quantize_polynomial(rng, poly, params.gamma);
+    // Lines 4-5: data quantization.
+    let qdata = quantize_matrix(rng, data, params.gamma);
+
+    // Lines 6-10: per-dimension evaluation + noise.
+    let sums = qpoly.sum_over(&qdata);
+    let amplification = qpoly.amplification();
+    sums.into_iter()
+        .map(|s| {
+            let noise = params.sample_aggregate_noise(rng) as i128;
+            let noisy = s.checked_add(noise).expect("noise addition overflowed");
+            // Line 11: down-scale.
+            noisy as f64 / amplification
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn toy_data() -> Matrix {
+        Matrix::from_rows(&[
+            vec![0.5, -0.3, 0.2],
+            vec![-0.1, 0.4, 0.6],
+            vec![0.2, 0.2, -0.5],
+            vec![0.7, 0.0, 0.1],
+        ])
+    }
+
+    #[test]
+    fn monomial_no_noise_is_accurate() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let m = Monomial::new(1.0, vec![(0, 1), (2, 1)]); // x0 * x2
+        let data = toy_data();
+        let truth: f64 = (0..data.rows())
+            .map(|i| data[(i, 0)] * data[(i, 2)])
+            .sum();
+        let params = SqmParams::new(4096.0, 0.0, 3);
+        let est = sqm_monomial(&mut rng, &m, &data, params);
+        assert!((est - truth).abs() < 1e-3, "est {est} truth {truth}");
+    }
+
+    #[test]
+    fn monomial_error_shrinks_with_gamma() {
+        let m = Monomial::new(1.0, vec![(0, 2), (1, 1)]); // x0^2 x1
+        let data = toy_data();
+        let truth: f64 = (0..data.rows())
+            .map(|i| data[(i, 0)].powi(2) * data[(i, 1)])
+            .sum();
+        let mut err = Vec::new();
+        for gamma in [8.0, 128.0, 8192.0] {
+            let mut rng = StdRng::seed_from_u64(2);
+            let mut acc = 0.0;
+            let reps = 50;
+            for _ in 0..reps {
+                let est = sqm_monomial(&mut rng, &m, &data, SqmParams::new(gamma, 0.0, 3));
+                acc += (est - truth).abs();
+            }
+            err.push(acc / reps as f64);
+        }
+        assert!(err[2] < err[1] && err[1] < err[0], "{err:?}");
+    }
+
+    #[test]
+    fn polynomial_no_noise_matches_truth() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let p = Polynomial::new(
+            3,
+            vec![
+                vec![Monomial::new(2.0, vec![(0, 1)]), Monomial::constant(-0.5)],
+                vec![Monomial::new(1.0, vec![(1, 1), (2, 1)])],
+            ],
+        );
+        let data = toy_data();
+        let truth = p.sum_over((0..data.rows()).map(|i| data.row(i)));
+        let est = sqm_polynomial(&mut rng, &p, &data, SqmParams::new(8192.0, 0.0, 3));
+        for (e, t) in est.iter().zip(&truth) {
+            assert!((e - t).abs() < 2e-3, "est {e} truth {t}");
+        }
+    }
+
+    #[test]
+    fn noise_has_calibrated_scale_after_downscaling() {
+        // With mu > 0 the estimate's variance should be ~ 2*mu /
+        // gamma^(2(lambda+1)) per dimension.
+        let p = Polynomial::one_dimensional(1, vec![Monomial::new(1.0, vec![(0, 1)])]);
+        let data = Matrix::from_rows(&[vec![0.0]]); // zero data isolates noise
+        let gamma = 64.0;
+        let mu = 1e6;
+        let mut rng = StdRng::seed_from_u64(4);
+        let params = SqmParams::new(gamma, mu, 5);
+        let samples: Vec<f64> = (0..4000)
+            .map(|_| sqm_polynomial(&mut rng, &p, &data, params)[0])
+            .collect();
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let var = samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>()
+            / samples.len() as f64;
+        let expect = 2.0 * mu / gamma.powf(4.0); // lambda = 1 => scale gamma^2
+        assert!(mean.abs() < 3.0 * (expect / 4000.0).sqrt() + 1e-6, "mean {mean}");
+        assert!((var - expect).abs() / expect < 0.15, "var {var} expect {expect}");
+    }
+
+    #[test]
+    fn covariance_polynomial_end_to_end() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let data = toy_data();
+        let p = Polynomial::covariance(3);
+        let est = sqm_polynomial(&mut rng, &p, &data, SqmParams::new(4096.0, 0.0, 3));
+        let truth = data.gram();
+        for j in 0..3 {
+            for k in 0..3 {
+                let e = est[j * 3 + k];
+                let t = truth[(j, k)];
+                assert!((e - t).abs() < 5e-3, "({j},{k}): est {e} truth {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn aggregate_noise_matches_skellam_moments() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let params = SqmParams::new(2.0, 50.0, 7);
+        let xs: Vec<i64> = (0..50_000)
+            .map(|_| params.sample_aggregate_noise(&mut rng))
+            .collect();
+        let mean = xs.iter().map(|&x| x as f64).sum::<f64>() / xs.len() as f64;
+        let var = xs
+            .iter()
+            .map(|&x| (x as f64 - mean).powi(2))
+            .sum::<f64>()
+            / xs.len() as f64;
+        assert!(mean.abs() < 0.2, "mean {mean}");
+        assert!((var - 100.0).abs() / 100.0 < 0.05, "var {var}");
+    }
+
+    #[test]
+    #[should_panic(expected = "unit coefficient")]
+    fn monomial_rejects_non_unit_coefficient() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let m = Monomial::new(2.0, vec![(0, 1)]);
+        sqm_monomial(&mut rng, &m, &toy_data(), SqmParams::new(16.0, 0.0, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn polynomial_rejects_wrong_width() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let p = Polynomial::one_dimensional(5, vec![Monomial::linear(1.0, 4)]);
+        sqm_polynomial(&mut rng, &p, &toy_data(), SqmParams::new(16.0, 0.0, 3));
+    }
+}

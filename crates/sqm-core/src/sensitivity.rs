@@ -1,0 +1,228 @@
+//! Sensitivity analysis of the quantized computation (Lemmas 3, 4, 5, 7).
+//!
+//! All bounds are on the *integer-valued* (amplified) outputs that the MPC
+//! protocol perturbs; the server's down-scaling by `gamma^(lambda+1)` is
+//! post-processing and does not change privacy. The characteristic shape is
+//! `Delta_2 = gamma^(lambda+1) * max||f|| + (lower-order overhead)` — the
+//! overhead's *relative* size vanishes as `gamma` grows, which is Figure 4's
+//! message.
+
+use sqm_accounting::skellam::Sensitivity;
+
+use crate::polynomial::Polynomial;
+
+/// Lemma 5: sensitivities for the covariance computation of PCA.
+///
+/// Records have L2 norm at most `c`; data quantized at scale `gamma`; the
+/// output is the `n x n` matrix `hatX^T hatX`, so `d = n^2` and
+/// `Delta_2 = gamma^2 c^2 + n`.
+pub fn pca_sensitivity(gamma: f64, c: f64, n: usize) -> Sensitivity {
+    assert!(gamma > 0.0 && c > 0.0 && n > 0);
+    let d2 = gamma * gamma * c * c + n as f64;
+    Sensitivity::from_l2_for_dim(d2, n * n)
+}
+
+/// The relative sensitivity overhead of PCA quantization:
+/// `(Delta_2 - gamma^2 c^2) / (gamma^2 c^2) = n / (gamma^2 c^2)`.
+pub fn pca_sensitivity_overhead(gamma: f64, c: f64, n: usize) -> f64 {
+    n as f64 / (gamma * gamma * c * c)
+}
+
+/// Lemma 7: sensitivities for one SQM logistic-regression gradient step.
+///
+/// Features have `||x||_2 <= 1`, the gradient polynomial (Eq. 9) has degree
+/// 2 over `d` feature dimensions, and
+/// `Delta_2 = sqrt((3/4 gamma^3)^2 + 9 gamma^5 d + 36 gamma^4)`.
+pub fn lr_sensitivity(gamma: f64, d: usize) -> Sensitivity {
+    assert!(gamma > 0.0 && d > 0);
+    let g3 = gamma.powi(3);
+    let d2 = ((0.75 * g3).powi(2) + 9.0 * gamma.powi(5) * d as f64 + 36.0 * gamma.powi(4)).sqrt();
+    Sensitivity::from_l2_for_dim(d2, d)
+}
+
+/// The relative L2 sensitivity overhead of LR quantization versus the
+/// unquantized bound `3/4`:
+/// `sqrt((3/4)^2 + 9d/gamma + 36/gamma^2) - 3/4` (Figure 4, left).
+pub fn lr_sensitivity_overhead(gamma: f64, d: usize) -> f64 {
+    ((0.75f64).powi(2) + 9.0 * d as f64 / gamma + 36.0 / (gamma * gamma)).sqrt() - 0.75
+}
+
+/// Lemma 4 for a generic multi-dimensional polynomial.
+///
+/// `max_f_norm` bounds `max_{||x||_2 <= c} ||f(x)||_2` (supply an analytic
+/// bound or use [`estimate_max_norm`]). The overhead term follows the
+/// proof's multiplicity argument: each of the (at most `d * max_t v_t`)
+/// monomials contributes a rounding deviation of `O(lambda * gamma^lambda *
+/// max(c,1)^(lambda-1))` to the amplified output.
+pub fn generic_sensitivity(
+    poly: &Polynomial,
+    gamma: f64,
+    c: f64,
+    max_f_norm: f64,
+) -> Sensitivity {
+    assert!(gamma > 1.0, "gamma must exceed 1");
+    assert!(max_f_norm >= 0.0 && c > 0.0);
+    let lambda = poly.degree() as i32;
+    let d = poly.n_dims() as f64;
+    let v = poly.max_monomials_per_dim() as f64;
+    let max_abs_coeff = poly
+        .dims()
+        .flat_map(|ms| ms.iter().map(|m| m.coeff.abs()))
+        .fold(0.0, f64::max);
+    let main = gamma.powi(lambda + 1) * max_f_norm;
+    // Rounding overhead: per monomial, the paper's Lemma 2 bound
+    // 2*lambda*max(c,1)^(lambda-1)*gamma^(lambda-1) on the variable part,
+    // amplified by the (quantized, up-to gamma^(1+lambda-deg)-scaled)
+    // coefficient; plus 1 for the coefficient's own rounding. Summed over
+    // d*v monomials via the triangle inequality.
+    let per_monomial = (max_abs_coeff * gamma + 1.0)
+        * (2.0 * lambda.max(1) as f64 * c.max(1.0).powi((lambda - 1).max(0)) * gamma.powi((lambda - 1).max(0))
+            + 1.0);
+    let overhead = d.sqrt() * v * per_monomial;
+    Sensitivity::from_l2_for_dim(main + overhead, poly.n_dims())
+}
+
+/// Monte-Carlo lower estimate of `max_{||x||_2 <= c} ||f(x)||_2`, inflated
+/// by a small safety factor. For production use supply an analytic bound;
+/// this helper is for exploratory workloads.
+pub fn estimate_max_norm<R: rand::Rng + ?Sized>(
+    rng: &mut R,
+    poly: &Polynomial,
+    c: f64,
+    samples: usize,
+) -> f64 {
+    assert!(samples > 0);
+    let n = poly.n_vars();
+    let mut best = 0.0f64;
+    for _ in 0..samples {
+        // Random direction on the sphere of radius c (extremes of a
+        // polynomial over a ball lie on the boundary for the dominating
+        // homogeneous part).
+        let mut x: Vec<f64> = (0..n)
+            .map(|_| {
+                // Rough normal via sum of uniforms (Irwin-Hall), adequate
+                // for direction sampling.
+                (0..6).map(|_| rng.gen::<f64>()).sum::<f64>() - 3.0
+            })
+            .collect();
+        let norm = x.iter().map(|v| v * v).sum::<f64>().sqrt();
+        if norm == 0.0 {
+            continue;
+        }
+        for v in &mut x {
+            *v *= c / norm;
+        }
+        let fx = poly.eval(&x);
+        let fnorm = fx.iter().map(|v| v * v).sum::<f64>().sqrt();
+        best = best.max(fnorm);
+    }
+    best * 1.05
+}
+
+/// A worst-case bound on the magnitude of any intermediate value of the
+/// amplified computation over `m` records, used to choose a field that
+/// cannot wrap around: `m * gamma^(lambda+1) * (max||f|| + overhead) +
+/// noise_tail`, with a 12-sigma Skellam tail.
+pub fn magnitude_bound(
+    sens: Sensitivity,
+    m: usize,
+    mu: f64,
+) -> f64 {
+    let noise_tail = 12.0 * (2.0 * mu).sqrt();
+    m as f64 * sens.l2 + noise_tail
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::polynomial::Monomial;
+
+    #[test]
+    fn pca_matches_lemma5() {
+        let s = pca_sensitivity(100.0, 1.0, 50);
+        assert_eq!(s.l2, 100.0 * 100.0 + 50.0);
+        // Delta_1 = min(Delta_2^2, n * Delta_2) = min(1.01e8, 50*10050).
+        assert_eq!(s.l1, (50.0f64 * 50.0).sqrt() * s.l2);
+    }
+
+    #[test]
+    fn pca_overhead_vanishes() {
+        let o1 = pca_sensitivity_overhead(64.0, 1.0, 100);
+        let o2 = pca_sensitivity_overhead(4096.0, 1.0, 100);
+        assert!(o2 < o1 / 1000.0);
+    }
+
+    #[test]
+    fn lr_matches_lemma7() {
+        let gamma = 1024.0;
+        let d = 800;
+        let s = lr_sensitivity(gamma, d);
+        let expect = ((0.75 * gamma.powi(3)).powi(2)
+            + 9.0 * gamma.powi(5) * 800.0
+            + 36.0 * gamma.powi(4))
+        .sqrt();
+        assert!((s.l2 - expect).abs() / expect < 1e-12);
+    }
+
+    #[test]
+    fn lr_overhead_figure4_values() {
+        // Figure 4 (left): overhead decreases toward 0 as gamma grows,
+        // d = 800.
+        let gammas = [64.0, 256.0, 1024.0, 4096.0, 16384.0, 65536.0];
+        let mut last = f64::INFINITY;
+        for g in gammas {
+            let o = lr_sensitivity_overhead(g, 800);
+            assert!(o < last, "gamma={g}");
+            last = o;
+        }
+        // At gamma = 65536, 9d/gamma = 0.11 => overhead ~ sqrt(0.5625+0.11)-0.75 ~ 0.07.
+        let o = lr_sensitivity_overhead(65536.0, 800);
+        assert!(o > 0.05 && o < 0.09, "overhead {o}");
+    }
+
+    #[test]
+    fn lr_overhead_consistent_with_sensitivity() {
+        let gamma = 512.0;
+        let d = 100;
+        let s = lr_sensitivity(gamma, d);
+        let rel = s.l2 / gamma.powi(3) - 0.75;
+        assert!((rel - lr_sensitivity_overhead(gamma, d)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn generic_dominated_by_main_term_for_large_gamma() {
+        let p = Polynomial::one_dimensional(
+            2,
+            vec![
+                Monomial::new(1.0, vec![(0, 1), (1, 1)]),
+                Monomial::new(0.5, vec![(0, 1)]),
+            ],
+        );
+        let max_f = 1.0; // |x0 x1 + 0.5 x0| <= 1 for ||x|| <= 1, roughly
+        let s_small = generic_sensitivity(&p, 2f64.powi(6), 1.0, max_f);
+        let s_big = generic_sensitivity(&p, 2f64.powi(16), 1.0, max_f);
+        let rel_small = s_small.l2 / 2f64.powi(6 * 3) / max_f - 1.0;
+        let rel_big = s_big.l2 / 2f64.powi(16 * 3) / max_f - 1.0;
+        assert!(rel_big < rel_small, "{rel_big} !< {rel_small}");
+        assert!(rel_big < 0.01);
+    }
+
+    #[test]
+    fn estimate_max_norm_finds_scale() {
+        // f(x) = x0^2 on the unit ball: max = 1.
+        let p = Polynomial::one_dimensional(1, vec![Monomial::new(1.0, vec![(0, 2)])]);
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let est = estimate_max_norm(&mut rng, &p, 1.0, 500);
+        assert!(est > 0.9 && est < 1.2, "estimate {est}");
+    }
+
+    #[test]
+    fn magnitude_bound_grows_with_m_and_mu() {
+        let s = pca_sensitivity(16.0, 1.0, 4);
+        let b1 = magnitude_bound(s, 100, 1e4);
+        let b2 = magnitude_bound(s, 1000, 1e4);
+        let b3 = magnitude_bound(s, 100, 1e8);
+        assert!(b2 > b1 && b3 > b1);
+    }
+}

@@ -1,0 +1,33 @@
+//! The paper's task instantiations and every baseline its evaluation
+//! compares against (Section V / VI).
+//!
+//! **PCA** ([`pca`]):
+//! * [`pca::SqmPca`] — SQM: quantize, secure noisy covariance, eigensolve.
+//! * [`pca::AnalyzeGaussPca`] — the central-DP upper bound \[65\].
+//! * [`pca::LocalDpPca`] — the VFL local-DP baseline (Algorithm 4).
+//! * [`pca::NonPrivatePca`] — utility ceiling.
+//!
+//! **Ridge regression** ([`ridge`]) — an extension instantiation showing the
+//! framework generalizes: the sufficient statistics `X^T X` and `X^T y` are
+//! one augmented-covariance release.
+//!
+//! **Logistic regression** ([`logreg`]):
+//! * [`logreg::SqmLogReg`] — SQM with the degree-1 Taylor gradient (Eq. 9),
+//!   subsampled Skellam accounting (Lemma 7).
+//! * [`logreg::DpSgd`] — central DPSGD \[54\] with exact sigmoid gradients.
+//! * [`logreg::ApproxPolyLogReg`] — central Gaussian + polynomial gradient
+//!   (Figure 5's "Approx-Poly").
+//! * [`logreg::LocalDpLogReg`] — train on an Algorithm-4-perturbed dataset.
+//! * [`logreg::NonPrivateLogReg`] — accuracy ceiling.
+
+pub mod histogram;
+pub mod logreg;
+pub mod pca;
+pub mod ridge;
+pub mod stats;
+
+pub use logreg::{ApproxPolyLogReg, DpSgd, LocalDpLogReg, LrConfig, NonPrivateLogReg, SqmLogReg};
+pub use pca::{AnalyzeGaussPca, LocalDpPca, NonPrivatePca, PcaBackend, SqmPca};
+pub use ridge::{GaussianRidge, LocalDpRidge, NonPrivateRidge, RidgeBackend, SqmRidge};
+pub use histogram::{Categorical, GaussianHistogram, SqmContingency, SqmHistogram};
+pub use stats::{GaussianMean, LocalDpMean, MeanBackend, SqmMean};

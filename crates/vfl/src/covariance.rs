@@ -1,0 +1,512 @@
+//! Secure noisy covariance: the PCA workload (Section V-A).
+//!
+//! The clients compute `hatC = hatX^T hatX + sum_p N_p` where `hatX` is the
+//! gamma-quantized data and each `N_p` is a symmetric matrix of client-local
+//! `Sk(mu/P)` noise. Only `hatC` is opened; the server divides by `gamma^2`
+//! and eigendecomposes.
+//!
+//! Communication structure: the local products `hat x_ij * hat x_ik` are
+//! summed over records *before* degree reduction (addition is free at
+//! degree 2t), so the entire covariance needs exactly one batched reduction
+//! round of `n(n+1)/2` elements — communication `O(n^2 P)` independent
+//! of `m`, matching Table I.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sqm_core::quantize::quantize_vec;
+use sqm_field::{FieldChoice, PrimeField, M127, M61};
+use sqm_linalg::Matrix;
+use sqm_mpc::{MpcConfig, MpcEngine, RunStats};
+use sqm_sampling::skellam::{sample_skellam, sample_skellam_symmetric};
+
+use crate::partition::ColumnPartition;
+use crate::VflConfig;
+
+/// The opened, still-amplified covariance and the run statistics.
+#[derive(Debug)]
+pub struct CovarianceOutput {
+    /// `hatX^T hatX + Sk(mu)` as an `n x n` symmetric matrix (integer
+    /// values stored in `f64`; the server divides by `gamma^2`).
+    pub c_hat: Matrix,
+    /// MPC accounting (empty/default for the plaintext backend).
+    pub stats: RunStats,
+}
+
+/// Full BGW execution of the noisy covariance.
+pub fn covariance_skellam(
+    data: &Matrix,
+    partition: &ColumnPartition,
+    gamma: f64,
+    mu: f64,
+    cfg: &VflConfig,
+) -> CovarianceOutput {
+    validate(data, partition, cfg);
+    let bound = magnitude_bound(data, gamma, mu);
+    match FieldChoice::for_magnitude(bound).expect("workload exceeds M127 headroom") {
+        FieldChoice::M61 => covariance_impl::<M61>(data, partition, gamma, mu, cfg),
+        FieldChoice::M127 => covariance_impl::<M127>(data, partition, gamma, mu, cfg),
+    }
+}
+
+/// Output-equivalent plaintext simulation (identical output law; the MPC
+/// protocol reveals exactly this quantity). Used by the statistical
+/// experiments, which need thousands of runs.
+pub fn covariance_skellam_plaintext<R: rand::Rng + ?Sized>(
+    rng: &mut R,
+    data: &Matrix,
+    gamma: f64,
+    mu: f64,
+    n_clients: usize,
+) -> Matrix {
+    assert!(n_clients >= 1);
+    let n = data.cols();
+    let mut qrows: Vec<Vec<i64>> = Vec::with_capacity(data.rows());
+    for i in 0..data.rows() {
+        qrows.push(quantize_vec(rng, data.row(i), gamma));
+    }
+    let mut c = vec![0i128; n * n];
+    for row in &qrows {
+        for j in 0..n {
+            let xj = row[j] as i128;
+            if xj == 0 {
+                continue;
+            }
+            for k in j..n {
+                c[j * n + k] += xj * row[k] as i128;
+            }
+        }
+    }
+    // Aggregate noise: sum of per-client symmetric Sk(mu/P) matrices.
+    let local_mu = mu / n_clients as f64;
+    for _ in 0..n_clients {
+        let noise = sample_skellam_symmetric(rng, local_mu, n);
+        for j in 0..n {
+            for k in j..n {
+                c[j * n + k] += noise[j * n + k] as i128;
+            }
+        }
+    }
+    let mut out = Matrix::zeros(n, n);
+    for j in 0..n {
+        for k in j..n {
+            out[(j, k)] = c[j * n + k] as f64;
+            out[(k, j)] = out[(j, k)];
+        }
+    }
+    out
+}
+
+fn validate(data: &Matrix, partition: &ColumnPartition, cfg: &VflConfig) {
+    assert_eq!(partition.n_cols(), data.cols(), "partition/data column mismatch");
+    assert_eq!(
+        partition.n_clients(),
+        cfg.n_clients,
+        "partition/config client-count mismatch"
+    );
+    assert!(cfg.n_clients >= 2, "MPC needs at least 2 clients");
+}
+
+fn magnitude_bound(data: &Matrix, gamma: f64, mu: f64) -> f64 {
+    let c = data.max_row_norm().max(1e-9);
+    let per_entry = gamma * c + 1.0;
+    data.rows() as f64 * per_entry * per_entry + 12.0 * (2.0 * mu).sqrt() + 1.0
+}
+
+/// Memory-bounded variant: records are shared and locally multiplied in
+/// chunks of `chunk_records` rows, so peak share memory is
+/// `O(chunk_records * n)` per party instead of `O(m * n)`. Costs one extra
+/// input round per chunk; the degree-2t accumulator carries across chunks
+/// (addition is free at any degree), so reduction, noise and opening still
+/// happen exactly once. Output law identical to [`covariance_skellam`].
+pub fn covariance_skellam_chunked(
+    data: &Matrix,
+    partition: &ColumnPartition,
+    gamma: f64,
+    mu: f64,
+    cfg: &VflConfig,
+    chunk_records: usize,
+) -> CovarianceOutput {
+    validate(data, partition, cfg);
+    assert!(chunk_records >= 1, "chunk size must be positive");
+    let bound = magnitude_bound(data, gamma, mu);
+    match FieldChoice::for_magnitude(bound).expect("workload exceeds M127 headroom") {
+        FieldChoice::M61 => {
+            chunked_impl::<M61>(data, partition, gamma, mu, cfg, chunk_records)
+        }
+        FieldChoice::M127 => {
+            chunked_impl::<M127>(data, partition, gamma, mu, cfg, chunk_records)
+        }
+    }
+}
+
+fn chunked_impl<F: PrimeField>(
+    data: &Matrix,
+    partition: &ColumnPartition,
+    gamma: f64,
+    mu: f64,
+    cfg: &VflConfig,
+    chunk_records: usize,
+) -> CovarianceOutput {
+    let n = data.cols();
+    let m = data.rows();
+    let p_clients = cfg.n_clients;
+    let engine = MpcEngine::new(
+        MpcConfig::semi_honest(p_clients)
+            .with_latency(cfg.latency)
+            .with_seed(cfg.seed),
+    );
+    let upper_len = n * (n + 1) / 2;
+    let counts = partition.counts();
+
+    let run = engine.run::<F, Vec<i128>, _>(|ctx| {
+        let me = ctx.id;
+        let mut qrng = StdRng::seed_from_u64(cfg.seed ^ (0xA11C_E000 + me as u64));
+        let my_cols = partition.columns_of(me);
+        // Degree-2t accumulator for the upper-triangular covariance.
+        let mut acc = vec![F::ZERO; upper_len];
+
+        let mut start = 0;
+        while start < m {
+            let end = (start + chunk_records).min(m);
+            let rows = end - start;
+            ctx.set_phase("quantize");
+            let mut my_values: Vec<F> = Vec::with_capacity(my_cols.len() * rows);
+            for &j in &my_cols {
+                for i in start..end {
+                    let q = sqm_sampling::rounding::stochastic_round(
+                        &mut qrng,
+                        gamma * data[(i, j)],
+                    );
+                    my_values.push(F::from_i128(q as i128));
+                }
+            }
+            ctx.set_phase("input");
+            let expected: Vec<usize> = counts.iter().map(|&c| c * rows).collect();
+            let contributions = ctx.share_all_uneven(&my_values, &expected);
+            let mut col_shares: Vec<Vec<F>> = vec![Vec::new(); n];
+            for (client, contrib) in contributions.into_iter().enumerate() {
+                for (slot, &j) in partition.columns_of(client).iter().enumerate() {
+                    col_shares[j] = contrib[slot * rows..(slot + 1) * rows].to_vec();
+                }
+            }
+            ctx.set_phase("compute");
+            let mut idx = 0;
+            for j in 0..n {
+                for k in j..n {
+                    let mut s = F::ZERO;
+                    for (&xj, &xk) in col_shares[j].iter().zip(&col_shares[k]) {
+                        s += xj * xk;
+                    }
+                    acc[idx] += s;
+                    idx += 1;
+                }
+            }
+            start = end;
+        }
+
+        ctx.set_phase("compute");
+        let mut reduced = ctx.reduce_degree(&acc);
+
+        ctx.set_phase("dp_noise");
+        let local_mu = mu / p_clients as f64;
+        let mut nrng = StdRng::seed_from_u64(cfg.seed ^ (0x5E11_A000 + me as u64));
+        let my_noise: Vec<F> = (0..upper_len)
+            .map(|_| F::from_i128(sample_skellam(&mut nrng, local_mu) as i128))
+            .collect();
+        for contrib in ctx.share_all(&my_noise) {
+            reduced = ctx.add(&reduced, &contrib);
+        }
+
+        ctx.set_phase("open");
+        ctx.open(&reduced)
+            .into_iter()
+            .map(|v| v.to_centered_i128())
+            .collect()
+    });
+
+    let opened = &run.outputs[0];
+    let mut c_hat = Matrix::zeros(n, n);
+    let mut idx = 0;
+    for j in 0..n {
+        for k in j..n {
+            c_hat[(j, k)] = opened[idx] as f64;
+            c_hat[(k, j)] = c_hat[(j, k)];
+            idx += 1;
+        }
+    }
+    CovarianceOutput {
+        c_hat,
+        stats: run.stats,
+    }
+}
+
+fn covariance_impl<F: PrimeField>(
+    data: &Matrix,
+    partition: &ColumnPartition,
+    gamma: f64,
+    mu: f64,
+    cfg: &VflConfig,
+) -> CovarianceOutput {
+    let n = data.cols();
+    let m = data.rows();
+    let p_clients = cfg.n_clients;
+    let engine = MpcEngine::new(
+        MpcConfig::semi_honest(p_clients)
+            .with_latency(cfg.latency)
+            .with_seed(cfg.seed),
+    );
+    let upper_len = n * (n + 1) / 2;
+    // Column share lengths per client (column-major flattening).
+    let counts = partition.counts();
+    let expected: Vec<usize> = counts.iter().map(|&c| c * m).collect();
+
+    let run = engine.run::<F, Vec<i128>, _>(|ctx| {
+        let me = ctx.id;
+        // --- quantize my own columns with my private randomness ----------
+        ctx.set_phase("quantize");
+        let mut qrng = StdRng::seed_from_u64(cfg.seed ^ (0xA11C_E000 + me as u64));
+        let my_cols = partition.columns_of(me);
+        let mut my_values: Vec<F> = Vec::with_capacity(my_cols.len() * m);
+        for &j in &my_cols {
+            let q = quantize_vec(&mut qrng, &data.col(j), gamma);
+            my_values.extend(q.into_iter().map(|v| F::from_i128(v as i128)));
+        }
+
+        // --- input sharing (one round, all clients simultaneously) -------
+        ctx.set_phase("input");
+        let contributions = ctx.share_all_uneven(&my_values, &expected);
+        // Reassemble global column order: shares[j] = my share-vector of
+        // column j (length m).
+        let mut col_shares: Vec<Vec<F>> = vec![Vec::new(); n];
+        for (client, contrib) in contributions.into_iter().enumerate() {
+            let cols = partition.columns_of(client);
+            for (slot, &j) in cols.iter().enumerate() {
+                col_shares[j] = contrib[slot * m..(slot + 1) * m].to_vec();
+            }
+        }
+
+        // --- covariance: local inner products, one batched reduction -----
+        ctx.set_phase("compute");
+        let mut locals: Vec<F> = Vec::with_capacity(upper_len);
+        for j in 0..n {
+            for k in j..n {
+                let mut acc = F::ZERO;
+                for (&xj, &xk) in col_shares[j].iter().zip(&col_shares[k]) {
+                    acc += xj * xk;
+                }
+                locals.push(acc);
+            }
+        }
+        let mut reduced = ctx.reduce_degree(&locals);
+
+        // --- distributed Skellam noise (one round) ------------------------
+        ctx.set_phase("dp_noise");
+        let local_mu = mu / p_clients as f64;
+        let mut nrng = StdRng::seed_from_u64(cfg.seed ^ (0x5E11_A000 + me as u64));
+        let my_noise: Vec<F> = (0..upper_len)
+            .map(|_| F::from_i128(sample_skellam(&mut nrng, local_mu) as i128))
+            .collect();
+        let noise_contribs = ctx.share_all(&my_noise);
+        for contrib in noise_contribs {
+            reduced = ctx.add(&reduced, &contrib);
+        }
+
+        // --- open ----------------------------------------------------------
+        ctx.set_phase("open");
+        let opened = ctx.open(&reduced);
+        opened.into_iter().map(|v| v.to_centered_i128()).collect()
+    });
+
+    // All parties opened the same values; take party 0's view.
+    let opened = &run.outputs[0];
+    for other in &run.outputs[1..] {
+        debug_assert_eq!(other, opened, "parties disagree on the opened result");
+    }
+    let mut c_hat = Matrix::zeros(n, n);
+    let mut idx = 0;
+    for j in 0..n {
+        for k in j..n {
+            c_hat[(j, k)] = opened[idx] as f64;
+            c_hat[(k, j)] = c_hat[(j, k)];
+            idx += 1;
+        }
+    }
+    CovarianceOutput {
+        c_hat,
+        stats: run.stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn small_data() -> Matrix {
+        Matrix::from_rows(&[
+            vec![0.5, -0.2, 0.1, 0.3],
+            vec![-0.4, 0.3, 0.2, -0.1],
+            vec![0.1, 0.1, -0.5, 0.2],
+            vec![0.6, 0.0, 0.3, 0.4],
+            vec![-0.2, -0.3, 0.1, 0.1],
+        ])
+    }
+
+    #[test]
+    fn mpc_covariance_matches_truth_without_noise() {
+        let data = small_data();
+        let partition = ColumnPartition::even(4, 4);
+        let gamma = 1024.0;
+        let cfg = VflConfig::fast(4);
+        let out = covariance_skellam(&data, &partition, gamma, 0.0, &cfg);
+        let truth = data.gram();
+        let scaled = out.c_hat.scaled(1.0 / (gamma * gamma));
+        let err = scaled.sub(&truth).frobenius_norm();
+        assert!(err < 0.02, "err {err}\n{scaled:?}\n{truth:?}");
+        assert!(out.c_hat.is_symmetric(0.0));
+    }
+
+    #[test]
+    fn plaintext_and_mpc_agree_statistically() {
+        let data = small_data();
+        let partition = ColumnPartition::even(4, 2);
+        let gamma = 4096.0;
+        let cfg = VflConfig::fast(2);
+        let mpc = covariance_skellam(&data, &partition, gamma, 0.0, &cfg);
+        let mut rng = StdRng::seed_from_u64(99);
+        let plain = covariance_skellam_plaintext(&mut rng, &data, gamma, 0.0, 2);
+        let diff = mpc
+            .c_hat
+            .scaled(1.0 / (gamma * gamma))
+            .sub(&plain.scaled(1.0 / (gamma * gamma)))
+            .frobenius_norm();
+        assert!(diff < 0.02, "diff {diff}");
+    }
+
+    #[test]
+    fn noise_perturbs_output() {
+        let data = small_data();
+        let partition = ColumnPartition::even(4, 4);
+        let cfg = VflConfig::fast(4);
+        let mu = 1e6;
+        let out = covariance_skellam(&data, &partition, 64.0, mu, &cfg);
+        let clean = covariance_skellam(&data, &partition, 64.0, 0.0, &cfg);
+        let delta = out.c_hat.sub(&clean.c_hat).frobenius_norm();
+        // Noise std per entry is sqrt(2 mu) ~ 1414; 10 entries upper.
+        assert!(delta > 100.0, "delta {delta}");
+        assert!(out.c_hat.is_symmetric(0.0));
+    }
+
+    #[test]
+    fn rounds_independent_of_m() {
+        let partition = ColumnPartition::even(3, 3);
+        let cfg = VflConfig::fast(3);
+        let d1 = Matrix::from_rows(&vec![vec![0.1, 0.2, 0.3]; 5]);
+        let d2 = Matrix::from_rows(&vec![vec![0.1, 0.2, 0.3]; 50]);
+        let r1 = covariance_skellam(&d1, &partition, 16.0, 1.0, &cfg);
+        let r2 = covariance_skellam(&d2, &partition, 16.0, 1.0, &cfg);
+        assert_eq!(r1.stats.total.rounds, r2.stats.total.rounds);
+        assert_eq!(r1.stats.total.rounds, 4); // input, reduce, noise, open
+    }
+
+    #[test]
+    fn dp_noise_phase_is_tracked() {
+        let data = small_data();
+        let partition = ColumnPartition::even(4, 4);
+        let cfg = VflConfig::fast(4);
+        let out = covariance_skellam(&data, &partition, 32.0, 10.0, &cfg);
+        assert_eq!(out.stats.phases["dp_noise"].rounds, 1);
+        assert!(out.stats.phases["dp_noise"].bytes > 0);
+    }
+
+    #[test]
+    fn large_gamma_dispatches_to_m127_and_stays_correct() {
+        let data = small_data();
+        let partition = ColumnPartition::even(4, 2);
+        let cfg = VflConfig::fast(2);
+        // gamma = 2^24 => per-entry ~ (2^24)^2 * m > 2^50; with the safety
+        // margins this routes to M127.
+        let gamma = (1u64 << 24) as f64;
+        let out = covariance_skellam(&data, &partition, gamma, 0.0, &cfg);
+        let scaled = out.c_hat.scaled(1.0 / (gamma * gamma));
+        let err = scaled.sub(&data.gram()).frobenius_norm();
+        assert!(err < 1e-4, "err {err}");
+    }
+
+    #[test]
+    fn plaintext_noise_variance_matches_skellam() {
+        let data = Matrix::zeros(1, 2);
+        let mu = 500.0;
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut vals = Vec::new();
+        for _ in 0..2000 {
+            let c = covariance_skellam_plaintext(&mut rng, &data, 16.0, mu, 4);
+            vals.push(c[(0, 1)]);
+        }
+        let mean = vals.iter().sum::<f64>() / vals.len() as f64;
+        let var = vals.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / vals.len() as f64;
+        assert!((var - 2.0 * mu).abs() / (2.0 * mu) < 0.15, "var {var}");
+    }
+
+    #[test]
+    #[should_panic(expected = "column mismatch")]
+    fn rejects_partition_mismatch() {
+        let data = small_data();
+        let partition = ColumnPartition::even(3, 3);
+        covariance_skellam(&data, &partition, 16.0, 0.0, &VflConfig::fast(3));
+    }
+}
+
+#[cfg(test)]
+mod chunked_tests {
+    use super::*;
+
+    #[test]
+    fn chunked_matches_unchunked_without_noise() {
+        let data = Matrix::from_rows(&[vec![0.5, -0.2, 0.1],
+            vec![-0.4, 0.3, 0.2],
+            vec![0.1, 0.1, -0.5],
+            vec![0.6, 0.0, 0.3],
+            vec![-0.2, -0.3, 0.1],
+            vec![0.3, 0.2, 0.2],
+            vec![0.1, -0.1, 0.4]]);
+        let partition = ColumnPartition::even(3, 3);
+        let gamma = 2048.0;
+        let cfg = VflConfig::fast(3);
+        let full = covariance_skellam(&data, &partition, gamma, 0.0, &cfg);
+        let chunked = covariance_skellam_chunked(&data, &partition, gamma, 0.0, &cfg, 3);
+        // Same quantization stream per client, same arithmetic: identical.
+        assert_eq!(full.c_hat, chunked.c_hat);
+    }
+
+    #[test]
+    fn chunked_round_count() {
+        let data = Matrix::from_rows(&vec![vec![0.1, 0.2]; 10]);
+        let partition = ColumnPartition::even(2, 2);
+        let cfg = VflConfig::fast(2);
+        let out = covariance_skellam_chunked(&data, &partition, 32.0, 1.0, &cfg, 4);
+        // ceil(10/4) = 3 input rounds + reduce + noise + open.
+        assert_eq!(out.stats.total.rounds, 6);
+        assert_eq!(out.stats.phases["input"].rounds, 3);
+    }
+
+    #[test]
+    fn chunk_size_larger_than_m_equals_single_chunk() {
+        let data = Matrix::from_rows(&vec![vec![0.3, -0.1]; 5]);
+        let partition = ColumnPartition::even(2, 2);
+        let cfg = VflConfig::fast(2);
+        let a = covariance_skellam_chunked(&data, &partition, 64.0, 0.0, &cfg, 100);
+        let b = covariance_skellam(&data, &partition, 64.0, 0.0, &cfg);
+        assert_eq!(a.c_hat, b.c_hat);
+        assert_eq!(a.stats.total.rounds, b.stats.total.rounds);
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk size")]
+    fn rejects_zero_chunk() {
+        let data = Matrix::zeros(2, 2);
+        let partition = ColumnPartition::even(2, 2);
+        covariance_skellam_chunked(&data, &partition, 16.0, 0.0, &VflConfig::fast(2), 0);
+    }
+}

@@ -1,0 +1,88 @@
+//! The vertical-federated-learning runtime.
+//!
+//! Binds the SQM mechanism (`sqm-core`) to the BGW engine (`sqm-mpc`):
+//! columns of the private matrix are assigned to clients
+//! ([`partition::ColumnPartition`]), each client quantizes its own columns
+//! and samples its own Skellam noise share *inside its party thread*, and
+//! the clients jointly evaluate the target polynomial, open only the
+//! perturbed integer result, and hand it to the (untrusted) server for
+//! down-scaling.
+//!
+//! Three protocol entry points cover the paper's workloads:
+//!
+//! * [`covariance::covariance_skellam`] — the PCA covariance `X^T X + Sk`
+//!   (Section V-A), with batched secure inner products: one degree-reduction
+//!   round for all `n(n+1)/2` entries.
+//! * [`gradient::gradient_sum_skellam`] — one LR gradient-sum step on a
+//!   batch (Section V-B, Eq. 9). The weight vector is public, so the inner
+//!   product `<w/4, x>` is a *local* linear operation; only the `d`
+//!   per-dimension products need a (single, batched) reduction.
+//! * [`mean::column_sums_skellam`] — degree-1 column sums/means
+//!   (Algorithm 1 with `lambda = 1`): a purely linear protocol whose
+//!   communication is independent of the record count.
+//! * [`generic::eval_polynomial_skellam`] — any [`sqm_core::Polynomial`],
+//!   compiled to an arithmetic circuit. General but per-record; intended
+//!   for small workloads and cross-checking.
+//!
+//! Field width (`M61` vs `M127`) is chosen automatically from a worst-case
+//! magnitude bound so the integer computation cannot wrap.
+//!
+//! **Two-client caveat:** BGW with `P = 2` degenerates to threshold `t = 0`
+//! (shares equal secrets), so outputs are correct but the clients have no
+//! secrecy from each other. Use three or more MPC parties — two data owners
+//! can enlist a neutral compute helper that owns no columns — or the
+//! additive backend (`sqm_mpc::additive`) for genuine two-party secrecy.
+
+pub mod covariance;
+pub mod generic;
+pub mod gradient;
+pub mod mean;
+pub mod partition;
+pub mod session;
+
+pub use covariance::{covariance_skellam, covariance_skellam_chunked, CovarianceOutput};
+pub use generic::eval_polynomial_skellam;
+pub use gradient::{gradient_sum_skellam, GradientOutput};
+pub use mean::{column_sums_skellam, column_sums_skellam_additive, MeanOutput};
+pub use partition::ColumnPartition;
+pub use session::{ServerView, VflSession};
+
+use std::time::Duration;
+
+/// Configuration shared by the VFL protocols.
+#[derive(Clone, Debug)]
+pub struct VflConfig {
+    /// Number of clients `P` (MPC parties).
+    pub n_clients: usize,
+    /// Simulated per-hop network latency (paper: 0.1 s).
+    pub latency: Duration,
+    /// Seed for quantization randomness, noise sampling and share
+    /// polynomials (per-party streams are derived from it).
+    pub seed: u64,
+}
+
+impl VflConfig {
+    pub fn new(n_clients: usize) -> Self {
+        VflConfig {
+            n_clients,
+            latency: Duration::from_millis(100),
+            seed: 7,
+        }
+    }
+
+    /// Zero latency — for tests and statistical experiments where only the
+    /// output matters.
+    pub fn fast(n_clients: usize) -> Self {
+        Self::new(n_clients).with_latency(Duration::ZERO)
+    }
+
+    pub fn with_latency(mut self, latency: Duration) -> Self {
+        self.latency = latency;
+        self
+    }
+
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}

@@ -1,0 +1,211 @@
+//! Session orchestration with an explicit, auditable server view.
+//!
+//! The paper's threat model distinguishes what the *server* observes
+//! (Eq. 3) from what a *client* observes (Eq. 4). [`VflSession`] makes the
+//! server side of that boundary executable: every value that crosses from
+//! the clients to the server goes through [`ServerView::receive`], which
+//! records it, so a test (or an auditor) can verify that the server's
+//! entire view of a protocol run consists of exactly the DP-accounted
+//! releases — never raw data, shares, or noise components.
+
+use sqm_linalg::Matrix;
+use sqm_mpc::RunStats;
+
+use crate::covariance::covariance_skellam;
+use crate::gradient::gradient_sum_skellam;
+use crate::mean::column_sums_skellam;
+use crate::partition::ColumnPartition;
+use crate::VflConfig;
+
+/// One value the server received, with its provenance.
+#[derive(Clone, Debug)]
+pub struct Release {
+    /// What protocol produced it.
+    pub kind: ReleaseKind,
+    /// The opened (already perturbed, still amplified) values.
+    pub values: Vec<f64>,
+    /// The Skellam parameter the release was perturbed with.
+    pub mu: f64,
+    /// The quantization scale.
+    pub gamma: f64,
+}
+
+/// Protocol that produced a release.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum ReleaseKind {
+    Covariance,
+    GradientSum,
+    ColumnSums,
+}
+
+/// The untrusted coordinator's complete view of a session.
+#[derive(Debug, Default)]
+pub struct ServerView {
+    releases: Vec<Release>,
+}
+
+impl ServerView {
+    fn receive(&mut self, release: Release) {
+        self.releases.push(release);
+    }
+
+    /// Everything the server has seen.
+    pub fn releases(&self) -> &[Release] {
+        &self.releases
+    }
+
+    /// Number of DP releases observed.
+    pub fn len(&self) -> usize {
+        self.releases.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.releases.is_empty()
+    }
+}
+
+/// A VFL session: fixed clients/partition, a sequence of protocol calls,
+/// and the accumulated [`ServerView`].
+pub struct VflSession {
+    partition: ColumnPartition,
+    cfg: VflConfig,
+    view: ServerView,
+    total_stats: Vec<RunStats>,
+}
+
+impl VflSession {
+    pub fn new(partition: ColumnPartition, cfg: VflConfig) -> Self {
+        assert_eq!(partition.n_clients(), cfg.n_clients, "partition/config mismatch");
+        VflSession {
+            partition,
+            cfg,
+            view: ServerView::default(),
+            total_stats: Vec::new(),
+        }
+    }
+
+    /// The server's accumulated view.
+    pub fn server_view(&self) -> &ServerView {
+        &self.view
+    }
+
+    /// Per-protocol MPC statistics, in execution order.
+    pub fn stats(&self) -> &[RunStats] {
+        &self.total_stats
+    }
+
+    /// Run the noisy covariance protocol; the server receives only the
+    /// opened `hatC` and down-scales it.
+    pub fn covariance(&mut self, data: &Matrix, gamma: f64, mu: f64) -> Matrix {
+        let out = covariance_skellam(data, &self.partition, gamma, mu, &self.cfg);
+        self.view.receive(Release {
+            kind: ReleaseKind::Covariance,
+            values: out.c_hat.as_slice().to_vec(),
+            mu,
+            gamma,
+        });
+        self.total_stats.push(out.stats);
+        out.c_hat.scaled(1.0 / (gamma * gamma))
+    }
+
+    /// Run one noisy gradient-sum step.
+    pub fn gradient_sum(
+        &mut self,
+        data: &Matrix,
+        batch: &[usize],
+        w: &[f64],
+        gamma: f64,
+        mu: f64,
+    ) -> Vec<f64> {
+        let out = gradient_sum_skellam(data, &self.partition, batch, w, gamma, mu, &self.cfg);
+        self.view.receive(Release {
+            kind: ReleaseKind::GradientSum,
+            values: out.grad_sum.iter().map(|&g| g * gamma.powi(3)).collect(),
+            mu,
+            gamma,
+        });
+        self.total_stats.push(out.stats);
+        out.grad_sum
+    }
+
+    /// Run the noisy column-sum (mean) protocol.
+    pub fn column_sums(&mut self, data: &Matrix, gamma: f64, mu: f64) -> Vec<f64> {
+        let out = column_sums_skellam(data, &self.partition, gamma, mu, &self.cfg);
+        self.view.receive(Release {
+            kind: ReleaseKind::ColumnSums,
+            values: out.sums_hat.clone(),
+            mu,
+            gamma,
+        });
+        self.total_stats.push(out.stats);
+        out.sums_hat.iter().map(|&s| s / gamma).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn data() -> Matrix {
+        Matrix::from_rows(&[
+            vec![0.5, -0.2, 0.1, 1.0],
+            vec![-0.4, 0.3, 0.2, 0.0],
+            vec![0.1, 0.1, -0.5, 1.0],
+            vec![0.6, 0.0, 0.3, 0.0],
+        ])
+    }
+
+    #[test]
+    fn view_records_every_release_and_nothing_else() {
+        let partition = ColumnPartition::even(4, 2);
+        let mut session = VflSession::new(partition, VflConfig::fast(2));
+        let x = data();
+        let gamma = 512.0;
+        session.covariance(&x, gamma, 10.0);
+        session.column_sums(&x, gamma, 10.0);
+        session.gradient_sum(&x, &[0, 1, 2], &[0.1, 0.0, -0.1], gamma, 10.0);
+
+        let view = session.server_view();
+        assert_eq!(view.len(), 3);
+        assert_eq!(view.releases()[0].kind, ReleaseKind::Covariance);
+        assert_eq!(view.releases()[1].kind, ReleaseKind::ColumnSums);
+        assert_eq!(view.releases()[2].kind, ReleaseKind::GradientSum);
+        assert_eq!(session.stats().len(), 3);
+    }
+
+    #[test]
+    fn releases_are_perturbed_not_raw() {
+        // With visible noise, the server's view of the covariance must
+        // differ from the exact quantized statistic — i.e. the server never
+        // sees the noiseless value.
+        let partition = ColumnPartition::even(4, 2);
+        let x = data();
+        let gamma = 64.0;
+        let mu = 1e5;
+        let mut noisy = VflSession::new(partition.clone(), VflConfig::fast(2));
+        let c_noisy = noisy.covariance(&x, gamma, mu);
+        let mut clean = VflSession::new(partition, VflConfig::fast(2));
+        let c_clean = clean.covariance(&x, gamma, 0.0);
+        let delta = c_noisy.sub(&c_clean).frobenius_norm();
+        assert!(delta > 0.1, "server view not perturbed: {delta}");
+    }
+
+    #[test]
+    fn downscaled_outputs_are_consistent_with_view() {
+        let partition = ColumnPartition::even(4, 2);
+        let mut session = VflSession::new(partition, VflConfig::fast(2));
+        let x = data();
+        let gamma = 1024.0;
+        let sums = session.column_sums(&x, gamma, 0.0);
+        let raw = &session.server_view().releases()[0].values;
+        for (s, r) in sums.iter().zip(raw) {
+            assert!((s * gamma - r).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatch")]
+    fn rejects_partition_config_mismatch() {
+        VflSession::new(ColumnPartition::even(4, 2), VflConfig::fast(3));
+    }
+}

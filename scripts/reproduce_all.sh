@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Regenerate every table and figure of the paper at laptop scale.
+# Usage: scripts/reproduce_all.sh [--paper] [--runs N]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+ARGS=("$@")
+BINS=(
+  fig2_pca
+  fig3_lr
+  fig4_gamma_overhead
+  fig5_approx_poly
+  table1_complexity
+  table2_dim_scaling
+  table4_record_scaling
+  table5_client_scaling
+  ablation_noise
+  ablation_taylor
+  ext_ridge
+  ext_frequency
+)
+
+mkdir -p results
+for bin in "${BINS[@]}"; do
+  echo "=== $bin ==="
+  cargo run --release -p sqm-experiments --bin "$bin" -- "${ARGS[@]:-}" | tee "results/$bin.txt"
+done
+echo "All outputs written to results/."
