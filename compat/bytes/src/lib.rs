@@ -1,0 +1,173 @@
+//! Offline stand-in for the `bytes` crate (API subset).
+//!
+//! The MPC wire format only needs an owned byte buffer with a read
+//! cursor ([`Bytes`] + [`Buf`]) and an append-only builder
+//! ([`BytesMut`] + [`BufMut`]). Cheap zero-copy slicing from upstream
+//! `bytes` is not reproduced — encode/decode here copy, which is fine
+//! for an accounting-oriented wire format.
+
+/// Read-side cursor operations.
+pub trait Buf {
+    /// Bytes not yet consumed.
+    fn remaining(&self) -> usize;
+
+    /// Copy `dst.len()` bytes out, advancing the cursor. Panics if fewer
+    /// than `dst.len()` bytes remain.
+    fn copy_to_slice(&mut self, dst: &mut [u8]);
+
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+
+    /// Skip `cnt` bytes. Panics if fewer remain.
+    fn advance(&mut self, cnt: usize);
+}
+
+/// Write-side append operations.
+pub trait BufMut {
+    fn put_slice(&mut self, src: &[u8]);
+
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+}
+
+/// An owned, immutable byte buffer with an internal read cursor.
+#[derive(Clone, Default, PartialEq, Eq, Hash)]
+pub struct Bytes {
+    data: Vec<u8>,
+    pos: usize,
+}
+
+impl Bytes {
+    pub fn new() -> Self {
+        Bytes::default()
+    }
+
+    pub fn from_static(data: &'static [u8]) -> Self {
+        Bytes {
+            data: data.to_vec(),
+            pos: 0,
+        }
+    }
+
+    /// Unconsumed length.
+    pub fn len(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The unconsumed bytes as a slice.
+    pub fn as_ref_slice(&self) -> &[u8] {
+        &self.data[self.pos..]
+    }
+}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Bytes({} bytes)", self.len())
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(data: Vec<u8>) -> Self {
+        Bytes { data, pos: 0 }
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_ref_slice()
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        assert!(dst.len() <= self.remaining(), "copy_to_slice out of bounds");
+        dst.copy_from_slice(&self.data[self.pos..self.pos + dst.len()]);
+        self.pos += dst.len();
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.remaining(), "advance out of bounds");
+        self.pos += cnt;
+    }
+}
+
+/// Growable byte builder; [`BytesMut::freeze`] converts to [`Bytes`].
+#[derive(Clone, Default, Debug, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    pub fn new() -> Self {
+        BytesMut::default()
+    }
+
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut {
+            data: Vec::with_capacity(cap),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    pub fn freeze(self) -> Bytes {
+        Bytes {
+            data: self.data,
+            pos: 0,
+        }
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_freeze_consume() {
+        let mut b = BytesMut::with_capacity(8);
+        b.put_slice(&[1, 2, 3, 4]);
+        b.put_u8(5);
+        let mut frozen = b.freeze();
+        assert_eq!(frozen.len(), 5);
+        let mut out = [0u8; 2];
+        frozen.copy_to_slice(&mut out);
+        assert_eq!(out, [1, 2]);
+        assert_eq!(frozen.len(), 3);
+        frozen.advance(1);
+        assert!(frozen.has_remaining());
+        let mut rest = [0u8; 2];
+        frozen.copy_to_slice(&mut rest);
+        assert_eq!(rest, [4, 5]);
+        assert!(!frozen.has_remaining());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn overread_panics() {
+        let mut b = Bytes::from_static(&[1]);
+        let mut out = [0u8; 2];
+        b.copy_to_slice(&mut out);
+    }
+}

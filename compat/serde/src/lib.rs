@@ -1,0 +1,248 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! This workspace builds hermetically (no crates.io), so `serde` here is a
+//! small in-tree framework rather than the upstream visitor architecture:
+//!
+//! * [`Serialize`] writes a value *directly as JSON* into a `String`
+//!   (`write_json` / [`Serialize::to_json`]). That is the only
+//!   serialization format SQM needs — stats dumps, trace exports and the
+//!   privacy ledger all emit JSON.
+//! * [`Deserialize`] is a marker trait: nothing in the workspace parses
+//!   serialized data back yet. Deriving it keeps type signatures
+//!   source-compatible with upstream serde for a later swap.
+//! * `#[derive(Serialize, Deserialize)]` come from the compat
+//!   `serde_derive` and support non-generic structs and unit enums.
+//!
+//! Conventions: `f64`/`f32` non-finite values serialize as `null` (JSON
+//! has no NaN/Infinity); [`std::time::Duration`] serializes as fractional
+//! seconds (`f64`), which callers should account for when consuming dumps.
+
+// Let the derive macros' generated `::serde::...` paths resolve when the
+// derives are used inside this crate's own tests.
+extern crate self as serde;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Serialize a value as JSON text.
+pub trait Serialize {
+    /// Append this value's JSON encoding to `out`.
+    fn write_json(&self, out: &mut String);
+
+    /// This value's JSON encoding as a fresh string.
+    fn to_json(&self) -> String {
+        let mut out = String::new();
+        self.write_json(&mut out);
+        out
+    }
+}
+
+/// Marker for deserializable types (no parsing implemented in-tree).
+pub trait Deserialize: Sized {}
+
+/// JSON encoding helpers shared by manual and derived impls.
+pub mod json {
+    /// Write `s` as a JSON string literal with escaping.
+    pub fn write_str(out: &mut String, s: &str) {
+        out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    out.push_str(&format!("\\u{:04x}", c as u32));
+                }
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+
+    /// Write a float; non-finite values become `null`.
+    pub fn write_f64(out: &mut String, v: f64) {
+        if v.is_finite() {
+            // `{:?}` is Rust's shortest round-trip float formatting.
+            out.push_str(&format!("{v:?}"));
+        } else {
+            out.push_str("null");
+        }
+    }
+}
+
+macro_rules! impl_serialize_display_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn write_json(&self, out: &mut String) {
+                out.push_str(&self.to_string());
+            }
+        }
+        impl Deserialize for $t {}
+    )*};
+}
+impl_serialize_display_int!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, bool);
+
+impl Serialize for f64 {
+    fn write_json(&self, out: &mut String) {
+        json::write_f64(out, *self);
+    }
+}
+impl Deserialize for f64 {}
+
+impl Serialize for f32 {
+    fn write_json(&self, out: &mut String) {
+        json::write_f64(out, f64::from(*self));
+    }
+}
+impl Deserialize for f32 {}
+
+impl Serialize for str {
+    fn write_json(&self, out: &mut String) {
+        json::write_str(out, self);
+    }
+}
+
+impl Serialize for String {
+    fn write_json(&self, out: &mut String) {
+        json::write_str(out, self);
+    }
+}
+impl Deserialize for String {}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn write_json(&self, out: &mut String) {
+        (**self).write_json(out);
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn write_json(&self, out: &mut String) {
+        out.push('[');
+        for (i, v) in self.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            v.write_json(out);
+        }
+        out.push(']');
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn write_json(&self, out: &mut String) {
+        self.as_slice().write_json(out);
+    }
+}
+impl<T: Serialize> Deserialize for Vec<T> {}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn write_json(&self, out: &mut String) {
+        self.as_slice().write_json(out);
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn write_json(&self, out: &mut String) {
+        match self {
+            Some(v) => v.write_json(out),
+            None => out.push_str("null"),
+        }
+    }
+}
+impl<T: Serialize> Deserialize for Option<T> {}
+
+impl<K: std::fmt::Display, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn write_json(&self, out: &mut String) {
+        out.push('{');
+        for (i, (k, v)) in self.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json::write_str(out, &k.to_string());
+            out.push(':');
+            v.write_json(out);
+        }
+        out.push('}');
+    }
+}
+impl<K: std::fmt::Display, V: Serialize> Deserialize for std::collections::BTreeMap<K, V> {}
+
+impl Serialize for std::time::Duration {
+    /// Durations serialize as fractional seconds.
+    fn write_json(&self, out: &mut String) {
+        json::write_f64(out, self.as_secs_f64());
+    }
+}
+impl Deserialize for std::time::Duration {}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn write_json(&self, out: &mut String) {
+        out.push('[');
+        self.0.write_json(out);
+        out.push(',');
+        self.1.write_json(out);
+        out.push(']');
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    #[derive(Serialize, Deserialize)]
+    struct Named {
+        a: u64,
+        b: Vec<f64>,
+        label: String,
+    }
+
+    #[derive(Serialize, Deserialize)]
+    struct Newtype(u64);
+
+    #[derive(Serialize, Deserialize)]
+    enum Kind {
+        Alpha,
+        Beta,
+    }
+
+    #[test]
+    fn derive_named_struct() {
+        let v = Named {
+            a: 7,
+            b: vec![1.5, 2.0],
+            label: "x\"y".to_string(),
+        };
+        assert_eq!(v.to_json(), r#"{"a":7,"b":[1.5,2.0],"label":"x\"y"}"#);
+    }
+
+    #[test]
+    fn derive_newtype_is_transparent() {
+        assert_eq!(Newtype(42).to_json(), "42");
+    }
+
+    #[test]
+    fn derive_unit_enum_as_string() {
+        assert_eq!(Kind::Alpha.to_json(), "\"Alpha\"");
+        assert_eq!(Kind::Beta.to_json(), "\"Beta\"");
+    }
+
+    #[test]
+    fn primitives_and_containers() {
+        assert_eq!(1.25f64.to_json(), "1.25");
+        assert_eq!(f64::NAN.to_json(), "null");
+        assert_eq!(true.to_json(), "true");
+        assert_eq!(Some(3u32).to_json(), "3");
+        assert_eq!(Option::<u32>::None.to_json(), "null");
+        let mut m = BTreeMap::new();
+        m.insert("k".to_string(), 1u64);
+        assert_eq!(m.to_json(), r#"{"k":1}"#);
+        assert_eq!(std::time::Duration::from_millis(1500).to_json(), "1.5");
+    }
+
+    #[test]
+    fn string_escaping() {
+        assert_eq!("a\nb\t\"c\"\\".to_json(), r#""a\nb\t\"c\"\\""#);
+    }
+}

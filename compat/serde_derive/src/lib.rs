@@ -1,0 +1,251 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! shapes SQM actually derives on: non-generic structs with named fields,
+//! tuple structs, and enums with unit variants. The generated code targets
+//! the compat `serde` crate's JSON-writing trait (see `compat/serde`),
+//! not upstream serde's visitor architecture.
+//!
+//! Written against bare `proc_macro` (no syn/quote in this offline
+//! environment): the input token stream is walked by hand and the impl is
+//! emitted as a formatted string.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Shape {
+    /// `struct S { a: T, b: U }` — field names in declaration order.
+    Named(Vec<String>),
+    /// `struct S(T, U);` — field count.
+    Tuple(usize),
+    /// `struct S;`
+    Unit,
+    /// `enum E { A, B }` — unit variant names.
+    UnitEnum(Vec<String>),
+}
+
+struct TypeDef {
+    name: String,
+    shape: Shape,
+}
+
+fn parse_type_def(input: TokenStream, derive: &str) -> TypeDef {
+    let mut iter = input.into_iter().peekable();
+    // Skip attributes (`#[...]`) and visibility (`pub`, `pub(...)`).
+    let kind = loop {
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                iter.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                if let Some(TokenTree::Group(g)) = iter.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        iter.next();
+                    }
+                }
+            }
+            Some(TokenTree::Ident(id)) => {
+                let s = id.to_string();
+                if s == "struct" || s == "enum" {
+                    break s;
+                }
+                panic!("derive({derive}): unsupported item starting with `{s}`");
+            }
+            other => panic!("derive({derive}): unexpected token {other:?}"),
+        }
+    };
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("derive({derive}): expected type name, got {other:?}"),
+    };
+    let shape = match iter.next() {
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => panic!(
+            "derive({derive}): generic type `{name}` is not supported by the compat serde derive; \
+             implement the trait by hand"
+        ),
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            if kind == "struct" {
+                Shape::Named(parse_named_fields(g.stream(), derive, &name))
+            } else {
+                Shape::UnitEnum(parse_unit_variants(g.stream(), derive, &name))
+            }
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            Shape::Tuple(count_tuple_fields(g.stream()))
+        }
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::Unit,
+        other => panic!("derive({derive}): unexpected token after `{name}`: {other:?}"),
+    };
+    TypeDef { name, shape }
+}
+
+/// Extract field names from a named-fields body:
+/// `attrs* vis? NAME : TYPE ,` repeated, with `<...>` depth tracking so
+/// commas inside generic arguments don't split fields.
+fn parse_named_fields(stream: TokenStream, derive: &str, name: &str) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut iter = stream.into_iter().peekable();
+    loop {
+        // Field start: skip attributes and visibility.
+        let field = loop {
+            match iter.next() {
+                None => return fields,
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    iter.next();
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    if let Some(TokenTree::Group(g)) = iter.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            iter.next();
+                        }
+                    }
+                }
+                Some(TokenTree::Ident(id)) => break id.to_string(),
+                Some(other) => {
+                    panic!("derive({derive}) on {name}: unexpected token {other:?} in field list")
+                }
+            }
+        };
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!(
+                "derive({derive}) on {name}: expected `:` after field `{field}`, got {other:?}"
+            ),
+        }
+        fields.push(field);
+        // Consume the type up to a top-level comma.
+        let mut depth = 0i32;
+        loop {
+            match iter.next() {
+                None => return fields,
+                Some(TokenTree::Punct(p)) => match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    ',' if depth == 0 => break,
+                    _ => {}
+                },
+                Some(_) => {}
+            }
+        }
+    }
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut depth = 0i32;
+    let mut count = 0usize;
+    let mut saw_any = false;
+    for tt in stream {
+        saw_any = true;
+        if let TokenTree::Punct(p) = tt {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => count += 1,
+                _ => {}
+            }
+        }
+    }
+    if saw_any {
+        count + 1
+    } else {
+        0
+    }
+}
+
+fn parse_unit_variants(stream: TokenStream, derive: &str, name: &str) -> Vec<String> {
+    let mut variants = Vec::new();
+    let mut iter = stream.into_iter().peekable();
+    loop {
+        let variant = loop {
+            match iter.next() {
+                None => return variants,
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    iter.next();
+                }
+                Some(TokenTree::Ident(id)) => break id.to_string(),
+                Some(other) => {
+                    panic!("derive({derive}) on {name}: unexpected token {other:?} in enum body")
+                }
+            }
+        };
+        variants.push(variant.clone());
+        // Only unit variants (optionally `= discriminant`) are supported.
+        loop {
+            match iter.next() {
+                None => return variants,
+                Some(TokenTree::Group(_)) => panic!(
+                    "derive({derive}) on {name}: variant `{variant}` carries data; the compat \
+                     serde derive only supports unit variants — implement the trait by hand"
+                ),
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' => break,
+                Some(_) => {}
+            }
+        }
+    }
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let def = parse_type_def(input, "Serialize");
+    let name = &def.name;
+    let body = match &def.shape {
+        Shape::Named(fields) => {
+            let mut b = String::from("out.push('{');\n");
+            for (i, f) in fields.iter().enumerate() {
+                if i > 0 {
+                    b.push_str("out.push(',');\n");
+                }
+                b.push_str(&format!(
+                    "out.push_str(\"\\\"{f}\\\":\");\n\
+                     ::serde::Serialize::write_json(&self.{f}, out);\n"
+                ));
+            }
+            b.push_str("out.push('}');");
+            b
+        }
+        Shape::Tuple(1) => {
+            // Newtype structs serialize transparently, like upstream serde.
+            "::serde::Serialize::write_json(&self.0, out);".to_string()
+        }
+        Shape::Tuple(n) => {
+            let mut b = String::from("out.push('[');\n");
+            for i in 0..*n {
+                if i > 0 {
+                    b.push_str("out.push(',');\n");
+                }
+                b.push_str(&format!(
+                    "::serde::Serialize::write_json(&self.{i}, out);\n"
+                ));
+            }
+            b.push_str("out.push(']');");
+            b
+        }
+        Shape::Unit => "out.push_str(\"null\");".to_string(),
+        Shape::UnitEnum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => \"{v}\","))
+                .collect();
+            format!(
+                "let variant = match self {{ {} }};\n\
+                 ::serde::json::write_str(out, variant);",
+                arms.join("\n")
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn write_json(&self, out: &mut ::std::string::String) {{\n{body}\n}}\n\
+         }}"
+    )
+    .parse()
+    .expect("derive(Serialize): generated impl failed to parse")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let def = parse_type_def(input, "Deserialize");
+    let name = &def.name;
+    format!("impl ::serde::Deserialize for {name} {{}}")
+        .parse()
+        .expect("derive(Deserialize): generated impl failed to parse")
+}

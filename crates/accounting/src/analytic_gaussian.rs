@@ -26,7 +26,10 @@ pub fn gaussian_delta(eps: f64, sigma: f64, s: f64) -> f64 {
 /// `s` satisfies `(eps, delta)`-DP (Lemma 8).
 pub fn analytic_gaussian_sigma(eps: f64, delta: f64, s: f64) -> f64 {
     assert!(eps > 0.0, "eps must be positive, got {eps}");
-    assert!(delta > 0.0 && delta < 1.0, "delta must be in (0,1), got {delta}");
+    assert!(
+        delta > 0.0 && delta < 1.0,
+        "delta must be in (0,1), got {delta}"
+    );
     assert!(s > 0.0, "sensitivity must be positive, got {s}");
 
     // Bracket: delta(sigma) is decreasing; find hi with delta(hi) <= delta.

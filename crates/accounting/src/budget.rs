@@ -100,7 +100,9 @@ mod tests {
     use crate::gaussian::gaussian_rdp;
 
     fn release(sigma: f64) -> RdpCurve {
-        RdpCurve::from_fn(&default_alpha_grid(), |a| gaussian_rdp(a as f64, 1.0, sigma))
+        RdpCurve::from_fn(&default_alpha_grid(), |a| {
+            gaussian_rdp(a as f64, 1.0, sigma)
+        })
     }
 
     #[test]
@@ -113,7 +115,10 @@ mod tests {
                 admitted += 1;
             }
         }
-        assert!(admitted >= 2, "at least two releases should fit, got {admitted}");
+        assert!(
+            admitted >= 2,
+            "at least two releases should fit, got {admitted}"
+        );
         assert!(admitted <= 8, "budget must bind, admitted {admitted}");
         assert!(odo.spent_epsilon() <= 2.0 + 1e-9);
         assert_eq!(odo.releases(), admitted);
@@ -164,7 +169,12 @@ mod tests {
         for _ in 0..9 {
             odo.admit(&r);
         }
-        assert!(odo.spent_epsilon() < 9.0 * single, "{} vs {}", odo.spent_epsilon(), 9.0 * single);
+        assert!(
+            odo.spent_epsilon() < 9.0 * single,
+            "{} vs {}",
+            odo.spent_epsilon(),
+            9.0 * single
+        );
     }
 
     #[test]

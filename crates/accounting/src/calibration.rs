@@ -28,13 +28,7 @@ impl CalibrationTarget {
 }
 
 /// The `(eps, alpha)` achieved by `rounds` subsampled Skellam releases.
-pub fn skellam_epsilon(
-    sens: Sensitivity,
-    mu: f64,
-    rounds: u32,
-    q: f64,
-    delta: f64,
-) -> (f64, u64) {
+pub fn skellam_epsilon(sens: Sensitivity, mu: f64, rounds: u32, q: f64, delta: f64) -> (f64, u64) {
     let grid = default_alpha_grid();
     best_epsilon(
         |a| rounds as f64 * subsampled_rdp(a, q, |l| skellam_rdp(l, sens, mu)),
@@ -44,13 +38,7 @@ pub fn skellam_epsilon(
 }
 
 /// The `(eps, alpha)` achieved by `rounds` subsampled Gaussian releases.
-pub fn gaussian_epsilon(
-    delta2: f64,
-    sigma: f64,
-    rounds: u32,
-    q: f64,
-    delta: f64,
-) -> (f64, u64) {
+pub fn gaussian_epsilon(delta2: f64, sigma: f64, rounds: u32, q: f64, delta: f64) -> (f64, u64) {
     let grid = default_alpha_grid();
     best_epsilon(
         |a| rounds as f64 * subsampled_rdp(a, q, |l| gaussian_rdp(l as f64, delta2, sigma)),

@@ -13,7 +13,10 @@
 /// Lemma 9 for a single order.
 pub fn rdp_to_dp(alpha: f64, tau: f64, delta: f64) -> f64 {
     assert!(alpha > 1.0, "RDP order must exceed 1, got {alpha}");
-    assert!(delta > 0.0 && delta < 1.0, "delta must be in (0,1), got {delta}");
+    assert!(
+        delta > 0.0 && delta < 1.0,
+        "delta must be in (0,1), got {delta}"
+    );
     assert!(tau >= 0.0, "tau must be non-negative");
     tau + ((1.0 / delta).ln() + (alpha - 1.0) * (1.0 - 1.0 / alpha).ln() - alpha.ln())
         / (alpha - 1.0)

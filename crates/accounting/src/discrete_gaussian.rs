@@ -64,6 +64,9 @@ mod tests {
             (ratio_big - 1.0).abs() < 0.02,
             "fine-grained Skellam should match Gaussian variance: {ratio_big}"
         );
-        assert!(ratio_small < 2.0, "even coarse Skellam is within 2x: {ratio_small}");
+        assert!(
+            ratio_small < 2.0,
+            "even coarse Skellam is within 2x: {ratio_small}"
+        );
     }
 }

@@ -29,9 +29,9 @@ pub mod subsampling;
 
 pub use analytic_gaussian::analytic_gaussian_sigma;
 pub use budget::{Admission, PrivacyOdometer};
-pub use discrete_gaussian::discrete_gaussian_rdp;
 pub use calibration::{calibrate_gaussian_sigma, calibrate_skellam_mu, CalibrationTarget};
 pub use conversion::rdp_to_dp;
+pub use discrete_gaussian::discrete_gaussian_rdp;
 pub use gaussian::gaussian_rdp;
 pub use rdp::RdpCurve;
 pub use skellam::skellam_rdp;

@@ -18,11 +18,14 @@ impl RdpCurve {
     pub fn from_fn<F: Fn(u64) -> f64>(alphas: &[u64], tau: F) -> Self {
         assert!(!alphas.is_empty(), "alpha grid must not be empty");
         assert!(alphas.iter().all(|&a| a >= 2), "orders must be >= 2");
-        let taus = alphas.iter().map(|&a| {
-            let t = tau(a);
-            assert!(t >= 0.0 && t.is_finite(), "tau({a}) = {t} invalid");
-            t
-        }).collect();
+        let taus = alphas
+            .iter()
+            .map(|&a| {
+                let t = tau(a);
+                assert!(t >= 0.0 && t.is_finite(), "tau({a}) = {t} invalid");
+                t
+            })
+            .collect();
         RdpCurve {
             alphas: alphas.to_vec(),
             taus,

@@ -47,7 +47,10 @@ impl Sensitivity {
 /// Lemma 1: RDP of order `alpha` (integer, >= 2) for the Skellam mechanism
 /// with noise parameter `mu`.
 pub fn skellam_rdp(alpha: u64, sens: Sensitivity, mu: f64) -> f64 {
-    assert!(alpha >= 2, "Lemma 1 requires integer alpha > 1, got {alpha}");
+    assert!(
+        alpha >= 2,
+        "Lemma 1 requires integer alpha > 1, got {alpha}"
+    );
     assert!(mu > 0.0, "Skellam noise parameter mu must be positive");
     let a = alpha as f64;
     let d1 = sens.l1;
@@ -68,7 +71,10 @@ pub fn skellam_rdp_client_observed(
     mu: f64,
     n_clients: usize,
 ) -> f64 {
-    assert!(n_clients >= 2, "client-observed DP needs at least 2 clients");
+    assert!(
+        n_clients >= 2,
+        "client-observed DP needs at least 2 clients"
+    );
     let eff_mu = mu * (n_clients as f64 - 1.0) / n_clients as f64;
     let doubled = Sensitivity::new(2.0 * sens.l1, 2.0 * sens.l2);
     skellam_rdp(alpha, doubled, eff_mu)

@@ -23,8 +23,14 @@ pub fn subsampled_rdp<F>(alpha: u64, q: f64, base_rdp: F) -> f64
 where
     F: Fn(u64) -> f64,
 {
-    assert!(alpha >= 2, "Lemma 11 requires integer alpha >= 2, got {alpha}");
-    assert!((0.0..=1.0).contains(&q), "sampling rate must be in [0,1], got {q}");
+    assert!(
+        alpha >= 2,
+        "Lemma 11 requires integer alpha >= 2, got {alpha}"
+    );
+    assert!(
+        (0.0..=1.0).contains(&q),
+        "sampling rate must be in [0,1], got {q}"
+    );
     if q == 0.0 {
         return 0.0;
     }
@@ -43,9 +49,7 @@ where
         let lf = l as f64;
         let tau_l = base_rdp(l);
         assert!(tau_l >= 0.0, "base RDP must be non-negative (l={l})");
-        log_terms.push(
-            ln_binomial(alpha, l) + (a - lf) * ln_1mq + lf * ln_q + (lf - 1.0) * tau_l,
-        );
+        log_terms.push(ln_binomial(alpha, l) + (a - lf) * ln_1mq + lf * ln_q + (lf - 1.0) * tau_l);
     }
     log_sum_exp(&log_terms) / (a - 1.0)
 }

@@ -14,11 +14,7 @@ fn bench_accounting(c: &mut Criterion) {
     });
 
     c.bench_function("subsampled_rdp_alpha256", |bch| {
-        bch.iter(|| {
-            black_box(subsampled_rdp(256, 0.001, |l| {
-                skellam_rdp(l, sens, 1e8)
-            }))
-        })
+        bch.iter(|| black_box(subsampled_rdp(256, 0.001, |l| skellam_rdp(l, sens, 1e8))))
     });
 
     c.bench_function("calibrate_skellam_mu_5000_rounds", |bch| {

@@ -2,7 +2,7 @@
 //! the full engine round trip.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
-use sqm::field::{M61, PrimeField};
+use sqm::field::{PrimeField, M61};
 use sqm::mpc::{MpcConfig, MpcEngine};
 use std::time::Duration;
 
@@ -20,12 +20,16 @@ fn bench_bgw(c: &mut Criterion) {
                 let run = eng.run::<M61, _, _>(|ctx| {
                     let a = ctx.share_input(
                         0,
-                        (ctx.id == 0).then(|| vec![M61::from_u64(3); batch]).as_deref(),
+                        (ctx.id == 0)
+                            .then(|| vec![M61::from_u64(3); batch])
+                            .as_deref(),
                         batch,
                     );
                     let b = ctx.share_input(
                         1,
-                        (ctx.id == 1).then(|| vec![M61::from_u64(5); batch]).as_deref(),
+                        (ctx.id == 1)
+                            .then(|| vec![M61::from_u64(5); batch])
+                            .as_deref(),
                         batch,
                     );
                     let p = ctx.mul(&a, &b);
@@ -46,12 +50,16 @@ fn bench_bgw(c: &mut Criterion) {
                 let run = eng.run::<M61, _, _>(|ctx| {
                     let a = ctx.share_input(
                         0,
-                        (ctx.id == 0).then(|| vec![M61::from_u64(2); len]).as_deref(),
+                        (ctx.id == 0)
+                            .then(|| vec![M61::from_u64(2); len])
+                            .as_deref(),
                         len,
                     );
                     let b = ctx.share_input(
                         1,
-                        (ctx.id == 1).then(|| vec![M61::from_u64(7); len]).as_deref(),
+                        (ctx.id == 1)
+                            .then(|| vec![M61::from_u64(7); len])
+                            .as_deref(),
                         len,
                     );
                     let ip = ctx.inner_product(&a, &b);
@@ -74,12 +82,16 @@ fn bench_additive(c: &mut Criterion) {
             let run = eng.run::<M61, _, _>(|ctx| {
                 let x = ctx.share_input(
                     0,
-                    (ctx.id == 0).then(|| vec![M61::from_u64(3); 256]).as_deref(),
+                    (ctx.id == 0)
+                        .then(|| vec![M61::from_u64(3); 256])
+                        .as_deref(),
                     256,
                 );
                 let y = ctx.share_input(
                     1,
-                    (ctx.id == 1).then(|| vec![M61::from_u64(5); 256]).as_deref(),
+                    (ctx.id == 1)
+                        .then(|| vec![M61::from_u64(5); 256])
+                        .as_deref(),
                     256,
                 );
                 let z = ctx.mul(&x, &y);
@@ -94,12 +106,16 @@ fn bench_additive(c: &mut Criterion) {
             let run = eng.run::<M61, _, _>(|ctx| {
                 let x = ctx.share_input(
                     0,
-                    (ctx.id == 0).then(|| vec![M61::from_u64(3); 256]).as_deref(),
+                    (ctx.id == 0)
+                        .then(|| vec![M61::from_u64(3); 256])
+                        .as_deref(),
                     256,
                 );
                 let y = ctx.share_input(
                     1,
-                    (ctx.id == 1).then(|| vec![M61::from_u64(5); 256]).as_deref(),
+                    (ctx.id == 1)
+                        .then(|| vec![M61::from_u64(5); 256])
+                        .as_deref(),
                     256,
                 );
                 let triples = ctx.dealer_triples(256);

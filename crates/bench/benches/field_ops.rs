@@ -4,7 +4,7 @@
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use sqm::field::{M127, M61, PrimeField};
+use sqm::field::{PrimeField, M127, M61};
 
 fn bench_field(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(1);

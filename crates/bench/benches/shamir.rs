@@ -3,17 +3,21 @@
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use sqm::field::{M61, PrimeField};
+use sqm::field::{PrimeField, M61};
 use sqm::mpc::{reconstruct, share_secret};
 
 fn bench_shamir(c: &mut Criterion) {
     let mut g = c.benchmark_group("share_secret");
     for &(t, n) in &[(1usize, 3usize), (4, 10), (9, 20)] {
-        g.bench_with_input(BenchmarkId::from_parameter(format!("t{t}_n{n}")), &(t, n), |bch, &(t, n)| {
-            let mut rng = StdRng::seed_from_u64(1);
-            let s = M61::from_u64(12345);
-            bch.iter(|| black_box(share_secret(&mut rng, s, t, n)))
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("t{t}_n{n}")),
+            &(t, n),
+            |bch, &(t, n)| {
+                let mut rng = StdRng::seed_from_u64(1);
+                let s = M61::from_u64(12345);
+                bch.iter(|| black_box(share_secret(&mut rng, s, t, n)))
+            },
+        );
     }
     g.finish();
 

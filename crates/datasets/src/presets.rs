@@ -55,11 +55,7 @@ pub fn acsincome_like(state: usize, scale: Scale, seed: u64) -> Matrix {
 }
 
 /// ACSIncome-shaped classification dataset (predict income > 50K).
-pub fn acsincome_classification(
-    state: usize,
-    scale: Scale,
-    seed: u64,
-) -> ClassificationDataset {
+pub fn acsincome_classification(state: usize, scale: Scale, seed: u64) -> ClassificationDataset {
     assert!(state < 4, "states are 0..4 (CA, TX, NY, FL)");
     let (m, d) = match scale {
         Scale::Laptop => (2000, 100),

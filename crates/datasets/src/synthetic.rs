@@ -35,7 +35,14 @@ pub struct SpectralSpec {
 
 impl SpectralSpec {
     pub fn new(m: usize, n: usize) -> Self {
-        SpectralSpec { m, n, decay: 0.8, c: 1.0, rotate: true, seed: 0 }
+        SpectralSpec {
+            m,
+            n,
+            decay: 0.8,
+            c: 1.0,
+            rotate: true,
+            seed: 0,
+        }
     }
 
     pub fn with_decay(mut self, decay: f64) -> Self {
@@ -112,7 +119,13 @@ pub struct ClassificationDataset {
 
 impl ClassificationSpec {
     pub fn new(m: usize, d: usize) -> Self {
-        ClassificationSpec { m, d, sharpness: 20.0, label_noise: 0.03, seed: 0 }
+        ClassificationSpec {
+            m,
+            d,
+            sharpness: 20.0,
+            label_noise: 0.03,
+            seed: 0,
+        }
     }
 
     pub fn with_seed(mut self, seed: u64) -> Self {
@@ -161,7 +174,11 @@ impl ClassificationSpec {
             }
             labels.push(y);
         }
-        ClassificationDataset { features, labels, true_weights: w }
+        ClassificationDataset {
+            features,
+            labels,
+            true_weights: w,
+        }
     }
 }
 
@@ -190,7 +207,11 @@ impl ClassificationDataset {
     }
 
     /// Split into train/test by a deterministic shuffle.
-    pub fn split(&self, train_fraction: f64, seed: u64) -> (ClassificationDataset, ClassificationDataset) {
+    pub fn split(
+        &self,
+        train_fraction: f64,
+        seed: u64,
+    ) -> (ClassificationDataset, ClassificationDataset) {
         assert!((0.0..=1.0).contains(&train_fraction));
         let m = self.len();
         let mut idx: Vec<usize> = (0..m).collect();
@@ -238,7 +259,12 @@ pub struct RegressionDataset {
 
 impl RegressionSpec {
     pub fn new(m: usize, d: usize) -> Self {
-        RegressionSpec { m, d, noise: 0.05, seed: 0 }
+        RegressionSpec {
+            m,
+            d,
+            noise: 0.05,
+            seed: 0,
+        }
     }
 
     pub fn with_seed(mut self, seed: u64) -> Self {
@@ -280,7 +306,11 @@ impl RegressionSpec {
                 + self.noise * gauss(&mut rng);
             targets.push(y.clamp(-1.0, 1.0));
         }
-        RegressionDataset { features, targets, true_weights: w }
+        RegressionDataset {
+            features,
+            targets,
+            true_weights: w,
+        }
     }
 }
 
@@ -312,11 +342,7 @@ impl RegressionDataset {
         let m = self.len();
         (0..m)
             .map(|i| {
-                let pred: f64 = w
-                    .iter()
-                    .zip(self.features.row(i))
-                    .map(|(a, b)| a * b)
-                    .sum();
+                let pred: f64 = w.iter().zip(self.features.row(i)).map(|(a, b)| a * b).sum();
                 (pred - self.targets[i]).powi(2)
             })
             .sum::<f64>()
@@ -375,7 +401,10 @@ mod tests {
 
     #[test]
     fn spectrum_decays() {
-        let x = SpectralSpec::new(2000, 16).with_decay(1.0).with_seed(2).generate();
+        let x = SpectralSpec::new(2000, 16)
+            .with_decay(1.0)
+            .with_seed(2)
+            .generate();
         let eig = symmetric_eigen(&x.gram());
         // Top eigenvalue should dominate the 8th by roughly (8)^2 ~ 64x
         // (variance ratio); allow slack for sampling noise.
@@ -384,7 +413,10 @@ mod tests {
 
     #[test]
     fn zero_decay_is_isotropic() {
-        let x = SpectralSpec::new(4000, 8).with_decay(0.0).with_seed(3).generate();
+        let x = SpectralSpec::new(4000, 8)
+            .with_decay(0.0)
+            .with_seed(3)
+            .generate();
         let eig = symmetric_eigen(&x.gram());
         assert!(eig.values[0] / eig.values[7] < 2.0);
     }
@@ -416,7 +448,9 @@ mod tests {
         let mut m0 = 0.0;
         let mut n0 = 0.0;
         for i in 0..ds.len() {
-            let margin: f64 = (0..20).map(|j| ds.true_weights[j] * ds.features[(i, j)]).sum();
+            let margin: f64 = (0..20)
+                .map(|j| ds.true_weights[j] * ds.features[(i, j)])
+                .sum();
             if ds.labels[i] == 1 {
                 m1 += margin;
                 n1 += 1.0;
@@ -471,7 +505,10 @@ mod regression_tests {
         let ds = RegressionSpec::new(2000, 8).with_seed(2).generate();
         let mse_true = ds.mse(&ds.true_weights);
         let mse_zero = ds.mse(&[0.0; 8]);
-        assert!(mse_true < mse_zero / 5.0, "true {mse_true} vs zero {mse_zero}");
+        assert!(
+            mse_true < mse_zero / 5.0,
+            "true {mse_true} vs zero {mse_zero}"
+        );
     }
 
     #[test]

@@ -12,8 +12,10 @@
 
 use sqm::accounting::discrete_gaussian::compare_integer_noise_variances;
 use sqm::accounting::skellam::Sensitivity;
+use sqm_experiments::{obsout, parse_options};
 
 fn main() {
+    parse_options();
     println!("=== Ablation: Skellam vs discrete Gaussian calibrated variance ===");
     println!("(eps = 1, delta = 1e-5, scalar release; sensitivity = quantized scale)\n");
     println!(
@@ -32,4 +34,5 @@ fn main() {
          while its exact convolution closure removes [39]'s distributed-sum\n\
          approximation arguments entirely."
     );
+    obsout::dump_metrics("ablation_noise").expect("writing results/");
 }

@@ -11,7 +11,7 @@ use sqm::tasks::histogram::{
     exact_contingency, l1_error, tv_distance, Categorical, GaussianHistogram, SqmContingency,
     SqmHistogram,
 };
-use sqm_experiments::{fmt_pm, mean_std, parse_options};
+use sqm_experiments::{fmt_pm, mean_std, obsout, parse_options};
 
 fn skewed(m: usize, k: usize, seed: u64) -> Categorical {
     let mut rng = StdRng::seed_from_u64(seed);
@@ -34,7 +34,10 @@ fn main() {
     let truth = data.exact_counts();
     println!("=== Extension: DP frequency estimation (m = {m}, k = {k} categories) ===\n");
     println!("-- single-attribute histogram: L1 error (counts) --");
-    println!("{:>8} {:>22} {:>22} {:>14}", "eps", "SQM (gamma=2^13)", "central Gaussian", "SQM TV dist");
+    println!(
+        "{:>8} {:>22} {:>22} {:>14}",
+        "eps", "SQM (gamma=2^13)", "central Gaussian", "SQM TV dist"
+    );
     for eps in [0.25f64, 1.0, 4.0] {
         let mut rng = StdRng::seed_from_u64(opts.seed ^ eps.to_bits());
         let runs = opts.runs.max(3);
@@ -65,7 +68,11 @@ fn main() {
             / runs as f64;
         let (sm, ss) = mean_std(&sqm);
         let (cm, cs) = mean_std(&central);
-        println!("{eps:>8.2} {:>22} {:>22} {tv:>14.5}", fmt_pm(sm, ss), fmt_pm(cm, cs));
+        println!(
+            "{eps:>8.2} {:>22} {:>22} {tv:>14.5}",
+            fmt_pm(sm, ss),
+            fmt_pm(cm, cs)
+        );
     }
 
     println!("\n-- cross-party contingency table (4 x 5 categories) --");
@@ -86,4 +93,5 @@ fn main() {
         println!("{eps:>8.2} {:>24}", fmt_pm(em, es));
     }
     println!("\nBoth organizations learn the joint table; neither learns the other's column.");
+    obsout::dump_metrics("ext_frequency").expect("writing results/");
 }

@@ -8,7 +8,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sqm::datasets::RegressionSpec;
 use sqm::tasks::ridge::{GaussianRidge, LocalDpRidge, NonPrivateRidge, SqmRidge};
-use sqm_experiments::{fmt_pm, mean_std, parse_options};
+use sqm_experiments::{fmt_pm, mean_std, obsout, parse_options};
 
 fn main() {
     let opts = parse_options();
@@ -36,10 +36,22 @@ fn main() {
             let errs: Vec<f64> = (0..runs).map(|_| test.mse(&f(rng))).collect();
             mean_std(&errs)
         };
-        let (cm, cs) = collect(&mut |r| GaussianRidge::new(lambda, eps, delta).fit(r, &train), &mut rng);
-        let (s8m, s8s) = collect(&mut |r| SqmRidge::new(lambda, 256.0, eps, delta).fit(r, &train), &mut rng);
-        let (s13m, s13s) = collect(&mut |r| SqmRidge::new(lambda, 8192.0, eps, delta).fit(r, &train), &mut rng);
-        let (lm, ls) = collect(&mut |r| LocalDpRidge::new(lambda, eps, delta).fit(r, &train), &mut rng);
+        let (cm, cs) = collect(
+            &mut |r| GaussianRidge::new(lambda, eps, delta).fit(r, &train),
+            &mut rng,
+        );
+        let (s8m, s8s) = collect(
+            &mut |r| SqmRidge::new(lambda, 256.0, eps, delta).fit(r, &train),
+            &mut rng,
+        );
+        let (s13m, s13s) = collect(
+            &mut |r| SqmRidge::new(lambda, 8192.0, eps, delta).fit(r, &train),
+            &mut rng,
+        );
+        let (lm, ls) = collect(
+            &mut |r| LocalDpRidge::new(lambda, eps, delta).fit(r, &train),
+            &mut rng,
+        );
         println!(
             "{eps:>8.2} {:>20} {:>20} {:>20} {:>20}",
             fmt_pm(cm, cs),
@@ -49,4 +61,5 @@ fn main() {
         );
     }
     println!("\n(MSE, lower is better: SQM tracks the central mechanism and local-DP trails.)");
+    obsout::dump_metrics("ext_ridge").expect("writing results/");
 }

@@ -8,7 +8,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sqm::linalg::Matrix;
 use sqm::tasks::pca::{pca_utility, AnalyzeGaussPca, LocalDpPca, NonPrivatePca, SqmPca};
-use sqm_experiments::{fmt_pm, mean_std, parse_options};
+use sqm_experiments::{fmt_pm, mean_std, obsout, parse_options};
 
 struct DatasetCase {
     name: &'static str,
@@ -21,7 +21,10 @@ struct DatasetCase {
 fn main() {
     let opts = parse_options();
     let delta = 1e-5;
-    println!("=== Figure 2: DP PCA utility (delta = {delta}, {} runs) ===", opts.runs);
+    println!(
+        "=== Figure 2: DP PCA utility (delta = {delta}, {} runs) ===",
+        opts.runs
+    );
 
     let cases = vec![
         DatasetCase {
@@ -69,7 +72,10 @@ fn main() {
         cols.push("local-DP".to_string());
         println!(
             "{}",
-            cols.iter().map(|c| format!("{c:>22}")).collect::<Vec<_>>().join("")
+            cols.iter()
+                .map(|c| format!("{c:>22}"))
+                .collect::<Vec<_>>()
+                .join("")
         );
 
         for &eps in &case.eps_grid {
@@ -78,7 +84,10 @@ fn main() {
 
             let central: Vec<f64> = (0..opts.runs)
                 .map(|_| {
-                    pca_utility(&case.data, &AnalyzeGaussPca::new(k, eps, delta).fit(&mut rng, &case.data))
+                    pca_utility(
+                        &case.data,
+                        &AnalyzeGaussPca::new(k, eps, delta).fit(&mut rng, &case.data),
+                    )
                 })
                 .collect();
             let (cm, cs) = mean_std(&central);
@@ -100,7 +109,10 @@ fn main() {
 
             let local: Vec<f64> = (0..opts.runs)
                 .map(|_| {
-                    pca_utility(&case.data, &LocalDpPca::new(k, eps, delta).fit(&mut rng, &case.data))
+                    pca_utility(
+                        &case.data,
+                        &LocalDpPca::new(k, eps, delta).fit(&mut rng, &case.data),
+                    )
                 })
                 .collect();
             let (lm, ls) = mean_std(&local);
@@ -112,14 +124,27 @@ fn main() {
         let eps = case.eps_grid[case.eps_grid.len() / 2];
         let gamma = 2f64.powi(*case.gammas_log2.last().unwrap());
         println!("  -- utility vs top-k at eps = {eps}, gamma = {gamma} --");
-        println!("{:>8} {:>14} {:>14} {:>14}", "k", "central", "SQM", "local-DP");
+        println!(
+            "{:>8} {:>14} {:>14} {:>14}",
+            "k", "central", "SQM", "local-DP"
+        );
         let mut rng = StdRng::seed_from_u64(opts.seed ^ 0xF162);
         for k2 in [2usize, 5, 10, 20] {
             let k2 = k2.min(n);
-            let c = pca_utility(&case.data, &AnalyzeGaussPca::new(k2, eps, delta).fit(&mut rng, &case.data));
-            let s = pca_utility(&case.data, &SqmPca::new(k2, gamma, eps, delta).fit(&mut rng, &case.data));
-            let l = pca_utility(&case.data, &LocalDpPca::new(k2, eps, delta).fit(&mut rng, &case.data));
+            let c = pca_utility(
+                &case.data,
+                &AnalyzeGaussPca::new(k2, eps, delta).fit(&mut rng, &case.data),
+            );
+            let s = pca_utility(
+                &case.data,
+                &SqmPca::new(k2, gamma, eps, delta).fit(&mut rng, &case.data),
+            );
+            let l = pca_utility(
+                &case.data,
+                &LocalDpPca::new(k2, eps, delta).fit(&mut rng, &case.data),
+            );
             println!("{k2:>8} {c:>14.2} {s:>14.2} {l:>14.2}");
         }
     }
+    obsout::dump_metrics("fig2_pca").expect("writing results/");
 }

@@ -9,7 +9,7 @@ use rand::SeedableRng;
 use sqm::datasets::presets::acsincome_classification;
 use sqm::datasets::Scale;
 use sqm::tasks::logreg::{accuracy, DpSgd, LocalDpLogReg, LrConfig, NonPrivateLogReg, SqmLogReg};
-use sqm_experiments::{fmt_pm, mean_std, parse_options};
+use sqm_experiments::{fmt_pm, mean_std, obsout, parse_options};
 
 const STATES: [&str; 4] = ["CA", "TX", "NY", "FL"];
 
@@ -46,7 +46,11 @@ fn main() {
         for &(eps, epochs) in &eps_epochs {
             // Rounds: epochs' worth of expected passes at rate q, capped so
             // laptop runs stay fast (uncapped at paper scale).
-            let cap = if opts.scale == Scale::Paper { u32::MAX } else { 400 };
+            let cap = if opts.scale == Scale::Paper {
+                u32::MAX
+            } else {
+                400
+            };
             let rounds = (((epochs as f64) / q).round() as u32).min(cap);
             let cfg = LrConfig::new(rounds, q).with_lr(lr).with_seed(opts.seed);
             let mut rng = StdRng::seed_from_u64(opts.seed ^ eps.to_bits() ^ state_idx as u64);
@@ -95,4 +99,5 @@ fn main() {
             );
         }
     }
+    obsout::dump_metrics("fig3_lr").expect("writing results/");
 }

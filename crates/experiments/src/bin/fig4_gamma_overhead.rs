@@ -13,7 +13,7 @@ use sqm::accounting::calibration::{
 };
 use sqm::core::sensitivity::{lr_sensitivity, lr_sensitivity_overhead};
 use sqm::tasks::logreg::sqm_normalized_noise_std;
-use sqm_experiments::parse_options;
+use sqm_experiments::{obsout, parse_options};
 
 fn main() {
     // Figure 4 is fully analytic and takes no parameters, but flags are
@@ -25,7 +25,9 @@ fn main() {
     let epochs = 5u32;
     let rounds = ((epochs as f64 / q).round()) as u32;
 
-    println!("=== Figure 4: effect of gamma (d = {d}, eps = 1, delta = 1e-5, q = {q}, R = {rounds}) ===");
+    println!(
+        "=== Figure 4: effect of gamma (d = {d}, eps = 1, delta = 1e-5, q = {q}, R = {rounds}) ==="
+    );
     println!(
         "{:>10} {:>26} {:>22} {:>22} {:>18}",
         "gamma", "sensitivity overhead", "SQM noise std", "DPSGD sigma", "noise overhead"
@@ -51,4 +53,5 @@ fn main() {
         "\nBoth overheads decay toward 0 as gamma grows (log-scale y in the paper's plot),\n\
          explaining why SQM approaches the centralized competitor in Figure 3."
     );
+    obsout::dump_metrics("fig4_gamma_overhead").expect("writing results/");
 }

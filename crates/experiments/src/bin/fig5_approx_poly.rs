@@ -8,7 +8,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sqm::datasets::presets::acsincome_classification;
 use sqm::tasks::logreg::{accuracy, ApproxPolyLogReg, DpSgd, LrConfig};
-use sqm_experiments::{fmt_pm, mean_std, parse_options};
+use sqm_experiments::{fmt_pm, mean_std, obsout, parse_options};
 
 const STATES: [&str; 4] = ["CA", "TX", "NY", "FL"];
 
@@ -16,7 +16,10 @@ fn main() {
     let opts = parse_options();
     let delta = 1e-5;
     let q = 0.05;
-    println!("=== Figure 5: DPSGD vs Approx-Poly (delta = {delta}, {} runs) ===", opts.runs);
+    println!(
+        "=== Figure 5: DPSGD vs Approx-Poly (delta = {delta}, {} runs) ===",
+        opts.runs
+    );
     println!(
         "{:>6} {:>6} {:>20} {:>20} {:>10}",
         "state", "eps", "DPSGD (exact)", "Approx-Poly", "gap"
@@ -24,7 +27,8 @@ fn main() {
 
     let mut worst_gap = 0.0f64;
     for (idx, state) in STATES.iter().enumerate() {
-        let (train, test) = acsincome_classification(idx, opts.scale, opts.seed).split(0.8, opts.seed);
+        let (train, test) =
+            acsincome_classification(idx, opts.scale, opts.seed).split(0.8, opts.seed);
         for (eps, epochs) in [(0.5f64, 2u32), (1.0, 5), (2.0, 8), (4.0, 10), (8.0, 10)] {
             let cap = if opts.scale == sqm::datasets::Scale::Paper {
                 u32::MAX
@@ -37,7 +41,8 @@ fn main() {
             let exact: Vec<f64> = (0..opts.runs)
                 .map(|r| {
                     accuracy(
-                        &DpSgd::new(cfg.clone().with_seed(r as u64), eps, delta).fit(&mut rng, &train),
+                        &DpSgd::new(cfg.clone().with_seed(r as u64), eps, delta)
+                            .fit(&mut rng, &train),
                         &test,
                     )
                 })
@@ -63,4 +68,5 @@ fn main() {
         }
     }
     println!("\nworst-case gap: {worst_gap:.4} (the paper reports < 0.05 throughout)");
+    obsout::dump_metrics("fig5_approx_poly").expect("writing results/");
 }

@@ -4,7 +4,7 @@
 //!
 //! `cargo run -p sqm-experiments --release --bin table1_complexity`
 
-use sqm_experiments::{parse_options, timing};
+use sqm_experiments::{obsout, parse_options, timing};
 
 fn main() {
     let opts = parse_options();
@@ -19,8 +19,8 @@ fn main() {
     println!("Measured validation:\n");
 
     // Communication scaling in n (PCA): double n => ~4x non-input bytes.
-    let a = timing::time_pca(50, 16, 4, opts.seed);
-    let b = timing::time_pca(50, 32, 4, opts.seed);
+    let a = timing::time_pca(50, 16, 4, opts.seed, opts.trace);
+    let b = timing::time_pca(50, 32, 4, opts.seed, opts.trace);
     println!(
         "PCA traffic n=16 -> n=32 (m fixed): {:.3} MiB -> {:.3} MiB  (x{:.2}, expect ~4 for the n^2 term)",
         a.megabytes,
@@ -29,16 +29,16 @@ fn main() {
     );
 
     // Communication scaling in m (PCA input sharing).
-    let c = timing::time_pca(100, 16, 4, opts.seed);
-    let d = timing::time_pca(200, 16, 4, opts.seed);
+    let c = timing::time_pca(100, 16, 4, opts.seed, opts.trace);
+    let d = timing::time_pca(200, 16, 4, opts.seed, opts.trace);
     println!(
         "PCA traffic m=100 -> m=200 (n fixed): {:.3} MiB -> {:.3} MiB  (input sharing grows linearly in m)",
         c.megabytes, d.megabytes
     );
 
     // Communication scaling in P.
-    let e = timing::time_pca(50, 16, 2, opts.seed);
-    let f = timing::time_pca(50, 16, 4, opts.seed);
+    let e = timing::time_pca(50, 16, 2, opts.seed, opts.trace);
+    let f = timing::time_pca(50, 16, 4, opts.seed, opts.trace);
     println!(
         "PCA traffic P=2 -> P=4 (m, n fixed): {:.3} MiB -> {:.3} MiB  (x{:.2}, expect ~P^2 growth of the mesh)",
         e.megabytes,
@@ -47,8 +47,8 @@ fn main() {
     );
 
     // LR: traffic linear in n.
-    let g = timing::time_lr(50, 17, 4, opts.seed);
-    let h = timing::time_lr(50, 33, 4, opts.seed);
+    let g = timing::time_lr(50, 17, 4, opts.seed, opts.trace);
+    let h = timing::time_lr(50, 33, 4, opts.seed, opts.trace);
     println!(
         "LR  traffic n=17 -> n=33 (m fixed): {:.3} MiB -> {:.3} MiB  (x{:.2}, expect ~2 for the linear term)",
         g.megabytes,
@@ -61,4 +61,5 @@ fn main() {
         "\nround counts: PCA = {}, LR = {} — constant in m, n and P.",
         a.rounds, g.rounds
     );
+    obsout::dump_metrics("table1_complexity").expect("writing results/");
 }

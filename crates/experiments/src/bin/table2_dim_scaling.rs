@@ -2,10 +2,13 @@
 //! data dimension n grows (m = 1000, P = 4, gamma = 18, 0.1 s/hop).
 //!
 //! The n = 2500 row is gated behind `--full` (minutes of local compute).
+//! With `--trace` (or `SQM_TRACE=1`) every cell additionally writes its MPC
+//! stats JSON, a trace JSONL and a Chrome trace-event file into `results/`,
+//! and prints a per-phase summary whose total reproduces the virtual clock.
 //!
-//! `cargo run -p sqm-experiments --release --bin table2_dim_scaling [--full]`
+//! `cargo run -p sqm-experiments --release --bin table2_dim_scaling [--full] [--trace]`
 
-use sqm_experiments::{parse_options, timing};
+use sqm_experiments::{obsout, parse_options, timing};
 
 fn main() {
     let opts = parse_options();
@@ -18,9 +21,12 @@ fn main() {
 
     println!("=== Table II: time vs data dimension (m = {m}, P = {p}, gamma = 18) ===");
     println!("--- PCA ---");
-    println!("{:>8} {:>16} {:>20} {:>10} {:>12}", "n", "overall (s)", "DP noise (s)", "rounds", "traffic MiB");
+    println!(
+        "{:>8} {:>16} {:>20} {:>10} {:>12}",
+        "n", "overall (s)", "DP noise (s)", "rounds", "traffic MiB"
+    );
     for &n in &dims {
-        let t = timing::time_pca(m, n, p, opts.seed);
+        let t = timing::time_pca(m, n, p, opts.seed, opts.trace);
         println!(
             "{n:>8} {:>16.2} {:>20.2} {:>10} {:>12.2}",
             t.overall.as_secs_f64(),
@@ -28,11 +34,16 @@ fn main() {
             t.rounds,
             t.megabytes
         );
+        obsout::dump_run(&format!("table2_pca_n{n}"), &t.stats, t.trace.as_ref())
+            .expect("writing results/");
     }
     println!("--- LR ---");
-    println!("{:>8} {:>16} {:>20} {:>10} {:>12}", "n", "overall (s)", "DP noise (s)", "rounds", "traffic MiB");
+    println!(
+        "{:>8} {:>16} {:>20} {:>10} {:>12}",
+        "n", "overall (s)", "DP noise (s)", "rounds", "traffic MiB"
+    );
     for &n in &dims {
-        let t = timing::time_lr(m, n, p, opts.seed);
+        let t = timing::time_lr(m, n, p, opts.seed, opts.trace);
         println!(
             "{n:>8} {:>16.2} {:>20.2} {:>10} {:>12.2}",
             t.overall.as_secs_f64(),
@@ -40,6 +51,9 @@ fn main() {
             t.rounds,
             t.megabytes
         );
+        obsout::dump_run(&format!("table2_lr_n{n}"), &t.stats, t.trace.as_ref())
+            .expect("writing results/");
     }
+    obsout::dump_metrics("table2_dim_scaling").expect("writing results/");
     println!("\nAs n grows the DP-noise cost stays a single exchange round; the overall\ncost is dominated by the covariance/gradient computation (the paper's conclusion).");
 }

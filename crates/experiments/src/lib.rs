@@ -6,7 +6,10 @@
 //! * `--paper` — run at the paper's full dataset sizes (default: laptop
 //!   scale, which regenerates every figure in minutes);
 //! * `--runs N` — number of independent repetitions to average (paper: 20);
-//! * `--seed S` — base RNG seed.
+//! * `--seed S` — base RNG seed;
+//! * `--trace` (or `SQM_TRACE=1`) — enable the observability layer:
+//!   metrics recording plus, for the timing tables, per-phase trace
+//!   exports into `results/` (JSONL + Chrome trace-event JSON).
 
 use sqm::datasets::Scale;
 
@@ -19,6 +22,8 @@ pub struct ExpOptions {
     /// Include the most expensive configurations (e.g. n = 2500 in
     /// Table II).
     pub full: bool,
+    /// Observability on: record metrics and export traces.
+    pub trace: bool,
 }
 
 impl Default for ExpOptions {
@@ -28,11 +33,15 @@ impl Default for ExpOptions {
             runs: 3,
             seed: 0,
             full: false,
+            trace: std::env::var("SQM_TRACE").ok().as_deref() == Some("1"),
         }
     }
 }
 
 /// Parse the common flags from `std::env::args`.
+///
+/// When tracing is requested (via `--trace` or `SQM_TRACE=1`) this also
+/// switches the global metrics registry on.
 pub fn parse_options() -> ExpOptions {
     let mut opts = ExpOptions::default();
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -41,6 +50,7 @@ pub fn parse_options() -> ExpOptions {
         match args[i].as_str() {
             "--paper" => opts.scale = Scale::Paper,
             "--full" => opts.full = true,
+            "--trace" => opts.trace = true,
             "--runs" => {
                 i += 1;
                 opts.runs = args
@@ -55,9 +65,14 @@ pub fn parse_options() -> ExpOptions {
                     .and_then(|v| v.parse().ok())
                     .expect("--seed needs an integer");
             }
-            other => panic!("unknown flag {other} (expected --paper, --full, --runs N, --seed S)"),
+            other => panic!(
+                "unknown flag {other} (expected --paper, --full, --trace, --runs N, --seed S)"
+            ),
         }
         i += 1;
+    }
+    if opts.trace {
+        sqm::obs::metrics::set_enabled(true);
     }
     opts
 }
@@ -93,55 +108,140 @@ pub mod timing {
     use std::time::Duration;
 
     use sqm::datasets::SpectralSpec;
+    use sqm::mpc::RunStats;
+    use sqm::obs::trace::Trace;
     use sqm::vfl::covariance::covariance_skellam;
     use sqm::vfl::gradient::gradient_sum_skellam;
     use sqm::vfl::{ColumnPartition, VflConfig};
 
-    /// One timing measurement: overall and DP-noise simulated seconds.
-    #[derive(Copy, Clone, Debug)]
+    /// One timing measurement: overall and DP-noise simulated seconds,
+    /// plus the full per-phase stats and (when tracing) the merged trace.
+    #[derive(Clone, Debug)]
     pub struct Timing {
         pub overall: Duration,
         pub dp_noise: Duration,
         pub rounds: u64,
         pub megabytes: f64,
+        pub stats: RunStats,
+        pub trace: Option<Trace>,
     }
 
-    fn cfg(p: usize, seed: u64) -> VflConfig {
+    fn cfg(p: usize, seed: u64, trace: bool) -> VflConfig {
         VflConfig {
             n_clients: p,
             latency: Duration::from_millis(100),
             seed,
+            trace,
+        }
+    }
+
+    fn timing(stats: RunStats, trace: Option<Trace>) -> Timing {
+        Timing {
+            overall: stats.simulated_time(),
+            dp_noise: stats.phase_time("dp_noise"),
+            rounds: stats.total.rounds,
+            megabytes: stats.total.bytes as f64 / (1024.0 * 1024.0),
+            stats,
+            trace,
         }
     }
 
     /// Time the PCA covariance workload (the paper's gamma = 18).
-    pub fn time_pca(m: usize, n: usize, p: usize, seed: u64) -> Timing {
+    pub fn time_pca(m: usize, n: usize, p: usize, seed: u64, trace: bool) -> Timing {
         let data = SpectralSpec::new(m, n).with_seed(seed).generate();
         let partition = ColumnPartition::even(n, p);
-        let out = covariance_skellam(&data, &partition, 18.0, 100.0, &cfg(p, seed));
-        Timing {
-            overall: out.stats.simulated_time(),
-            dp_noise: out.stats.phase_time("dp_noise"),
-            rounds: out.stats.total.rounds,
-            megabytes: out.stats.total.bytes as f64 / (1024.0 * 1024.0),
-        }
+        let out = covariance_skellam(&data, &partition, 18.0, 100.0, &cfg(p, seed, trace));
+        timing(out.stats, out.trace)
     }
 
     /// Time one full-dataset LR gradient computation (the paper times the
     /// per-epoch gradient pass).
-    pub fn time_lr(m: usize, n: usize, p: usize, seed: u64) -> Timing {
+    pub fn time_lr(m: usize, n: usize, p: usize, seed: u64, trace: bool) -> Timing {
         let d = n - 1;
         let data = SpectralSpec::new(m, n).with_seed(seed).generate();
         let partition = ColumnPartition::even(n, p);
         let batch: Vec<usize> = (0..m).collect();
         let w = vec![0.01; d];
-        let out = gradient_sum_skellam(&data, &partition, &batch, &w, 18.0, 100.0, &cfg(p, seed));
-        Timing {
-            overall: out.stats.simulated_time(),
-            dp_noise: out.stats.phase_time("dp_noise"),
-            rounds: out.stats.total.rounds,
-            megabytes: out.stats.total.bytes as f64 / (1024.0 * 1024.0),
+        let out = gradient_sum_skellam(
+            &data,
+            &partition,
+            &batch,
+            &w,
+            18.0,
+            100.0,
+            &cfg(p, seed, trace),
+        );
+        timing(out.stats, out.trace)
+    }
+}
+
+/// Observability artifact writers for the experiment binaries.
+///
+/// Everything lands in `results/` next to the plotted CSVs: per-run MPC
+/// stats as JSON (always), plus — when a trace was recorded — a JSONL
+/// event log, a Chrome trace-event file (load it in Perfetto or
+/// `chrome://tracing`), and a per-phase summary table on stdout. Before
+/// exporting, the trace summary is asserted to reproduce
+/// `RunStats::simulated_time()` exactly.
+pub mod obsout {
+    use std::fs;
+    use std::io::{self, BufWriter};
+    use std::path::PathBuf;
+
+    use serde::Serialize as _;
+    use sqm::mpc::RunStats;
+    use sqm::obs::trace::Trace;
+    use sqm::obs::{chrome_trace_json, metrics, write_jsonl};
+
+    /// The `results/` directory, created on first use.
+    pub fn results_dir() -> PathBuf {
+        let dir = PathBuf::from("results");
+        fs::create_dir_all(&dir).expect("cannot create results/");
+        dir
+    }
+
+    /// Dump one run's stats (and trace artifacts, when recorded) under
+    /// `results/<name>.*`; returns the paths written.
+    pub fn dump_run(
+        name: &str,
+        stats: &RunStats,
+        trace: Option<&Trace>,
+    ) -> io::Result<Vec<PathBuf>> {
+        let dir = results_dir();
+        let mut written = Vec::new();
+        let stats_path = dir.join(format!("{name}.stats.json"));
+        fs::write(&stats_path, stats.to_json())?;
+        written.push(stats_path);
+        if let Some(trace) = trace {
+            let summary = trace.summary();
+            assert_eq!(
+                summary.total_simulated(),
+                stats.simulated_time(),
+                "trace summary must reproduce the virtual clock exactly ({name})"
+            );
+            let jsonl_path = dir.join(format!("{name}.trace.jsonl"));
+            let mut w = BufWriter::new(fs::File::create(&jsonl_path)?);
+            write_jsonl(trace, &mut w)?;
+            written.push(jsonl_path);
+            let chrome_path = dir.join(format!("{name}.chrome.json"));
+            fs::write(&chrome_path, chrome_trace_json(trace))?;
+            written.push(chrome_path);
+            println!("[trace {name}]");
+            println!("{summary}");
         }
+        Ok(written)
+    }
+
+    /// Snapshot the metrics registry into `results/<name>.metrics.json`
+    /// (no-op unless metrics were enabled via `--trace` / `SQM_TRACE=1`).
+    pub fn dump_metrics(name: &str) -> io::Result<Option<PathBuf>> {
+        if !metrics::is_enabled() {
+            return Ok(None);
+        }
+        let path = results_dir().join(format!("{name}.metrics.json"));
+        fs::write(&path, metrics::snapshot().to_json())?;
+        println!("[metrics] wrote {}", path.display());
+        Ok(Some(path))
     }
 }
 
@@ -151,11 +251,20 @@ mod tests {
 
     #[test]
     fn timing_smoke() {
-        let t = timing::time_pca(20, 8, 4, 0);
+        let t = timing::time_pca(20, 8, 4, 0, false);
         assert!(t.overall >= t.dp_noise);
         assert!(t.rounds >= 4);
-        let t = timing::time_lr(20, 9, 4, 0);
+        assert!(t.trace.is_none());
+        let t = timing::time_lr(20, 9, 4, 0, false);
         assert!(t.overall > std::time::Duration::ZERO);
+    }
+
+    #[test]
+    fn traced_timing_reproduces_virtual_clock() {
+        let t = timing::time_pca(20, 8, 4, 0, true);
+        let trace = t.trace.expect("tracing requested");
+        assert_eq!(trace.summary().total_simulated(), t.stats.simulated_time());
+        assert_eq!(trace.summary().total_simulated(), t.overall);
     }
 
     #[test]

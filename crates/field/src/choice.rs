@@ -26,7 +26,10 @@ impl FieldChoice {
     ///
     /// Returns `None` if even `M127` cannot hold the bound.
     pub fn for_magnitude(bound: f64) -> Option<FieldChoice> {
-        assert!(bound >= 0.0 && bound.is_finite(), "bound must be finite and non-negative");
+        assert!(
+            bound >= 0.0 && bound.is_finite(),
+            "bound must be finite and non-negative"
+        );
         let bits = if bound <= 1.0 { 0.0 } else { bound.log2() };
         if bits <= Self::M61_SAFE_BITS as f64 {
             Some(FieldChoice::M61)

@@ -63,10 +63,7 @@ impl M127 {
         // lo = ll + (lh + hl) << 64 ; carries propagate into hi.
         let (mid, carry_mid) = lh.overflowing_add(hl);
         let (lo, carry_lo) = ll.overflowing_add(mid << 64);
-        let hi = hh
-            + (mid >> 64)
-            + ((carry_mid as u128) << 64)
-            + carry_lo as u128;
+        let hi = hh + (mid >> 64) + ((carry_mid as u128) << 64) + carry_lo as u128;
         (hi, lo)
     }
 

@@ -18,6 +18,9 @@ pub struct EigenDecomposition {
     pub values: Vec<f64>,
     /// Column `j` is the eigenvector for `values[j]`.
     pub vectors: Matrix,
+    /// Number of cyclic Jacobi sweeps the solver actually performed before
+    /// the off-diagonal mass dropped below tolerance.
+    pub sweeps: usize,
 }
 
 /// Decompose a symmetric matrix. Panics if `a` is not square or is visibly
@@ -40,11 +43,13 @@ pub fn symmetric_eigen(a: &Matrix) -> EigenDecomposition {
     let mut v = Matrix::identity(n);
     const MAX_SWEEPS: usize = 30;
 
-    for _sweep in 0..MAX_SWEEPS {
+    let mut sweeps = 0;
+    for _ in 0..MAX_SWEEPS {
         let off = off_diagonal_norm(&m);
         if off <= tol {
             break;
         }
+        sweeps += 1;
         for p in 0..n {
             for q in (p + 1)..n {
                 let apq = m[(p, q)];
@@ -83,6 +88,7 @@ pub fn symmetric_eigen(a: &Matrix) -> EigenDecomposition {
     EigenDecomposition {
         values: sorted_values,
         vectors: sorted_vectors,
+        sweeps,
     }
 }
 
@@ -139,6 +145,14 @@ const ORTHOGONAL_ITERATION_THRESHOLD: usize = 600;
 /// [`orthogonal_iteration`], which is what makes the paper-scale
 /// high-dimensional datasets (CiteSeer n=3703) tractable.
 pub fn top_k_eigenvectors(a: &Matrix, k: usize) -> Matrix {
+    top_k_eigenvectors_with_sweeps(a, k).0
+}
+
+/// Like [`top_k_eigenvectors`], additionally reporting how many Jacobi
+/// sweeps the decomposition took — `None` when the large-dimension path
+/// (orthogonal iteration) was taken instead. Lets callers feed an
+/// eigensolver-work metric without linalg depending on any metrics sink.
+pub fn top_k_eigenvectors_with_sweeps(a: &Matrix, k: usize) -> (Matrix, Option<usize>) {
     let n = a.rows();
     assert!(k <= n, "top_k_eigenvectors: k={k} exceeds dimension {n}");
     if n <= ORTHOGONAL_ITERATION_THRESHOLD || k * 4 >= n {
@@ -149,9 +163,9 @@ pub fn top_k_eigenvectors(a: &Matrix, k: usize) -> Matrix {
                 v[(i, j)] = eig.vectors[(i, j)];
             }
         }
-        v
+        (v, Some(eig.sweeps))
     } else {
-        orthogonal_iteration(a, k, 300, 1e-10)
+        (orthogonal_iteration(a, k, 300, 1e-10), None)
     }
 }
 
@@ -176,7 +190,9 @@ pub fn orthogonal_iteration(a: &Matrix, k: usize, max_iters: usize, tol: f64) ->
     let mut state = 0x9E37_79B9_7F4A_7C15u64;
     for i in 0..n {
         for j in 0..k {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             v[(i, j)] = ((state >> 11) as f64 / (1u64 << 53) as f64) - 0.5;
         }
     }
@@ -299,11 +315,7 @@ mod tests {
     #[test]
     fn top_k_shape_and_capture() {
         // Data along the x-axis: top-1 subspace captures everything.
-        let x = Matrix::from_rows(&[
-            vec![1.0, 0.0],
-            vec![2.0, 0.0],
-            vec![-3.0, 0.0],
-        ]);
+        let x = Matrix::from_rows(&[vec![1.0, 0.0], vec![2.0, 0.0], vec![-3.0, 0.0]]);
         let g = x.gram();
         let v = top_k_eigenvectors(&g, 1);
         assert_eq!((v.rows(), v.cols()), (2, 1));
@@ -316,11 +328,7 @@ mod tests {
         use rand::rngs::StdRng;
         use rand::{Rng, SeedableRng};
         let mut rng = StdRng::seed_from_u64(8);
-        let x = Matrix::from_vec(
-            30,
-            6,
-            (0..180).map(|_| rng.gen::<f64>() - 0.5).collect(),
-        );
+        let x = Matrix::from_vec(30, 6, (0..180).map(|_| rng.gen::<f64>() - 0.5).collect());
         let g = x.gram();
         let mut last = 0.0;
         for k in 1..=6 {
@@ -378,7 +386,10 @@ mod tests {
         // |-50| > |1| — the shift must prevent convergence to e2.
         let a = Matrix::from_rows(&[vec![1.0, 0.0], vec![0.0, -50.0]]);
         let v = orthogonal_iteration(&a, 1, 500, 1e-14);
-        assert!(v[(0, 0)].abs() > 0.999, "converged to the wrong eigenvector: {v:?}");
+        assert!(
+            v[(0, 0)].abs() > 0.999,
+            "converged to the wrong eigenvector: {v:?}"
+        );
     }
 
     #[test]
@@ -404,13 +415,26 @@ mod tests {
         };
         let oi = orthogonal_iteration(&a, 1, 500, 1e-12).col(0);
         let dot: f64 = jacobi.iter().zip(&oi).map(|(x, y)| x * y).sum();
-        assert!(dot.abs() > 0.9999, "subspaces differ: |dot| = {}", dot.abs());
+        assert!(
+            dot.abs() > 0.9999,
+            "subspaces differ: |dot| = {}",
+            dot.abs()
+        );
     }
 
     #[test]
     fn zero_matrix() {
         let e = symmetric_eigen(&Matrix::zeros(4, 4));
         assert!(e.values.iter().all(|&v| v == 0.0));
+        // Already diagonal: the solver should not need a single sweep.
+        assert_eq!(e.sweeps, 0);
+    }
+
+    #[test]
+    fn sweep_count_reflects_work() {
+        let a = Matrix::from_rows(&[vec![2.0, 1.0], vec![1.0, 2.0]]);
+        let e = symmetric_eigen(&a);
+        assert!(e.sweeps >= 1 && e.sweeps <= 30, "sweeps {}", e.sweeps);
     }
 
     #[test]

@@ -93,11 +93,7 @@ mod tests {
 
     #[test]
     fn gram_schmidt_drops_dependent_columns() {
-        let a = Matrix::from_rows(&[
-            vec![1.0, 2.0],
-            vec![1.0, 2.0],
-            vec![1.0, 2.0],
-        ]);
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![1.0, 2.0], vec![1.0, 2.0]]);
         let q = gram_schmidt(&a);
         assert_eq!(q.cols(), 1);
     }

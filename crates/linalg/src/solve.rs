@@ -108,11 +108,7 @@ mod tests {
         use rand::{Rng, SeedableRng};
         let mut rng = StdRng::seed_from_u64(3);
         let n = 12;
-        let a = Matrix::from_vec(
-            n,
-            n,
-            (0..n * n).map(|_| rng.gen::<f64>() - 0.5).collect(),
-        );
+        let a = Matrix::from_vec(n, n, (0..n * n).map(|_| rng.gen::<f64>() - 0.5).collect());
         let truth: Vec<f64> = (0..n).map(|i| i as f64 - 4.0).collect();
         let b = a.matvec(&truth);
         let x = solve(&a, &b);

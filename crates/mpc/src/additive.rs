@@ -21,6 +21,8 @@ use std::time::Instant;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sqm_field::PrimeField;
+use sqm_obs::metrics;
+use sqm_obs::trace::{PartyRecorder, Trace};
 
 use crate::engine::MpcConfig;
 use crate::stats::{merge, PartyStats, RunStats};
@@ -39,6 +41,8 @@ pub struct AdditiveTriple<F: PrimeField> {
 pub struct AdditiveRun<T> {
     pub outputs: Vec<T>,
     pub stats: RunStats,
+    /// Structured per-party trace (only when [`MpcConfig::trace`] is set).
+    pub trace: Option<Trace>,
 }
 
 /// The additive-sharing engine.
@@ -64,7 +68,8 @@ impl AdditiveEngine {
         let n = self.config.n_parties;
         let endpoints = mesh::<F>(n);
         let program = &program;
-        let results: Vec<(T, PartyStats)> = std::thread::scope(|s| {
+        type PartyResult<T> = (T, PartyStats, Option<sqm_obs::trace::PartyTrace>);
+        let results: Vec<PartyResult<T>> = std::thread::scope(|s| {
             let handles: Vec<_> = endpoints
                 .into_iter()
                 .map(|endpoint| {
@@ -80,13 +85,13 @@ impl AdditiveEngine {
                             dealer_rng: StdRng::seed_from_u64(config.seed ^ 0x00DE_A1E4),
                             endpoint,
                             stats: PartyStats::default(),
+                            recorder: config.trace.then(|| PartyRecorder::new(id, config.latency)),
                             phase: "default".to_string(),
                             phase_started: Instant::now(),
                         };
                         let out = program(&mut ctx);
-                        let elapsed = ctx.phase_started.elapsed();
-                        ctx.stats.record_wall(&ctx.phase.clone(), elapsed);
-                        (out, ctx.stats)
+                        ctx.flush_phase();
+                        (out, ctx.stats, ctx.recorder.map(PartyRecorder::finish))
                     })
                 })
                 .collect();
@@ -95,10 +100,20 @@ impl AdditiveEngine {
                 .map(|h| h.join().expect("party thread panicked"))
                 .collect()
         });
-        let (outputs, stats): (Vec<T>, Vec<PartyStats>) = results.into_iter().unzip();
+        let mut outputs = Vec::with_capacity(n);
+        let mut stats = Vec::with_capacity(n);
+        let mut party_traces = Vec::with_capacity(n);
+        for (out, ps, pt) in results {
+            outputs.push(out);
+            stats.push(ps);
+            party_traces.extend(pt);
+        }
+        let trace = (party_traces.len() == n)
+            .then(|| Trace::from_parties(self.config.latency, party_traces));
         AdditiveRun {
             outputs,
             stats: merge(stats, self.config.latency),
+            trace,
         }
     }
 }
@@ -115,6 +130,7 @@ pub struct AdditiveCtx<F: PrimeField> {
     dealer_rng: StdRng,
     endpoint: Endpoint<F>,
     stats: PartyStats,
+    recorder: Option<PartyRecorder>,
     phase: String,
     phase_started: Instant,
 }
@@ -122,15 +138,35 @@ pub struct AdditiveCtx<F: PrimeField> {
 impl<F: PrimeField> AdditiveCtx<F> {
     /// Switch accounting phase.
     pub fn set_phase(&mut self, name: &str) {
-        let elapsed = self.phase_started.elapsed();
-        self.stats.record_wall(&self.phase.clone(), elapsed);
+        self.flush_phase();
         self.phase = name.to_string();
+        if let Some(rec) = &mut self.recorder {
+            rec.set_phase(name);
+        }
+    }
+
+    fn flush_phase(&mut self) {
+        // One measurement for both accounting and trace (see the BGW engine).
+        let elapsed = self.phase_started.elapsed();
+        self.stats.record_wall(&self.phase, elapsed);
+        if let Some(rec) = &mut self.recorder {
+            rec.flush_phase(elapsed);
+        }
         self.phase_started = Instant::now();
     }
 
     fn exchange(&mut self, outgoing: Vec<Vec<F>>) -> Vec<Vec<F>> {
         let (incoming, messages, bytes) = self.endpoint.exchange(outgoing);
         self.stats.record_round(&self.phase, messages, bytes);
+        if let Some(rec) = &mut self.recorder {
+            rec.record_round(messages, bytes);
+        }
+        if metrics::is_enabled() {
+            metrics::counter_add("mpc.party_rounds", 1);
+            metrics::counter_add("mpc.messages", messages);
+            metrics::counter_add("mpc.bytes", bytes);
+            metrics::histogram_record("mpc.messages_per_round", messages as f64);
+        }
         incoming
     }
 
@@ -293,8 +329,16 @@ mod tests {
     #[test]
     fn linear_ops() {
         let run = engine(3).run::<M61, _, _>(|ctx| {
-            let a = ctx.share_input(0, (ctx.id == 0).then(|| vec![M61::from_u64(10)]).as_deref(), 1);
-            let b = ctx.share_input(1, (ctx.id == 1).then(|| vec![M61::from_u64(4)]).as_deref(), 1);
+            let a = ctx.share_input(
+                0,
+                (ctx.id == 0).then(|| vec![M61::from_u64(10)]).as_deref(),
+                1,
+            );
+            let b = ctx.share_input(
+                1,
+                (ctx.id == 1).then(|| vec![M61::from_u64(4)]).as_deref(),
+                1,
+            );
             let s = ctx.add(&a, &b);
             let d = ctx.scale_public(&s, M61::from_u64(3));
             let e = ctx.add_public(&d, M61::from_u64(8));
@@ -369,15 +413,14 @@ mod tests {
             assert_eq!(out[0].to_canonical(), expect);
         }
 
-        let bgw = crate::engine::MpcEngine::new(
-            MpcConfig::semi_honest(3).with_latency(Duration::ZERO),
-        )
-        .run::<M61, _, _>(move |ctx| {
-            let x = ctx.share_input(0, (ctx.id == 0).then_some(&xs[..]), 20);
-            let y = ctx.share_input(1, (ctx.id == 1).then_some(&ys[..]), 20);
-            let ip = ctx.inner_product(&x, &y);
-            ctx.open(&[ip])
-        });
+        let bgw =
+            crate::engine::MpcEngine::new(MpcConfig::semi_honest(3).with_latency(Duration::ZERO))
+                .run::<M61, _, _>(move |ctx| {
+                let x = ctx.share_input(0, (ctx.id == 0).then_some(&xs[..]), 20);
+                let y = ctx.share_input(1, (ctx.id == 1).then_some(&ys[..]), 20);
+                let ip = ctx.inner_product(&x, &y);
+                ctx.open(&[ip])
+            });
         assert_eq!(bgw.outputs[0][0].to_canonical(), expect);
     }
 
@@ -411,9 +454,37 @@ mod tests {
     }
 
     #[test]
+    fn trace_matches_stats_exactly() {
+        let cfg = MpcConfig::semi_honest(3)
+            .with_latency(Duration::from_millis(100))
+            .with_trace(true);
+        let run = AdditiveEngine::new(cfg).run::<M61, _, _>(|ctx| {
+            ctx.set_phase("input");
+            let x = ctx.share_input(
+                0,
+                (ctx.id == 0).then(|| vec![M61::from_u64(2); 4]).as_deref(),
+                4,
+            );
+            let triples = ctx.dealer_triples(4);
+            ctx.set_phase("online");
+            let x2 = x.clone();
+            let z = ctx.mul_beaver(&x, &x2, &triples);
+            ctx.open(&z)
+        });
+        let summary = run.trace.expect("trace requested").summary();
+        assert_eq!(summary.total_simulated(), run.stats.simulated_time());
+        assert_eq!(summary.total.rounds, run.stats.total.rounds);
+        assert_eq!(summary.total.bytes, run.stats.total.bytes);
+    }
+
+    #[test]
     fn beaver_online_round_count() {
         let run = engine(4).run::<M61, _, _>(|ctx| {
-            let x = ctx.share_input(0, (ctx.id == 0).then(|| vec![M61::from_u64(2); 8]).as_deref(), 8);
+            let x = ctx.share_input(
+                0,
+                (ctx.id == 0).then(|| vec![M61::from_u64(2); 8]).as_deref(),
+                8,
+            );
             let triples = ctx.dealer_triples(8);
             ctx.set_phase("online");
             let x2 = x.clone();

@@ -19,7 +19,10 @@ pub struct Wire(usize);
 #[derive(Clone, Debug)]
 enum Gate<F> {
     /// The `pos`-th private input of party `owner`.
-    Input { owner: usize, pos: usize },
+    Input {
+        owner: usize,
+        pos: usize,
+    },
     /// A public constant.
     Const(F),
     Add(Wire, Wire),
@@ -73,7 +76,10 @@ impl<F: PrimeField> CircuitBuilder<F> {
 
     /// Declare the next private input of `owner`.
     pub fn input(&mut self, owner: usize) -> Wire {
-        assert!(owner < self.input_counts.len(), "owner {owner} out of range");
+        assert!(
+            owner < self.input_counts.len(),
+            "owner {owner} out of range"
+        );
         let pos = self.input_counts[owner];
         self.input_counts[owner] += 1;
         self.push(Gate::Input { owner, pos }, 0)
@@ -169,7 +175,11 @@ impl<F: PrimeField> Circuit<F> {
     /// Multiplicative depth (communication rounds the MPC evaluation needs
     /// for multiplications).
     pub fn mul_depth(&self) -> u32 {
-        self.outputs.iter().map(|w| self.mul_level[w.0]).max().unwrap_or(0)
+        self.outputs
+            .iter()
+            .map(|w| self.mul_level[w.0])
+            .max()
+            .unwrap_or(0)
     }
 
     /// Total number of multiplication gates.
@@ -254,9 +264,7 @@ impl<F: PrimeField> Circuit<F> {
                 .gates
                 .iter()
                 .enumerate()
-                .filter(|&(i, g)| {
-                    matches!(g, Gate::Mul(_, _)) && self.mul_level[i] == level
-                })
+                .filter(|&(i, g)| matches!(g, Gate::Mul(_, _)) && self.mul_level[i] == level)
                 .map(|(i, _)| i)
                 .collect();
             if batch.is_empty() {
@@ -439,7 +447,7 @@ mod tests {
 mod proptests {
     use super::*;
     use proptest::prelude::*;
-    use sqm_field::{M61, PrimeField};
+    use sqm_field::{PrimeField, M61};
 
     // Random linear+quadratic expression over 3 single-owner inputs,
     // checked against direct field arithmetic.

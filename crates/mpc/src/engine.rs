@@ -19,6 +19,8 @@ use std::time::{Duration, Instant};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sqm_field::PrimeField;
+use sqm_obs::metrics;
+use sqm_obs::trace::{PartyRecorder, Trace};
 
 use crate::shamir::{lagrange_at_zero, share_secret};
 use crate::stats::{merge, PartyStats, RunStats};
@@ -35,6 +37,10 @@ pub struct MpcConfig {
     pub latency: Duration,
     /// Seed for the parties' share-randomness streams.
     pub seed: u64,
+    /// Record a structured [`Trace`] of the run (spans and per-round
+    /// records on the simulated clock). Off by default; the accounting in
+    /// [`RunStats`] is always on.
+    pub trace: bool,
 }
 
 impl MpcConfig {
@@ -48,12 +54,16 @@ impl MpcConfig {
     /// (full-threshold additive sharing) or add a neutral third compute
     /// party.
     pub fn semi_honest(n_parties: usize) -> Self {
-        assert!(n_parties >= 2, "BGW needs at least 2 parties, got {n_parties}");
+        assert!(
+            n_parties >= 2,
+            "BGW needs at least 2 parties, got {n_parties}"
+        );
         MpcConfig {
             n_parties,
             threshold: (n_parties - 1) / 2,
             latency: Duration::from_millis(100),
             seed: 0x5153_4D00, // "SQM"
+            trace: false,
         }
     }
 
@@ -66,6 +76,12 @@ impl MpcConfig {
     /// Override the randomness seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Turn structured trace recording on or off.
+    pub fn with_trace(mut self, trace: bool) -> Self {
+        self.trace = trace;
         self
     }
 
@@ -87,6 +103,9 @@ pub struct MpcRun<T> {
     pub outputs: Vec<T>,
     /// Rounds / traffic / virtual-clock accounting.
     pub stats: RunStats,
+    /// Structured per-party trace (only when [`MpcConfig::trace`] is set).
+    /// Its merged summary reproduces `stats.simulated_time()` exactly.
+    pub trace: Option<Trace>,
 }
 
 /// The BGW engine. Construct once, run protocol programs.
@@ -135,7 +154,8 @@ impl MpcEngine {
         let lagrange_all = lagrange_at_zero::<F>(&(0..n).collect::<Vec<_>>());
         let program = &program;
 
-        let results: Vec<(T, PartyStats)> = std::thread::scope(|s| {
+        type PartyResult<T> = (T, PartyStats, Option<sqm_obs::trace::PartyTrace>);
+        let results: Vec<PartyResult<T>> = std::thread::scope(|s| {
             let handles: Vec<_> = endpoints
                 .into_iter()
                 .map(|endpoint| {
@@ -148,17 +168,19 @@ impl MpcEngine {
                             n,
                             t: config.threshold,
                             rng: StdRng::seed_from_u64(
-                                config.seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(id as u64 + 1)),
+                                config.seed
+                                    ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(id as u64 + 1)),
                             ),
                             endpoint,
                             stats: PartyStats::default(),
+                            recorder: config.trace.then(|| PartyRecorder::new(id, config.latency)),
                             lagrange_all: lagrange,
                             phase: "default".to_string(),
                             phase_started: Instant::now(),
                         };
                         let out = program(&mut ctx);
                         ctx.flush_phase();
-                        (out, ctx.stats)
+                        (out, ctx.stats, ctx.recorder.map(PartyRecorder::finish))
                     })
                 })
                 .collect();
@@ -168,10 +190,23 @@ impl MpcEngine {
                 .collect()
         });
 
-        let (outputs, stats): (Vec<T>, Vec<PartyStats>) = results.into_iter().unzip();
+        let mut outputs = Vec::with_capacity(n);
+        let mut stats = Vec::with_capacity(n);
+        let mut party_traces = Vec::with_capacity(n);
+        for (out, ps, pt) in results {
+            if metrics::is_enabled() {
+                metrics::histogram_record("mpc.bytes_per_party", ps.total.bytes as f64);
+            }
+            outputs.push(out);
+            stats.push(ps);
+            party_traces.extend(pt);
+        }
+        let trace = (party_traces.len() == n)
+            .then(|| Trace::from_parties(self.config.latency, party_traces));
         MpcRun {
             outputs,
             stats: merge(stats, self.config.latency),
+            trace,
         }
     }
 }
@@ -196,6 +231,7 @@ pub struct PartyCtx<F: PrimeField> {
     rng: StdRng,
     endpoint: Endpoint<F>,
     stats: PartyStats,
+    recorder: Option<PartyRecorder>,
     lagrange_all: Vec<F>,
     phase: String,
     phase_started: Instant,
@@ -207,17 +243,34 @@ impl<F: PrimeField> PartyCtx<F> {
     pub fn set_phase(&mut self, name: &str) {
         self.flush_phase();
         self.phase = name.to_string();
+        if let Some(rec) = &mut self.recorder {
+            rec.set_phase(name);
+        }
     }
 
     fn flush_phase(&mut self) {
+        // One measurement feeds both the accounting and the trace, so a
+        // merged trace reproduces RunStats::simulated_time() exactly.
         let elapsed = self.phase_started.elapsed();
         self.stats.record_wall(&self.phase, elapsed);
+        if let Some(rec) = &mut self.recorder {
+            rec.flush_phase(elapsed);
+        }
         self.phase_started = Instant::now();
     }
 
     fn exchange(&mut self, outgoing: Vec<Vec<F>>) -> Vec<Vec<F>> {
         let (incoming, messages, bytes) = self.endpoint.exchange(outgoing);
         self.stats.record_round(&self.phase, messages, bytes);
+        if let Some(rec) = &mut self.recorder {
+            rec.record_round(messages, bytes);
+        }
+        if metrics::is_enabled() {
+            metrics::counter_add("mpc.party_rounds", 1);
+            metrics::counter_add("mpc.messages", messages);
+            metrics::counter_add("mpc.bytes", bytes);
+            metrics::histogram_record("mpc.messages_per_round", messages as f64);
+        }
         incoming
     }
 
@@ -235,7 +288,11 @@ impl<F: PrimeField> PartyCtx<F> {
         let mut outgoing: Vec<Vec<F>> = vec![Vec::new(); self.n];
         if self.id == owner {
             let values = values.expect("owner must supply input values");
-            assert_eq!(values.len(), len, "owner's values do not match the declared length");
+            assert_eq!(
+                values.len(),
+                len,
+                "owner's values do not match the declared length"
+            );
             let mut per_party: Vec<Vec<F>> = vec![Vec::with_capacity(len); self.n];
             for &v in values {
                 let shares = share_secret(&mut self.rng, v, self.t, self.n);
@@ -245,7 +302,11 @@ impl<F: PrimeField> PartyCtx<F> {
             }
             outgoing = per_party;
         } else {
-            assert!(values.is_none(), "non-owner party {} supplied values", self.id);
+            assert!(
+                values.is_none(),
+                "non-owner party {} supplied values",
+                self.id
+            );
         }
         let incoming = self.exchange(outgoing);
         let mine = incoming[owner].clone();
@@ -282,7 +343,11 @@ impl<F: PrimeField> PartyCtx<F> {
         }
         let incoming = self.exchange(per_party);
         for (i, inc) in incoming.iter().enumerate() {
-            assert_eq!(inc.len(), expected[i], "party {i} contributed a wrong-length vector");
+            assert_eq!(
+                inc.len(),
+                expected[i],
+                "party {i} contributed a wrong-length vector"
+            );
         }
         incoming
     }
@@ -323,6 +388,11 @@ impl<F: PrimeField> PartyCtx<F> {
     /// degree-`t` shares of the same secrets. One round, batched.
     pub fn reduce_degree(&mut self, d: &[F]) -> Vec<F> {
         let len = d.len();
+        if metrics::is_enabled() {
+            metrics::counter_add("mpc.degree_reductions", 1);
+            metrics::counter_add("mpc.reduced_elems", len as u64);
+            metrics::histogram_record("mpc.degree_reduction_batch", len as f64);
+        }
         // Re-share each local value with a fresh degree-t polynomial.
         let mut per_party: Vec<Vec<F>> = vec![Vec::with_capacity(len); self.n];
         for &v in d {
@@ -460,7 +530,7 @@ impl<F: PrimeField> PartyCtx<F> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sqm_field::{M61, PrimeField};
+    use sqm_field::{PrimeField, M61};
 
     fn engine(n: usize) -> MpcEngine {
         MpcEngine::new(MpcConfig::semi_honest(n).with_latency(Duration::ZERO))
@@ -483,8 +553,16 @@ mod tests {
     #[test]
     fn linear_ops_are_free() {
         let run = engine(3).run::<M61, _, _>(|ctx| {
-            let a = ctx.share_input(0, (ctx.id == 0).then(|| vec![M61::from_u64(10)]).as_deref(), 1);
-            let b = ctx.share_input(1, (ctx.id == 1).then(|| vec![M61::from_u64(4)]).as_deref(), 1);
+            let a = ctx.share_input(
+                0,
+                (ctx.id == 0).then(|| vec![M61::from_u64(10)]).as_deref(),
+                1,
+            );
+            let b = ctx.share_input(
+                1,
+                (ctx.id == 1).then(|| vec![M61::from_u64(4)]).as_deref(),
+                1,
+            );
             let c = ctx.add(&a, &b);
             let d = ctx.scale_public(&c, M61::from_u64(3));
             let e = ctx.add_public(&d, M61::from_u64(1));
@@ -556,7 +634,11 @@ mod tests {
     fn repeated_multiplication_chains() {
         // x^4 via two squarings on shares.
         let run = engine(5).run::<M61, _, _>(|ctx| {
-            let x = ctx.share_input(2, (ctx.id == 2).then(|| vec![M61::from_u64(3)]).as_deref(), 1);
+            let x = ctx.share_input(
+                2,
+                (ctx.id == 2).then(|| vec![M61::from_u64(3)]).as_deref(),
+                1,
+            );
             let x2 = ctx.mul(&x, &x);
             let x4 = ctx.mul(&x2, &x2);
             ctx.open(&x4)
@@ -618,7 +700,11 @@ mod tests {
     #[test]
     fn outputs_consistent_across_parties() {
         let run = engine(6).run::<M61, _, _>(|ctx| {
-            let x = ctx.share_input(0, (ctx.id == 0).then(|| vec![M61::from_u64(9)]).as_deref(), 1);
+            let x = ctx.share_input(
+                0,
+                (ctx.id == 0).then(|| vec![M61::from_u64(9)]).as_deref(),
+                1,
+            );
             let y = ctx.mul(&x, &x);
             ctx.open(&y)
         });
@@ -633,10 +719,7 @@ mod tests {
         let run = engine(4).run::<M61, _, _>(|ctx| {
             let triples = ctx.generate_triples(8);
             // Open each (a, b, c) and check c = a*b.
-            let flat: Vec<M61> = triples
-                .iter()
-                .flat_map(|t| [t.a, t.b, t.c])
-                .collect();
+            let flat: Vec<M61> = triples.iter().flat_map(|t| [t.a, t.b, t.c]).collect();
             ctx.open(&flat)
         });
         for out in run.outputs {
@@ -683,8 +766,16 @@ mod tests {
         // After preprocessing, a batch multiply costs exactly one round.
         let eng = engine(3);
         let run = eng.run::<M61, _, _>(|ctx| {
-            let x = ctx.share_input(0, (ctx.id == 0).then(|| vec![M61::from_u64(3); 10]).as_deref(), 10);
-            let y = ctx.share_input(1, (ctx.id == 1).then(|| vec![M61::from_u64(4); 10]).as_deref(), 10);
+            let x = ctx.share_input(
+                0,
+                (ctx.id == 0).then(|| vec![M61::from_u64(3); 10]).as_deref(),
+                10,
+            );
+            let y = ctx.share_input(
+                1,
+                (ctx.id == 1).then(|| vec![M61::from_u64(4); 10]).as_deref(),
+                10,
+            );
             let triples = ctx.generate_triples(10);
             ctx.set_phase("online");
             let z = ctx.mul_beaver(&x, &y, &triples);
@@ -751,7 +842,60 @@ mod tests {
             threshold: 2,
             latency: Duration::ZERO,
             seed: 0,
+            trace: false,
         });
+    }
+
+    #[test]
+    fn trace_reproduces_simulated_time_exactly() {
+        let cfg = MpcConfig::semi_honest(4)
+            .with_latency(Duration::from_millis(100))
+            .with_trace(true);
+        let run = MpcEngine::new(cfg).run::<M61, _, _>(|ctx| {
+            ctx.set_phase("input");
+            let x = ctx.share_input(
+                0,
+                (ctx.id == 0).then(|| vec![M61::from_u64(5); 3]).as_deref(),
+                3,
+            );
+            ctx.set_phase("mul");
+            let y = ctx.mul(&x, &x);
+            ctx.set_phase("open");
+            ctx.open(&y)
+        });
+        let trace = run.trace.expect("trace requested");
+        let summary = trace.summary();
+        // The recorder was fed the same Instant measurements as the stats,
+        // so the totals must agree to the nanosecond — not approximately.
+        assert_eq!(summary.total_simulated(), run.stats.simulated_time());
+        assert_eq!(summary.total.rounds, run.stats.total.rounds);
+        assert_eq!(summary.total.messages, run.stats.total.messages);
+        assert_eq!(summary.total.bytes, run.stats.total.bytes);
+        for (name, p) in &run.stats.phases {
+            let row = summary
+                .phases
+                .iter()
+                .find(|r| &r.name == name)
+                .unwrap_or_else(|| panic!("phase {name} missing from trace summary"));
+            assert_eq!(row.rounds, p.rounds, "{name}");
+            assert_eq!(row.messages, p.messages, "{name}");
+            assert_eq!(row.bytes, p.bytes, "{name}");
+            assert_eq!(row.simulated, p.simulated_time(run.stats.latency), "{name}");
+        }
+        // Each party recorded each of its rounds.
+        assert_eq!(
+            trace.parties.iter().map(|p| p.rounds.len()).sum::<usize>() as u64,
+            4 * run.stats.total.rounds
+        );
+    }
+
+    #[test]
+    fn trace_absent_by_default() {
+        let run = engine(3).run::<M61, _, _>(|ctx| {
+            let x = ctx.share_input(0, (ctx.id == 0).then(|| vec![M61::ONE]).as_deref(), 1);
+            ctx.open(&x)
+        });
+        assert!(run.trace.is_none());
     }
 
     #[test]
@@ -760,8 +904,16 @@ mod tests {
         // there is no secrecy between the two parties — see the caveat on
         // MpcConfig::semi_honest), but the protocol must still be correct.
         let run = engine(2).run::<M61, _, _>(|ctx| {
-            let a = ctx.share_input(0, (ctx.id == 0).then(|| vec![M61::from_u64(6)]).as_deref(), 1);
-            let b = ctx.share_input(1, (ctx.id == 1).then(|| vec![M61::from_u64(7)]).as_deref(), 1);
+            let a = ctx.share_input(
+                0,
+                (ctx.id == 0).then(|| vec![M61::from_u64(6)]).as_deref(),
+                1,
+            );
+            let b = ctx.share_input(
+                1,
+                (ctx.id == 1).then(|| vec![M61::from_u64(7)]).as_deref(),
+                1,
+            );
             let p = ctx.mul(&a, &b);
             ctx.open(&p)
         });

@@ -31,7 +31,7 @@ pub mod stats;
 pub mod transport;
 pub mod wire;
 
-pub use additive::{AdditiveCtx, AdditiveEngine};
+pub use additive::{AdditiveCtx, AdditiveEngine, AdditiveRun};
 pub use engine::{MpcConfig, MpcEngine, MpcRun, PartyCtx};
 pub use shamir::{reconstruct, share_secret, ShamirShare};
-pub use stats::RunStats;
+pub use stats::{PhaseStats, RunStats};

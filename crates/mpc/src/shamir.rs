@@ -187,7 +187,7 @@ mod proptests {
     use proptest::prelude::*;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
-    use sqm_field::{M61, PrimeField};
+    use sqm_field::{PrimeField, M61};
 
     proptest! {
         #[test]

@@ -10,8 +10,10 @@
 use std::collections::BTreeMap;
 use std::time::Duration;
 
+use serde::Serialize;
+
 /// Per-phase traffic and timing breakdown.
-#[derive(Clone, Debug, Default, PartialEq)]
+#[derive(Clone, Debug, Default, PartialEq, Serialize)]
 pub struct PhaseStats {
     /// Synchronous communication rounds spent in this phase.
     pub rounds: u64,
@@ -31,7 +33,7 @@ impl PhaseStats {
 }
 
 /// Aggregated statistics of one MPC run.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, Serialize)]
 pub struct RunStats {
     /// Totals across the whole protocol.
     pub total: PhaseStats,
@@ -70,12 +72,15 @@ impl std::fmt::Display for RunStats {
             self.simulated_time(),
             self.latency,
         )?;
+        // Per-phase rows use the same units as the totals line: message
+        // counts and MiB, not raw bytes.
         for (name, p) in &self.phases {
             writeln!(
                 f,
-                "  {name:<12} {:>3} rounds  {:>10} bytes  {:.2?}",
+                "  {name:<12} {:>3} rounds  {:>8} messages  {:>8.2} MiB  {:.2?}",
                 p.rounds,
-                p.bytes,
+                p.messages,
+                p.bytes as f64 / (1024.0 * 1024.0),
                 p.simulated_time(self.latency),
             )?;
         }
@@ -154,6 +159,28 @@ mod tests {
     }
 
     #[test]
+    fn stats_serialize_and_display_consistent_units() {
+        let mut a = PartyStats::default();
+        a.record_round("open", 3, 3 * 1024 * 1024);
+        a.record_wall("open", Duration::from_millis(5));
+        let merged = merge(vec![a], Duration::from_millis(100));
+
+        let json = merged.to_json();
+        assert!(json.contains("\"rounds\":1"));
+        assert!(json.contains("\"open\""));
+        assert!(json.contains("\"latency\":0.1"));
+
+        let shown = format!("{merged}");
+        // Totals and per-phase rows agree on units: MiB and message counts.
+        assert!(shown.contains("3.00 MiB"), "{shown}");
+        assert!(shown.lines().count() >= 2);
+        let phase_row = shown.lines().nth(1).unwrap();
+        assert!(phase_row.contains("messages"), "{phase_row}");
+        assert!(phase_row.contains("MiB"), "{phase_row}");
+        assert!(!phase_row.contains("bytes"), "{phase_row}");
+    }
+
+    #[test]
     fn merge_maxes_rounds_and_sums_traffic() {
         let mut a = PartyStats::default();
         a.record_round("x", 3, 300);
@@ -167,10 +194,7 @@ mod tests {
         assert_eq!(merged.total.messages, 12);
         assert_eq!(merged.total.bytes, 1200);
         assert_eq!(merged.total.wall, Duration::from_millis(7));
-        assert_eq!(
-            merged.simulated_time(),
-            Duration::from_millis(207)
-        );
+        assert_eq!(merged.simulated_time(), Duration::from_millis(207));
         assert_eq!(merged.phase_time("x"), Duration::from_millis(207));
         assert_eq!(merged.phase_time("absent"), Duration::ZERO);
     }

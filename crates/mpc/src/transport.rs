@@ -68,12 +68,10 @@ impl<F: PrimeField> Endpoint<F> {
 pub fn mesh<F: PrimeField>(n: usize) -> Vec<Endpoint<F>> {
     assert!(n >= 1);
     // channels[i][j]: the channel from party i to party j.
-    let mut txs: Vec<Vec<Option<Sender<Payload<F>>>>> = (0..n)
-        .map(|_| (0..n).map(|_| None).collect())
-        .collect();
-    let mut rxs: Vec<Vec<Option<Receiver<Payload<F>>>>> = (0..n)
-        .map(|_| (0..n).map(|_| None).collect())
-        .collect();
+    let mut txs: Vec<Vec<Option<Sender<Payload<F>>>>> =
+        (0..n).map(|_| (0..n).map(|_| None).collect()).collect();
+    let mut rxs: Vec<Vec<Option<Receiver<Payload<F>>>>> =
+        (0..n).map(|_| (0..n).map(|_| None).collect()).collect();
     for (i, tx_row) in txs.iter_mut().enumerate() {
         for (j, tx) in tx_row.iter_mut().enumerate() {
             let (s, r) = unbounded();
@@ -156,8 +154,7 @@ mod tests {
             let b = &endpoints[1];
             s.spawn(move || {
                 for round in 0..10u64 {
-                    let (incoming, _, _) =
-                        a.exchange(vec![vec![], vec![M61::from_u64(round)]]);
+                    let (incoming, _, _) = a.exchange(vec![vec![], vec![M61::from_u64(round)]]);
                     assert_eq!(incoming[1], vec![M61::from_u64(round * 100)]);
                 }
             });

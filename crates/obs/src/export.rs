@@ -1,0 +1,195 @@
+//! Trace exporters: JSONL event logs and Chrome trace-event JSON.
+//!
+//! Both exports put events on the **simulated** timeline (wall time plus
+//! `latency` per round), matching what `RunStats` reports — so a Perfetto
+//! view of a Table II run shows 0.1 s network gaps even though the run
+//! finished in milliseconds of real time.
+//!
+//! * JSONL: one self-describing JSON object per line (`"type"` is
+//!   `"meta"`, `"span"` or `"round"`), easy to `jq`/stream.
+//! * Chrome trace: the [trace-event format] with complete (`"X"`) events,
+//!   one track per party (`pid` 0, `tid` = party id), loadable in
+//!   Perfetto or `chrome://tracing`.
+//!
+//! [trace-event format]: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+
+use std::io::{self, Write};
+use std::time::Duration;
+
+use serde::json;
+
+use crate::trace::Trace;
+
+fn secs(d: Duration) -> f64 {
+    d.as_secs_f64()
+}
+
+fn micros(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e6
+}
+
+/// Write a trace as JSONL: a `meta` line, then every span and round record.
+pub fn write_jsonl<W: Write>(trace: &Trace, w: &mut W) -> io::Result<()> {
+    let mut line = String::new();
+    line.push_str("{\"type\":\"meta\",\"latency_s\":");
+    json::write_f64(&mut line, secs(trace.latency));
+    line.push_str(&format!(",\"parties\":{}}}", trace.parties.len()));
+    writeln!(w, "{line}")?;
+
+    for pt in &trace.parties {
+        for s in &pt.spans {
+            let mut line = String::new();
+            line.push_str(&format!(
+                "{{\"type\":\"span\",\"party\":{},\"phase\":",
+                s.party
+            ));
+            json::write_str(&mut line, &s.phase);
+            line.push_str(&format!(",\"seq\":{},\"start_s\":", s.seq));
+            json::write_f64(&mut line, secs(s.start));
+            line.push_str(",\"duration_s\":");
+            json::write_f64(&mut line, secs(s.duration));
+            line.push_str(",\"wall_s\":");
+            json::write_f64(&mut line, secs(s.wall));
+            line.push_str(&format!(
+                ",\"rounds\":{},\"messages\":{},\"bytes\":{}}}",
+                s.rounds, s.messages, s.bytes
+            ));
+            writeln!(w, "{line}")?;
+        }
+        for r in &pt.rounds {
+            let mut line = String::new();
+            line.push_str(&format!(
+                "{{\"type\":\"round\",\"party\":{},\"phase\":",
+                r.party
+            ));
+            json::write_str(&mut line, &r.phase);
+            line.push_str(&format!(
+                ",\"index\":{},\"messages\":{},\"bytes\":{}}}",
+                r.index, r.messages, r.bytes
+            ));
+            writeln!(w, "{line}")?;
+        }
+    }
+    Ok(())
+}
+
+/// Render a trace in the Chrome trace-event JSON format (simulated-clock
+/// microsecond timestamps; one thread track per party).
+pub fn chrome_trace_json(trace: &Trace) -> String {
+    let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+    let mut first = true;
+    let mut push_event = |out: &mut String, event: String| {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(&event);
+    };
+
+    push_event(
+        &mut out,
+        "{\"ph\":\"M\",\"pid\":0,\"name\":\"process_name\",\
+         \"args\":{\"name\":\"sqm simulated run\"}}"
+            .to_string(),
+    );
+    for pt in &trace.parties {
+        push_event(
+            &mut out,
+            format!(
+                "{{\"ph\":\"M\",\"pid\":0,\"tid\":{},\"name\":\"thread_name\",\
+                 \"args\":{{\"name\":\"party {}\"}}}}",
+                pt.party, pt.party
+            ),
+        );
+    }
+    for pt in &trace.parties {
+        for s in &pt.spans {
+            let mut ev = String::from("{\"ph\":\"X\",\"pid\":0,\"tid\":");
+            ev.push_str(&s.party.to_string());
+            ev.push_str(",\"name\":");
+            json::write_str(&mut ev, &s.phase);
+            ev.push_str(",\"cat\":\"mpc\",\"ts\":");
+            json::write_f64(&mut ev, micros(s.start));
+            ev.push_str(",\"dur\":");
+            json::write_f64(&mut ev, micros(s.duration));
+            ev.push_str(&format!(
+                ",\"args\":{{\"rounds\":{},\"messages\":{},\"bytes\":{},\"wall_us\":",
+                s.rounds, s.messages, s.bytes
+            ));
+            json::write_f64(&mut ev, micros(s.wall));
+            ev.push_str("}}");
+            push_event(&mut out, ev);
+        }
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Write [`chrome_trace_json`] to a writer.
+pub fn write_chrome_trace<W: Write>(trace: &Trace, w: &mut W) -> io::Result<()> {
+    w.write_all(chrome_trace_json(trace).as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::PartyRecorder;
+
+    fn sample_trace() -> Trace {
+        let latency = Duration::from_millis(100);
+        let parties = (0..2)
+            .map(|id| {
+                let mut r = PartyRecorder::new(id, latency);
+                r.set_phase("input");
+                r.record_round(1, 64);
+                r.flush_phase(Duration::from_millis(2));
+                r.set_phase("open");
+                r.record_round(1, 16);
+                r.flush_phase(Duration::from_millis(1));
+                r.finish()
+            })
+            .collect();
+        Trace::from_parties(latency, parties)
+    }
+
+    #[test]
+    fn jsonl_lines_are_json_objects() {
+        let mut buf = Vec::new();
+        write_jsonl(&sample_trace(), &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        // meta + 2 parties * (2 spans + 2 rounds).
+        assert_eq!(lines.len(), 1 + 2 * 4);
+        assert!(lines[0].contains("\"type\":\"meta\""));
+        assert!(lines[0].contains("\"latency_s\":0.1"));
+        for line in &lines {
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+        }
+        assert!(text.contains("\"phase\":\"input\""));
+        assert!(text.contains("\"type\":\"round\""));
+    }
+
+    #[test]
+    fn chrome_trace_shape() {
+        let json = chrome_trace_json(&sample_trace());
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"traceEvents\":["));
+        // Two thread-name metadata events + process name + 4 X events.
+        assert_eq!(json.matches("\"ph\":\"X\"").count(), 4);
+        assert_eq!(json.matches("\"ph\":\"M\"").count(), 3);
+        // Span 2 of party 0 starts at simulated 102 ms = 102000 us.
+        assert!(json.contains("\"ts\":102000.0"), "{json}");
+        // Durations are on the simulated clock (100 ms latency dominates).
+        assert!(json.contains("\"dur\":102000.0"));
+        // No trailing commas (the classic hand-rolled-JSON bug).
+        assert!(!json.contains(",]") && !json.contains(",}"));
+    }
+
+    #[test]
+    fn writer_variant_matches_string_variant() {
+        let t = sample_trace();
+        let mut buf = Vec::new();
+        write_chrome_trace(&t, &mut buf).unwrap();
+        assert_eq!(String::from_utf8(buf).unwrap(), chrome_trace_json(&t));
+    }
+}

@@ -1,0 +1,314 @@
+//! The privacy ledger: an audit log of DP releases.
+//!
+//! The paper's threat model gives every release two epsilons: the
+//! **server-observed** guarantee (Eq. 3 — the untrusted server sees the
+//! aggregate `Sk(mu)`-perturbed opening) and the weaker **client-observed**
+//! guarantee (Eq. 4 — a curious client knows her own noise share, leaving
+//! `Sk((P-1)/P * mu)`, and neighboring datasets replace a record, doubling
+//! sensitivity). The ledger records both for every release, along with the
+//! mechanism parameters `(gamma, mu, sensitivity)` that justify them, and
+//! maintains the running RDP composition (Lemma 10) of everything released
+//! so far.
+//!
+//! The ledger is pure observation: it never blocks a release (that is
+//! [`sqm_accounting::budget::PrivacyOdometer`]'s job). Its composed totals
+//! are computed by the same curve arithmetic the odometer uses, which the
+//! tests cross-check.
+
+use serde::Serialize;
+use sqm_accounting::skellam::{skellam_rdp, skellam_rdp_client_observed, Sensitivity};
+use sqm_accounting::{default_alpha_grid, RdpCurve};
+
+/// One recorded release.
+#[derive(Clone, Debug, Serialize)]
+pub struct LedgerEntry {
+    /// Position in the release sequence (0-based).
+    pub index: usize,
+    /// What produced it (e.g. `"covariance"`, `"gradient_sum"`).
+    pub kind: String,
+    /// Output dimensionality of the released vector/matrix.
+    pub dims: usize,
+    /// Quantization scale.
+    pub gamma: f64,
+    /// Aggregate Skellam parameter (each of the `P` clients contributed
+    /// `Sk(mu/P)`).
+    pub mu: f64,
+    /// L1 sensitivity of the amplified integer release.
+    pub sensitivity_l1: f64,
+    /// L2 sensitivity of the amplified integer release.
+    pub sensitivity_l2: f64,
+    /// Server-observed epsilon of this release alone (infinite when
+    /// `mu = 0`).
+    pub server_epsilon: f64,
+    /// Client-observed epsilon of this release alone.
+    pub client_epsilon: f64,
+    /// Server-observed epsilon of the composition up to and including this
+    /// release.
+    pub server_epsilon_total: f64,
+    /// Client-observed epsilon of the composition up to and including this
+    /// release.
+    pub client_epsilon_total: f64,
+}
+
+/// Running privacy account over a sequence of Skellam releases.
+#[derive(Clone, Debug)]
+pub struct PrivacyLedger {
+    n_clients: usize,
+    delta: f64,
+    entries: Vec<LedgerEntry>,
+    server_curve: RdpCurve,
+    client_curve: RdpCurve,
+    /// Set once any release had `mu = 0` (no noise): composed epsilons are
+    /// infinite from then on.
+    unbounded: bool,
+}
+
+impl PrivacyLedger {
+    /// A fresh ledger for a `P`-client deployment, converting RDP to
+    /// `(eps, delta)`-DP at the given `delta`.
+    pub fn new(n_clients: usize, delta: f64) -> Self {
+        assert!(
+            n_clients >= 2,
+            "client-observed DP needs at least 2 clients"
+        );
+        assert!(delta > 0.0 && delta < 1.0, "delta must be in (0,1)");
+        let grid = default_alpha_grid();
+        PrivacyLedger {
+            n_clients,
+            delta,
+            entries: Vec::new(),
+            server_curve: RdpCurve::zero(&grid),
+            client_curve: RdpCurve::zero(&grid),
+            unbounded: false,
+        }
+    }
+
+    /// Record one Skellam release and return its ledger entry.
+    pub fn record(
+        &mut self,
+        kind: &str,
+        dims: usize,
+        gamma: f64,
+        mu: f64,
+        sens: Sensitivity,
+    ) -> &LedgerEntry {
+        let grid = default_alpha_grid();
+        let (server_eps, client_eps) = if mu > 0.0 {
+            let server = RdpCurve::from_fn(&grid, |a| skellam_rdp(a, sens, mu));
+            let client = RdpCurve::from_fn(&grid, |a| {
+                skellam_rdp_client_observed(a, sens, mu, self.n_clients)
+            });
+            let server_eps = server.to_epsilon(self.delta).0;
+            let client_eps = client.to_epsilon(self.delta).0;
+            self.server_curve = self.server_curve.compose(&server);
+            self.client_curve = self.client_curve.compose(&client);
+            (server_eps, client_eps)
+        } else {
+            // An unperturbed opening has no DP guarantee at all.
+            self.unbounded = true;
+            (f64::INFINITY, f64::INFINITY)
+        };
+        let entry = LedgerEntry {
+            index: self.entries.len(),
+            kind: kind.to_string(),
+            dims,
+            gamma,
+            mu,
+            sensitivity_l1: sens.l1,
+            sensitivity_l2: sens.l2,
+            server_epsilon: server_eps,
+            client_epsilon: client_eps,
+            server_epsilon_total: self.server_epsilon(),
+            client_epsilon_total: self.client_epsilon(),
+        };
+        self.entries.push(entry);
+        self.entries.last().unwrap()
+    }
+
+    /// Every recorded release, in order.
+    pub fn entries(&self) -> &[LedgerEntry] {
+        &self.entries
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The `delta` all epsilons are reported at.
+    pub fn delta(&self) -> f64 {
+        self.delta
+    }
+
+    /// Server-observed epsilon of the full composition so far.
+    pub fn server_epsilon(&self) -> f64 {
+        if self.unbounded {
+            f64::INFINITY
+        } else {
+            self.server_curve.to_epsilon(self.delta).0
+        }
+    }
+
+    /// Client-observed epsilon of the full composition so far.
+    pub fn client_epsilon(&self) -> f64 {
+        if self.unbounded {
+            f64::INFINITY
+        } else {
+            self.client_curve.to_epsilon(self.delta).0
+        }
+    }
+
+    /// The composed server-observed RDP curve (for feeding an odometer or
+    /// converting at a different delta).
+    pub fn server_curve(&self) -> &RdpCurve {
+        &self.server_curve
+    }
+
+    /// The composed client-observed RDP curve.
+    pub fn client_curve(&self) -> &RdpCurve {
+        &self.client_curve
+    }
+
+    /// A serializable/printable report of the whole account.
+    pub fn report(&self) -> LedgerReport {
+        LedgerReport {
+            n_clients: self.n_clients,
+            delta: self.delta,
+            releases: self.entries.len(),
+            server_epsilon_total: self.server_epsilon(),
+            client_epsilon_total: self.client_epsilon(),
+            entries: self.entries.clone(),
+        }
+    }
+}
+
+/// Export form of a [`PrivacyLedger`].
+#[derive(Clone, Debug, Serialize)]
+pub struct LedgerReport {
+    pub n_clients: usize,
+    pub delta: f64,
+    pub releases: usize,
+    pub server_epsilon_total: f64,
+    pub client_epsilon_total: f64,
+    pub entries: Vec<LedgerEntry>,
+}
+
+impl std::fmt::Display for LedgerReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "privacy ledger: {} release(s), P = {}, delta = {:.1e}",
+            self.releases, self.n_clients, self.delta
+        )?;
+        writeln!(
+            f,
+            "{:<14} {:>6} {:>10} {:>12} {:>12} {:>12} {:>12}",
+            "kind", "dims", "gamma", "mu", "Delta_2", "eps(server)", "eps(client)"
+        )?;
+        for e in &self.entries {
+            writeln!(
+                f,
+                "{:<14} {:>6} {:>10.1} {:>12.3e} {:>12.3e} {:>12.4} {:>12.4}",
+                e.kind, e.dims, e.gamma, e.mu, e.sensitivity_l2, e.server_epsilon, e.client_epsilon,
+            )?;
+        }
+        write!(
+            f,
+            "composed totals: server eps = {:.4}, client eps = {:.4}",
+            self.server_epsilon_total, self.client_epsilon_total
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqm_accounting::budget::{Admission, PrivacyOdometer};
+
+    fn sens(l2: f64, d: usize) -> Sensitivity {
+        Sensitivity::from_l2_for_dim(l2, d)
+    }
+
+    #[test]
+    fn records_both_views_per_release() {
+        let mut ledger = PrivacyLedger::new(4, 1e-5);
+        let e = ledger
+            .record("covariance", 16, 18.0, 1e6, sens(330.0, 16))
+            .clone();
+        assert_eq!(e.index, 0);
+        assert_eq!(e.kind, "covariance");
+        assert!(e.server_epsilon.is_finite() && e.server_epsilon > 0.0);
+        // Client view is strictly weaker: less effective noise, doubled
+        // sensitivity.
+        assert!(e.client_epsilon > e.server_epsilon);
+        assert_eq!(e.server_epsilon_total, e.server_epsilon);
+    }
+
+    #[test]
+    fn composition_grows_and_matches_the_odometer() {
+        // The ledger's composed total must agree with the budget odometer
+        // fed the same per-release RDP curves.
+        let mut ledger = PrivacyLedger::new(4, 1e-5);
+        let mut odometer = PrivacyOdometer::new(1e9, 1e-5);
+        let grid = default_alpha_grid();
+        let releases = [
+            ("covariance", 330.0, 16, 1e6),
+            ("gradient_sum", 5000.0, 8, 1e8),
+            ("column_sums", 40.0, 4, 1e4),
+        ];
+        let mut last_total = 0.0;
+        for (kind, l2, d, mu) in releases {
+            let s = sens(l2, d);
+            ledger.record(kind, d, 18.0, mu, s);
+            let curve = RdpCurve::from_fn(&grid, |a| skellam_rdp(a, s, mu));
+            assert_eq!(odometer.admit(&curve), Admission::Admitted);
+            assert!(ledger.server_epsilon() > last_total);
+            last_total = ledger.server_epsilon();
+        }
+        let diff = (ledger.server_epsilon() - odometer.spent_epsilon()).abs();
+        assert!(
+            diff < 1e-12,
+            "ledger {} vs odometer {}",
+            ledger.server_epsilon(),
+            odometer.spent_epsilon()
+        );
+        assert_eq!(ledger.len(), 3);
+        assert_eq!(
+            ledger.entries()[2].server_epsilon_total,
+            ledger.server_epsilon()
+        );
+    }
+
+    #[test]
+    fn zero_mu_is_unbounded() {
+        let mut ledger = PrivacyLedger::new(2, 1e-5);
+        ledger.record("covariance", 4, 18.0, 100.0, sens(10.0, 4));
+        assert!(ledger.server_epsilon().is_finite());
+        ledger.record("covariance", 4, 18.0, 0.0, sens(10.0, 4));
+        assert!(ledger.server_epsilon().is_infinite());
+        assert!(ledger.entries()[1].server_epsilon.is_infinite());
+    }
+
+    #[test]
+    fn report_serializes() {
+        use serde::Serialize as _;
+        let mut ledger = PrivacyLedger::new(3, 1e-6);
+        ledger.record("column_sums", 4, 32.0, 1e5, sens(40.0, 4));
+        let report = ledger.report();
+        let json = report.to_json();
+        assert!(json.contains("\"kind\":\"column_sums\""));
+        assert!(json.contains("\"n_clients\":3"));
+        let shown = format!("{report}");
+        assert!(shown.contains("column_sums"));
+        assert!(shown.contains("server"));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn rejects_single_client() {
+        PrivacyLedger::new(1, 1e-5);
+    }
+}

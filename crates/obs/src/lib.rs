@@ -1,0 +1,38 @@
+//! Observability for SQM: tracing, metrics, and a privacy ledger.
+//!
+//! The simulation layer already *accounts* (rounds, bytes, virtual-clock
+//! time in `sqm_mpc::RunStats`; RDP spend in `sqm_accounting::budget`), but
+//! accounting alone answers "how much" — not "where", "when", or "under
+//! what privacy claim". This crate adds the missing views:
+//!
+//! * [`trace`] — structured span/round records keyed to the **simulated
+//!   clock**. Each MPC party thread owns a lock-free [`trace::PartyRecorder`]
+//!   fed from the same code paths (and the *same* `Instant` measurements) as
+//!   the engine's `PartyStats`, so a merged [`trace::Trace`] reproduces
+//!   `RunStats::simulated_time()` exactly — see [`trace::TraceSummary`].
+//! * [`metrics`] — a process-wide registry of counters, gauges and
+//!   histograms (messages per round, bytes per party, degree-reduction batch
+//!   sizes, eigensolver sweeps, ...). Disabled by default; every recording
+//!   call is a single relaxed atomic load when disabled.
+//! * [`ledger`] — a privacy ledger: one entry per DP release carrying
+//!   `(gamma, mu, sensitivity)` and the **server-observed** and
+//!   **client-observed** epsilons (paper Eqs. 3-4, Lemma 1), plus the
+//!   running RDP composition of everything released so far. The composed
+//!   totals agree with `sqm_accounting::budget::PrivacyOdometer` fed the
+//!   same curves.
+//! * [`export`] — JSONL event logs, Chrome trace-event JSON (loadable in
+//!   Perfetto / `chrome://tracing`, timestamps on the simulated timeline),
+//!   and a human-readable per-phase summary table.
+//!
+//! Everything here is *passive*: recording is driven by the `mpc`/`vfl`
+//! layers behind `trace: bool` config flags, and the experiment binaries
+//! gate exports behind `--trace` / `SQM_TRACE=1`.
+
+pub mod export;
+pub mod ledger;
+pub mod metrics;
+pub mod trace;
+
+pub use export::{chrome_trace_json, write_chrome_trace, write_jsonl};
+pub use ledger::{LedgerEntry, LedgerReport, PrivacyLedger};
+pub use trace::{PartyRecorder, PartyTrace, RoundRecord, SpanRecord, Trace, TraceSummary};

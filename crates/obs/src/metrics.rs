@@ -1,0 +1,213 @@
+//! A process-wide metrics registry: counters, gauges, histograms.
+//!
+//! Producers (`sqm-mpc`, `sqm-vfl`, `sqm-tasks`, experiment binaries) call
+//! the free functions unconditionally; when the registry is disabled —
+//! the default — each call is a single relaxed atomic load and an immediate
+//! return, cheap enough to leave in the engine's per-round path without
+//! perturbing benchmarks. Enabling is explicit ([`set_enabled`]), done by
+//! the experiment harness when `--trace` / `SQM_TRACE=1` is set.
+//!
+//! Names are dotted strings (`"mpc.rounds"`, `"eigen.sweeps"`); the
+//! registry is flat and allocation happens only on first use of a name.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+use serde::Serialize;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Histograms keep at most this many raw samples per name; count/sum/min/
+/// max keep exact track beyond it (quantiles then come from the prefix).
+const HISTOGRAM_CAP: usize = 1 << 16;
+
+#[derive(Default)]
+struct Registry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+#[derive(Default)]
+struct Histogram {
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+    samples: Vec<f64>,
+}
+
+fn registry() -> &'static Mutex<Registry> {
+    static REGISTRY: OnceLock<Mutex<Registry>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(Registry::default()))
+}
+
+/// Turn recording on or off (off by default).
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Is the registry currently recording?
+pub fn is_enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Add `delta` to the counter `name`.
+pub fn counter_add(name: &str, delta: u64) {
+    if !is_enabled() {
+        return;
+    }
+    let mut reg = registry().lock().unwrap();
+    match reg.counters.get_mut(name) {
+        Some(v) => *v += delta,
+        None => {
+            reg.counters.insert(name.to_string(), delta);
+        }
+    }
+}
+
+/// Set the gauge `name` to `value` (last write wins).
+pub fn gauge_set(name: &str, value: f64) {
+    if !is_enabled() {
+        return;
+    }
+    registry()
+        .lock()
+        .unwrap()
+        .gauges
+        .insert(name.to_string(), value);
+}
+
+/// Record one observation into the histogram `name`.
+pub fn histogram_record(name: &str, value: f64) {
+    if !is_enabled() {
+        return;
+    }
+    let mut reg = registry().lock().unwrap();
+    let h = reg.histograms.entry(name.to_string()).or_default();
+    if h.count == 0 {
+        h.min = value;
+        h.max = value;
+    } else {
+        h.min = h.min.min(value);
+        h.max = h.max.max(value);
+    }
+    h.count += 1;
+    h.sum += value;
+    if h.samples.len() < HISTOGRAM_CAP {
+        h.samples.push(value);
+    }
+}
+
+/// Drop every recorded value (the enabled flag is left unchanged).
+pub fn reset() {
+    let mut reg = registry().lock().unwrap();
+    *reg = Registry::default();
+}
+
+/// Aggregated view of one histogram.
+#[derive(Clone, Debug, Serialize)]
+pub struct HistogramSummary {
+    pub count: u64,
+    pub sum: f64,
+    pub min: f64,
+    pub max: f64,
+    pub mean: f64,
+    pub p50: f64,
+    pub p90: f64,
+    pub p99: f64,
+}
+
+/// A point-in-time copy of the whole registry, ready for JSON export.
+#[derive(Clone, Debug, Default, Serialize)]
+pub struct MetricsSnapshot {
+    pub counters: BTreeMap<String, u64>,
+    pub gauges: BTreeMap<String, f64>,
+    pub histograms: BTreeMap<String, HistogramSummary>,
+}
+
+/// Snapshot the registry (whether or not it is enabled).
+pub fn snapshot() -> MetricsSnapshot {
+    let reg = registry().lock().unwrap();
+    let histograms = reg
+        .histograms
+        .iter()
+        .map(|(name, h)| {
+            let mut sorted = h.samples.clone();
+            sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN histogram sample"));
+            let q = |p: f64| -> f64 {
+                if sorted.is_empty() {
+                    return f64::NAN;
+                }
+                let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+                sorted[idx]
+            };
+            (
+                name.clone(),
+                HistogramSummary {
+                    count: h.count,
+                    sum: h.sum,
+                    min: h.min,
+                    max: h.max,
+                    mean: h.sum / h.count.max(1) as f64,
+                    p50: q(0.50),
+                    p90: q(0.90),
+                    p99: q(0.99),
+                },
+            )
+        })
+        .collect();
+    MetricsSnapshot {
+        counters: reg.counters.clone(),
+        gauges: reg.gauges.clone(),
+        histograms,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // One sequential test: the registry is process-global, so exercising it
+    // from several parallel #[test]s would interleave.
+    #[test]
+    fn disabled_is_noop_enabled_records() {
+        reset();
+        assert!(!is_enabled());
+        counter_add("t.c", 5);
+        gauge_set("t.g", 1.0);
+        histogram_record("t.h", 1.0);
+        let snap = snapshot();
+        assert!(snap.counters.is_empty() && snap.gauges.is_empty());
+
+        set_enabled(true);
+        counter_add("t.c", 5);
+        counter_add("t.c", 2);
+        gauge_set("t.g", 1.5);
+        gauge_set("t.g", 2.5);
+        for v in 0..100 {
+            histogram_record("t.h", v as f64);
+        }
+        set_enabled(false);
+        counter_add("t.c", 100); // ignored again
+
+        let snap = snapshot();
+        assert_eq!(snap.counters["t.c"], 7);
+        assert_eq!(snap.gauges["t.g"], 2.5);
+        let h = &snap.histograms["t.h"];
+        assert_eq!(h.count, 100);
+        assert_eq!(h.min, 0.0);
+        assert_eq!(h.max, 99.0);
+        assert!((h.mean - 49.5).abs() < 1e-9);
+        assert!((h.p50 - 50.0).abs() <= 1.0);
+        assert!(h.p99 >= 97.0);
+
+        // JSON export round-trips through the serializer without panicking.
+        let json = snap.to_json();
+        assert!(json.contains("\"t.c\":7"));
+
+        reset();
+        assert!(snapshot().counters.is_empty());
+    }
+}

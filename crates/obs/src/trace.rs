@@ -1,0 +1,393 @@
+//! Structured protocol tracing on the simulated clock.
+//!
+//! The MPC engine charges `latency` per synchronous round on top of the
+//! measured wall time of the concurrently running party threads
+//! (`simulated = wall + rounds * latency`). The tracer mirrors that model
+//! at span granularity: each visit to a protocol phase (`"share"`,
+//! `"quantize"`, `"dp_noise"`, `"compute"`, `"open"`, ...) becomes one
+//! [`SpanRecord`] with a start position and duration on the party's
+//! simulated timeline, and each message exchange becomes one
+//! [`RoundRecord`].
+//!
+//! ## Exactness contract
+//!
+//! A [`PartyRecorder`] is owned by its party thread — no locks, no atomics —
+//! and is fed the *same* `Instant::elapsed()` measurement that the engine
+//! attributes to `PartyStats`. Merging therefore uses identical inputs and
+//! identical arithmetic (`wall + latency * rounds as u32`, max-over-parties
+//! for rounds/wall, sum for messages/bytes), so
+//! [`Trace::summary`]'s total equals `RunStats::simulated_time()`
+//! **exactly**, not approximately. The engine asserts this in its tests.
+
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+use serde::Serialize;
+
+/// One closed phase visit on a party's simulated timeline.
+#[derive(Clone, Debug, Serialize)]
+pub struct SpanRecord {
+    /// Party (MPC client) that executed the span.
+    pub party: usize,
+    /// Protocol phase name.
+    pub phase: String,
+    /// Position in the party's span sequence (0-based).
+    pub seq: usize,
+    /// Simulated-clock start: sum of all earlier span durations.
+    pub start: Duration,
+    /// Simulated duration: `wall + latency * rounds`.
+    pub duration: Duration,
+    /// Measured wall time of this visit (same measurement as `PartyStats`).
+    pub wall: Duration,
+    /// Communication rounds inside this visit.
+    pub rounds: u64,
+    /// Messages this party sent inside this visit.
+    pub messages: u64,
+    /// Payload bytes this party sent inside this visit.
+    pub bytes: u64,
+}
+
+/// One message exchange (synchronous round) as seen by one party.
+#[derive(Clone, Debug, Serialize)]
+pub struct RoundRecord {
+    pub party: usize,
+    /// Phase the round was charged to.
+    pub phase: String,
+    /// Party-global round index (0-based, in execution order).
+    pub index: u64,
+    /// Messages this party sent in the round.
+    pub messages: u64,
+    /// Payload bytes this party sent in the round.
+    pub bytes: u64,
+}
+
+/// Per-party-thread recorder. Owned by exactly one thread; all methods are
+/// plain mutations (lock-free by construction, like `PartyStats`).
+#[derive(Debug)]
+pub struct PartyRecorder {
+    party: usize,
+    latency: Duration,
+    /// Simulated-clock cursor: sum of closed span durations.
+    clock: Duration,
+    phase: String,
+    open_rounds: u64,
+    open_messages: u64,
+    open_bytes: u64,
+    round_index: u64,
+    spans: Vec<SpanRecord>,
+    rounds: Vec<RoundRecord>,
+}
+
+impl PartyRecorder {
+    /// A fresh recorder positioned at simulated time zero in the engine's
+    /// initial `"default"` phase.
+    pub fn new(party: usize, latency: Duration) -> Self {
+        PartyRecorder {
+            party,
+            latency,
+            clock: Duration::ZERO,
+            phase: "default".to_string(),
+            open_rounds: 0,
+            open_messages: 0,
+            open_bytes: 0,
+            round_index: 0,
+            spans: Vec::new(),
+            rounds: Vec::new(),
+        }
+    }
+
+    /// Record one exchange charged to the current phase.
+    pub fn record_round(&mut self, messages: u64, bytes: u64) {
+        self.rounds.push(RoundRecord {
+            party: self.party,
+            phase: self.phase.clone(),
+            index: self.round_index,
+            messages,
+            bytes,
+        });
+        self.round_index += 1;
+        self.open_rounds += 1;
+        self.open_messages += messages;
+        self.open_bytes += bytes;
+    }
+
+    /// Close the current visit with the engine-measured wall time. The
+    /// caller must pass the *same* `Duration` it hands to `PartyStats` —
+    /// that is what makes the summary exact.
+    pub fn flush_phase(&mut self, wall: Duration) {
+        let duration = wall + self.latency * self.open_rounds as u32;
+        self.spans.push(SpanRecord {
+            party: self.party,
+            phase: self.phase.clone(),
+            seq: self.spans.len(),
+            start: self.clock,
+            duration,
+            wall,
+            rounds: self.open_rounds,
+            messages: self.open_messages,
+            bytes: self.open_bytes,
+        });
+        self.clock += duration;
+        self.open_rounds = 0;
+        self.open_messages = 0;
+        self.open_bytes = 0;
+    }
+
+    /// Switch to a new phase. The caller flushes the previous visit first
+    /// (mirroring the engine's `set_phase`).
+    pub fn set_phase(&mut self, name: &str) {
+        self.phase = name.to_string();
+    }
+
+    /// Finish recording. Any un-flushed activity is dropped, so the engine
+    /// flushes before calling this.
+    pub fn finish(self) -> PartyTrace {
+        PartyTrace {
+            party: self.party,
+            spans: self.spans,
+            rounds: self.rounds,
+        }
+    }
+}
+
+/// One party's completed timeline.
+#[derive(Clone, Debug, Serialize)]
+pub struct PartyTrace {
+    pub party: usize,
+    pub spans: Vec<SpanRecord>,
+    pub rounds: Vec<RoundRecord>,
+}
+
+/// The merged trace of one protocol run: every party's timeline plus the
+/// latency the run was configured with.
+#[derive(Clone, Debug, Serialize)]
+pub struct Trace {
+    /// Per-hop latency used to convert rounds into simulated time.
+    pub latency: Duration,
+    /// Party timelines, sorted by party id.
+    pub parties: Vec<PartyTrace>,
+}
+
+impl Trace {
+    /// Assemble a run trace from per-party recordings.
+    pub fn from_parties(latency: Duration, mut parties: Vec<PartyTrace>) -> Self {
+        parties.sort_by_key(|p| p.party);
+        Trace { latency, parties }
+    }
+
+    /// Total messages across all parties.
+    pub fn total_messages(&self) -> u64 {
+        self.parties
+            .iter()
+            .flat_map(|p| &p.spans)
+            .map(|s| s.messages)
+            .sum()
+    }
+
+    /// Total payload bytes across all parties.
+    pub fn total_bytes(&self) -> u64 {
+        self.parties
+            .iter()
+            .flat_map(|p| &p.spans)
+            .map(|s| s.bytes)
+            .sum()
+    }
+
+    /// Merge spans into a per-phase summary using the engine's semantics:
+    /// within a party, visits to the same phase add; across parties, rounds
+    /// and wall take the maximum (parties run concurrently in lock-step)
+    /// while messages and bytes sum (total network traffic).
+    pub fn summary(&self) -> TraceSummary {
+        #[derive(Default, Clone)]
+        struct Acc {
+            rounds: u64,
+            messages: u64,
+            bytes: u64,
+            wall: Duration,
+        }
+        let mut phases: BTreeMap<String, Acc> = BTreeMap::new();
+        let mut total = Acc::default();
+        for pt in &self.parties {
+            let mut party_phases: BTreeMap<&str, Acc> = BTreeMap::new();
+            let mut party_total = Acc::default();
+            for s in &pt.spans {
+                let a = party_phases.entry(s.phase.as_str()).or_default();
+                a.rounds += s.rounds;
+                a.messages += s.messages;
+                a.bytes += s.bytes;
+                a.wall += s.wall;
+                party_total.rounds += s.rounds;
+                party_total.messages += s.messages;
+                party_total.bytes += s.bytes;
+                party_total.wall += s.wall;
+            }
+            for (name, a) in party_phases {
+                let m = phases.entry(name.to_string()).or_default();
+                m.rounds = m.rounds.max(a.rounds);
+                m.wall = m.wall.max(a.wall);
+                m.messages += a.messages;
+                m.bytes += a.bytes;
+            }
+            total.rounds = total.rounds.max(party_total.rounds);
+            total.wall = total.wall.max(party_total.wall);
+            total.messages += party_total.messages;
+            total.bytes += party_total.bytes;
+        }
+        let row = |name: String, a: &Acc| PhaseRow {
+            name,
+            rounds: a.rounds,
+            messages: a.messages,
+            bytes: a.bytes,
+            wall: a.wall,
+            simulated: a.wall + self.latency * a.rounds as u32,
+        };
+        TraceSummary {
+            latency: self.latency,
+            phases: phases.iter().map(|(n, a)| row(n.clone(), a)).collect(),
+            total: row("total".to_string(), &total),
+        }
+    }
+}
+
+/// One merged row of the per-phase summary table.
+#[derive(Clone, Debug, Serialize)]
+pub struct PhaseRow {
+    pub name: String,
+    /// Rounds (max over parties).
+    pub rounds: u64,
+    /// Messages (sum over parties).
+    pub messages: u64,
+    /// Payload bytes (sum over parties).
+    pub bytes: u64,
+    /// Wall time (max over parties).
+    pub wall: Duration,
+    /// `wall + latency * rounds` — the virtual-clock cost of the row.
+    pub simulated: Duration,
+}
+
+/// Per-phase rollup of a [`Trace`]. `total.simulated` equals the engine's
+/// `RunStats::simulated_time()` exactly (see the module docs).
+#[derive(Clone, Debug, Serialize)]
+pub struct TraceSummary {
+    pub latency: Duration,
+    pub phases: Vec<PhaseRow>,
+    pub total: PhaseRow,
+}
+
+impl TraceSummary {
+    /// The summary's total simulated time.
+    pub fn total_simulated(&self) -> Duration {
+        self.total.simulated
+    }
+}
+
+impl std::fmt::Display for TraceSummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "{:<12} {:>7} {:>10} {:>10} {:>14} {:>14}",
+            "phase", "rounds", "messages", "MiB", "wall", "simulated"
+        )?;
+        for row in self.phases.iter().chain(std::iter::once(&self.total)) {
+            writeln!(
+                f,
+                "{:<12} {:>7} {:>10} {:>10.3} {:>14.2?} {:>14.2?}",
+                row.name,
+                row.rounds,
+                row.messages,
+                row.bytes as f64 / (1024.0 * 1024.0),
+                row.wall,
+                row.simulated,
+            )?;
+        }
+        write!(f, "({:?}/hop latency)", self.latency)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> Duration {
+        Duration::from_millis(v)
+    }
+
+    #[test]
+    fn spans_accumulate_on_the_simulated_clock() {
+        let mut r = PartyRecorder::new(0, ms(100));
+        r.set_phase("input");
+        r.record_round(3, 300);
+        r.flush_phase(ms(5));
+        r.set_phase("open");
+        r.record_round(3, 24);
+        r.record_round(3, 24);
+        r.flush_phase(ms(1));
+        let t = r.finish();
+        assert_eq!(t.spans.len(), 2);
+        assert_eq!(t.spans[0].start, Duration::ZERO);
+        assert_eq!(t.spans[0].duration, ms(105));
+        assert_eq!(t.spans[1].start, ms(105));
+        assert_eq!(t.spans[1].duration, ms(201));
+        assert_eq!(t.rounds.len(), 3);
+        assert_eq!(t.rounds[2].index, 2);
+        assert_eq!(t.rounds[2].phase, "open");
+    }
+
+    #[test]
+    fn summary_merges_like_the_engine() {
+        // Two parties, same round structure, different wall times.
+        let mut a = PartyRecorder::new(0, ms(100));
+        a.set_phase("x");
+        a.record_round(2, 100);
+        a.flush_phase(ms(3));
+        let mut b = PartyRecorder::new(1, ms(100));
+        b.set_phase("x");
+        b.record_round(2, 100);
+        b.flush_phase(ms(7));
+        let trace = Trace::from_parties(ms(100), vec![a.finish(), b.finish()]);
+        let s = trace.summary();
+        assert_eq!(s.total.rounds, 1); // max, not sum
+        assert_eq!(s.total.messages, 4); // sum
+        assert_eq!(s.total.bytes, 200);
+        assert_eq!(s.total.wall, ms(7)); // max
+        assert_eq!(s.total_simulated(), ms(107));
+        assert_eq!(s.phases.len(), 1);
+        assert_eq!(s.phases[0].name, "x");
+        assert_eq!(s.phases[0].simulated, ms(107));
+    }
+
+    #[test]
+    fn repeated_phase_visits_add_within_a_party() {
+        let mut r = PartyRecorder::new(0, ms(10));
+        r.set_phase("input");
+        r.record_round(1, 10);
+        r.flush_phase(ms(1));
+        r.set_phase("compute");
+        r.flush_phase(ms(2));
+        r.set_phase("input");
+        r.record_round(1, 10);
+        r.flush_phase(ms(3));
+        let trace = Trace::from_parties(ms(10), vec![r.finish()]);
+        let s = trace.summary();
+        let input = s.phases.iter().find(|p| p.name == "input").unwrap();
+        assert_eq!(input.rounds, 2);
+        assert_eq!(input.wall, ms(4));
+        assert_eq!(input.simulated, ms(24));
+        assert_eq!(s.total.rounds, 2);
+        assert_eq!(s.total_simulated(), ms(26));
+    }
+
+    #[test]
+    fn parties_sorted_and_totals_counted() {
+        let mut b = PartyRecorder::new(1, ms(1));
+        b.record_round(5, 50);
+        b.flush_phase(ms(1));
+        let mut a = PartyRecorder::new(0, ms(1));
+        a.record_round(4, 40);
+        a.flush_phase(ms(1));
+        let t = Trace::from_parties(ms(1), vec![b.finish(), a.finish()]);
+        assert_eq!(t.parties[0].party, 0);
+        assert_eq!(t.total_messages(), 9);
+        assert_eq!(t.total_bytes(), 90);
+    }
+}

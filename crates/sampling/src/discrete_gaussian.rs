@@ -37,7 +37,10 @@ pub fn sample_discrete_laplace<R: Rng + ?Sized>(rng: &mut R, t: f64) -> i64 {
 /// Sample a discrete Gaussian `N_Z(0, sigma^2)` by rejection from a
 /// discrete Laplace (CKS 2020, Algorithm 3 variant).
 pub fn sample_discrete_gaussian<R: Rng + ?Sized>(rng: &mut R, sigma: f64) -> i64 {
-    assert!(sigma > 0.0 && sigma.is_finite(), "sigma must be positive and finite");
+    assert!(
+        sigma > 0.0 && sigma.is_finite(),
+        "sigma must be positive and finite"
+    );
     let t = sigma.floor() + 1.0;
     let sigma_sq = sigma * sigma;
     loop {
@@ -56,7 +59,9 @@ pub fn sample_discrete_gaussian_vec<R: Rng + ?Sized>(
     sigma: f64,
     len: usize,
 ) -> Vec<i64> {
-    (0..len).map(|_| sample_discrete_gaussian(rng, sigma)).collect()
+    (0..len)
+        .map(|_| sample_discrete_gaussian(rng, sigma))
+        .collect()
 }
 
 #[cfg(test)]
@@ -76,13 +81,18 @@ mod tests {
     fn discrete_laplace_moments() {
         let mut rng = StdRng::seed_from_u64(1);
         let t = 3.0;
-        let xs: Vec<i64> = (0..200_000).map(|_| sample_discrete_laplace(&mut rng, t)).collect();
+        let xs: Vec<i64> = (0..200_000)
+            .map(|_| sample_discrete_laplace(&mut rng, t))
+            .collect();
         let (mean, var) = moments(&xs);
         // Var = 2 e^{-1/t} / (1 - e^{-1/t})^2.
         let e = (-1.0f64 / t).exp();
         let expect = 2.0 * e / (1.0 - e).powi(2);
         assert!(mean.abs() < 0.05, "mean {mean}");
-        assert!((var - expect).abs() / expect < 0.03, "var {var} expect {expect}");
+        assert!(
+            (var - expect).abs() / expect < 0.03,
+            "var {var} expect {expect}"
+        );
     }
 
     #[test]
@@ -120,13 +130,18 @@ mod tests {
         }
         let ratio = c0 as f64 / c1 as f64;
         let expect = (1.0f64 / (2.0 * sigma * sigma)).exp();
-        assert!((ratio - expect).abs() / expect < 0.05, "ratio {ratio} expect {expect}");
+        assert!(
+            (ratio - expect).abs() / expect < 0.05,
+            "ratio {ratio} expect {expect}"
+        );
     }
 
     #[test]
     fn symmetric() {
         let mut rng = StdRng::seed_from_u64(4);
-        let xs: Vec<i64> = (0..100_000).map(|_| sample_discrete_gaussian(&mut rng, 3.0)).collect();
+        let xs: Vec<i64> = (0..100_000)
+            .map(|_| sample_discrete_gaussian(&mut rng, 3.0))
+            .collect();
         let pos = xs.iter().filter(|&&x| x > 0).count() as f64;
         let neg = xs.iter().filter(|&&x| x < 0).count() as f64;
         assert!((pos - neg).abs() / (pos + neg) < 0.02);

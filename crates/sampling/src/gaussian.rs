@@ -47,7 +47,9 @@ mod tests {
     #[test]
     fn standard_normal_moments() {
         let mut rng = StdRng::seed_from_u64(42);
-        let xs: Vec<f64> = (0..200_000).map(|_| sample_standard_normal(&mut rng)).collect();
+        let xs: Vec<f64> = (0..200_000)
+            .map(|_| sample_standard_normal(&mut rng))
+            .collect();
         let (mean, var) = moments(&xs);
         assert!(mean.abs() < 0.02, "mean {mean}");
         assert!((var - 1.0).abs() < 0.02, "var {var}");
@@ -56,7 +58,9 @@ mod tests {
     #[test]
     fn scaled_normal_moments() {
         let mut rng = StdRng::seed_from_u64(7);
-        let xs: Vec<f64> = (0..200_000).map(|_| sample_normal(&mut rng, 3.0, 2.0)).collect();
+        let xs: Vec<f64> = (0..200_000)
+            .map(|_| sample_normal(&mut rng, 3.0, 2.0))
+            .collect();
         let (mean, var) = moments(&xs);
         assert!((mean - 3.0).abs() < 0.05, "mean {mean}");
         assert!((var - 4.0).abs() < 0.1, "var {var}");

@@ -29,7 +29,10 @@ const PTRD_MAX: f64 = (1u64 << 50) as f64;
 /// the centered difference directly and never materializes the Poisson
 /// counts).
 pub fn sample_poisson<R: Rng + ?Sized>(rng: &mut R, mu: f64) -> i64 {
-    assert!(mu.is_finite() && mu >= 0.0, "Poisson mean must be finite and >= 0, got {mu}");
+    assert!(
+        mu.is_finite() && mu >= 0.0,
+        "Poisson mean must be finite and >= 0, got {mu}"
+    );
     assert!(
         mu < 4.0e18,
         "Poisson mean {mu} too large for i64 counts; sample the Skellam difference directly"
@@ -129,7 +132,9 @@ mod tests {
 
     fn sample_moments(mu: f64, n: usize, seed: u64) -> (f64, f64) {
         let mut rng = StdRng::seed_from_u64(seed);
-        let xs: Vec<f64> = (0..n).map(|_| sample_poisson(&mut rng, mu) as f64).collect();
+        let xs: Vec<f64> = (0..n)
+            .map(|_| sample_poisson(&mut rng, mu) as f64)
+            .collect();
         let mean = xs.iter().sum::<f64>() / n as f64;
         let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
         (mean, var)

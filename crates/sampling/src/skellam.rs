@@ -27,7 +27,10 @@ const DIRECT_DIFFERENCE_MAX: f64 = (1u64 << 49) as f64;
 /// *difference* would overflow `i64` (`mu > ~4e36`), far beyond any
 /// calibrated noise scale.
 pub fn sample_skellam<R: Rng + ?Sized>(rng: &mut R, mu: f64) -> i64 {
-    assert!(mu.is_finite() && mu >= 0.0, "Skellam parameter must be finite and >= 0, got {mu}");
+    assert!(
+        mu.is_finite() && mu >= 0.0,
+        "Skellam parameter must be finite and >= 0, got {mu}"
+    );
     if mu < DIRECT_DIFFERENCE_MAX {
         sample_poisson(rng, mu) - sample_poisson(rng, mu)
     } else {

@@ -189,7 +189,7 @@ mod tests {
         close(ln_gamma(2.0), 0.0, 1e-10);
         close(ln_gamma(0.5), 0.5723649429247001, 1e-10); // ln(sqrt(pi))
         close(ln_gamma(10.0), 12.801827480081469, 1e-10); // ln(9!)
-        // Cross-checked via ln_gamma(0.5) + sum_{k=0}^{99} ln(k + 0.5).
+                                                          // Cross-checked via ln_gamma(0.5) + sum_{k=0}^{99} ln(k + 0.5).
         close(ln_gamma(100.5), 361.4355404678, 1e-10);
     }
 

@@ -22,7 +22,10 @@ pub struct UniPoly {
 
 impl UniPoly {
     pub fn new(coeffs: Vec<f64>) -> Self {
-        assert!(!coeffs.is_empty(), "polynomial needs at least one coefficient");
+        assert!(
+            !coeffs.is_empty(),
+            "polynomial needs at least one coefficient"
+        );
         UniPoly { coeffs }
     }
 
@@ -67,7 +70,10 @@ pub fn sigmoid_taylor(degree: usize) -> UniPoly {
         0.0,
         31.0 / 1_451_520.0,
     ];
-    assert!(degree < COEFFS.len(), "sigmoid Taylor implemented up to degree 9");
+    assert!(
+        degree < COEFFS.len(),
+        "sigmoid Taylor implemented up to degree 9"
+    );
     UniPoly::new(COEFFS[..=degree].to_vec())
 }
 
@@ -85,7 +91,10 @@ pub fn tanh_taylor(degree: usize) -> UniPoly {
         0.0,
         62.0 / 2835.0,
     ];
-    assert!(degree < COEFFS.len(), "tanh Taylor implemented up to degree 9");
+    assert!(
+        degree < COEFFS.len(),
+        "tanh Taylor implemented up to degree 9"
+    );
     UniPoly::new(COEFFS[..=degree].to_vec())
 }
 

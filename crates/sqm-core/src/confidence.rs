@@ -20,7 +20,10 @@ use sqm_sampling::special::normal_cdf;
 /// * `quantization_bound` — deterministic bound on the down-scaled
 ///   rounding error (0 to ignore; the mechanism's `o(1)` term).
 pub fn sqm_half_width(beta: f64, mu: f64, amplification: f64, quantization_bound: f64) -> f64 {
-    assert!((0.0..1.0).contains(&beta) && beta > 0.0, "beta must be in (0,1)");
+    assert!(
+        (0.0..1.0).contains(&beta) && beta > 0.0,
+        "beta must be in (0,1)"
+    );
     assert!(mu >= 0.0 && amplification > 0.0 && quantization_bound >= 0.0);
     let z = normal_quantile(1.0 - beta / 2.0);
     z * (2.0 * mu).sqrt() / amplification + quantization_bound

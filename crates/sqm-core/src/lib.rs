@@ -35,5 +35,7 @@ pub mod sensitivity;
 
 pub use mechanism::{sqm_monomial, sqm_polynomial, SqmParams};
 pub use polynomial::{Monomial, Polynomial};
-pub use quantize::{quantize_matrix, quantize_polynomial, quantize_value, quantize_vec, QuantizedPolynomial};
+pub use quantize::{
+    quantize_matrix, quantize_polynomial, quantize_value, quantize_vec, QuantizedPolynomial,
+};
 pub use sensitivity::{lr_sensitivity, pca_sensitivity};

@@ -34,7 +34,11 @@ impl SqmParams {
         assert!(gamma > 1.0, "gamma must exceed 1, got {gamma}");
         assert!(mu >= 0.0, "mu must be non-negative, got {mu}");
         assert!(n_clients >= 1, "need at least one client");
-        SqmParams { gamma, mu, n_clients }
+        SqmParams {
+            gamma,
+            mu,
+            n_clients,
+        }
     }
 
     /// The aggregate Skellam noise for one output dimension: the sum of the
@@ -46,7 +50,9 @@ impl SqmParams {
             return 0;
         }
         let local = self.mu / self.n_clients as f64;
-        (0..self.n_clients).map(|_| sample_skellam(rng, local)).sum()
+        (0..self.n_clients)
+            .map(|_| sample_skellam(rng, local))
+            .sum()
     }
 }
 
@@ -98,7 +104,11 @@ pub fn sqm_polynomial<R: Rng + ?Sized>(
     data: &Matrix,
     params: SqmParams,
 ) -> Vec<f64> {
-    assert_eq!(data.cols(), poly.n_vars(), "data/polynomial dimension mismatch");
+    assert_eq!(
+        data.cols(),
+        poly.n_vars(),
+        "data/polynomial dimension mismatch"
+    );
 
     // Lines 1-3: coefficient quantization.
     let qpoly = quantize_polynomial(rng, poly, params.gamma);
@@ -138,9 +148,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let m = Monomial::new(1.0, vec![(0, 1), (2, 1)]); // x0 * x2
         let data = toy_data();
-        let truth: f64 = (0..data.rows())
-            .map(|i| data[(i, 0)] * data[(i, 2)])
-            .sum();
+        let truth: f64 = (0..data.rows()).map(|i| data[(i, 0)] * data[(i, 2)]).sum();
         let params = SqmParams::new(4096.0, 0.0, 3);
         let est = sqm_monomial(&mut rng, &m, &data, params);
         assert!((est - truth).abs() < 1e-3, "est {est} truth {truth}");
@@ -199,11 +207,16 @@ mod tests {
             .map(|_| sqm_polynomial(&mut rng, &p, &data, params)[0])
             .collect();
         let mean = samples.iter().sum::<f64>() / samples.len() as f64;
-        let var = samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>()
-            / samples.len() as f64;
+        let var = samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / samples.len() as f64;
         let expect = 2.0 * mu / gamma.powf(4.0); // lambda = 1 => scale gamma^2
-        assert!(mean.abs() < 3.0 * (expect / 4000.0).sqrt() + 1e-6, "mean {mean}");
-        assert!((var - expect).abs() / expect < 0.15, "var {var} expect {expect}");
+        assert!(
+            mean.abs() < 3.0 * (expect / 4000.0).sqrt() + 1e-6,
+            "mean {mean}"
+        );
+        assert!(
+            (var - expect).abs() / expect < 0.15,
+            "var {var} expect {expect}"
+        );
     }
 
     #[test]
@@ -230,11 +243,7 @@ mod tests {
             .map(|_| params.sample_aggregate_noise(&mut rng))
             .collect();
         let mean = xs.iter().map(|&x| x as f64).sum::<f64>() / xs.len() as f64;
-        let var = xs
-            .iter()
-            .map(|&x| (x as f64 - mean).powi(2))
-            .sum::<f64>()
-            / xs.len() as f64;
+        let var = xs.iter().map(|&x| (x as f64 - mean).powi(2)).sum::<f64>() / xs.len() as f64;
         assert!(mean.abs() < 0.2, "mean {mean}");
         assert!((var - 100.0).abs() / 100.0 < 0.05, "var {var}");
     }

@@ -21,12 +21,18 @@ pub struct Monomial {
 impl Monomial {
     /// A constant term.
     pub fn constant(c: f64) -> Self {
-        Monomial { coeff: c, exponents: Vec::new() }
+        Monomial {
+            coeff: c,
+            exponents: Vec::new(),
+        }
     }
 
     /// `coeff * x[var]`.
     pub fn linear(coeff: f64, var: usize) -> Self {
-        Monomial { coeff, exponents: vec![(var, 1)] }
+        Monomial {
+            coeff,
+            exponents: vec![(var, 1)],
+        }
     }
 
     /// Build from unsorted `(var, exp)` pairs; merges duplicates, drops
@@ -42,7 +48,10 @@ impl Monomial {
                 _ => merged.push((v, e)),
             }
         }
-        Monomial { coeff, exponents: merged }
+        Monomial {
+            coeff,
+            exponents: merged,
+        }
     }
 
     /// Degree: total number of variable multiplications (sum of exponents).
@@ -92,12 +101,18 @@ pub struct Polynomial {
 impl Polynomial {
     /// Build from per-dimension monomial lists; validates variable indices.
     pub fn new(n_vars: usize, dims: Vec<Vec<Monomial>>) -> Self {
-        assert!(!dims.is_empty(), "polynomial needs at least one output dimension");
+        assert!(
+            !dims.is_empty(),
+            "polynomial needs at least one output dimension"
+        );
         for (t, ms) in dims.iter().enumerate() {
             assert!(!ms.is_empty(), "dimension {t} has no monomials");
             for m in ms {
                 if let Some(v) = m.max_var() {
-                    assert!(v < n_vars, "dimension {t}: variable {v} out of range (n={n_vars})");
+                    assert!(
+                        v < n_vars,
+                        "dimension {t}: variable {v} out of range (n={n_vars})"
+                    );
                 }
             }
         }

@@ -15,14 +15,17 @@
 //! public, so their quantization costs no privacy.
 
 use rand::Rng;
-use sqm_sampling::rounding::stochastic_round;
 use sqm_linalg::Matrix;
+use sqm_sampling::rounding::stochastic_round;
 
 use crate::polynomial::Polynomial;
 
 /// Algorithm 2 on a scalar: scale by `gamma`, stochastically round.
 pub fn quantize_value<R: Rng + ?Sized>(rng: &mut R, x: f64, gamma: f64) -> i64 {
-    assert!(gamma > 0.0 && gamma.is_finite(), "gamma must be positive and finite");
+    assert!(
+        gamma > 0.0 && gamma.is_finite(),
+        "gamma must be positive and finite"
+    );
     stochastic_round(rng, gamma * x)
 }
 
@@ -119,9 +122,9 @@ impl QuantizedPolynomial {
         self.dims
             .iter()
             .map(|ms| {
-                ms.iter()
-                    .map(|m| m.eval_i128(x))
-                    .fold(0i128, |acc, v| acc.checked_add(v).expect("sum overflowed i128"))
+                ms.iter().map(|m| m.eval_i128(x)).fold(0i128, |acc, v| {
+                    acc.checked_add(v).expect("sum overflowed i128")
+                })
             })
             .collect()
     }
@@ -199,7 +202,11 @@ mod tests {
             .map(|_| quantize_value(&mut rng, x, gamma) as f64)
             .sum::<f64>()
             / n as f64;
-        assert!((mean / gamma - x).abs() < 1e-3, "mean/gamma = {}", mean / gamma);
+        assert!(
+            (mean / gamma - x).abs() < 1e-3,
+            "mean/gamma = {}",
+            mean / gamma
+        );
     }
 
     #[test]
@@ -272,10 +279,7 @@ mod tests {
     #[test]
     fn error_shrinks_with_gamma() {
         // Corollary 1: approximation error -> 0 as gamma grows.
-        let p = Polynomial::one_dimensional(
-            1,
-            vec![Monomial::new(1.0, vec![(0, 3)])],
-        );
+        let p = Polynomial::one_dimensional(1, vec![Monomial::new(1.0, vec![(0, 3)])]);
         let x = [0.7];
         let truth = p.eval(&x)[0];
         let mut errs = Vec::new();

@@ -54,12 +54,7 @@ pub fn lr_sensitivity_overhead(gamma: f64, d: usize) -> f64 {
 /// proof's multiplicity argument: each of the (at most `d * max_t v_t`)
 /// monomials contributes a rounding deviation of `O(lambda * gamma^lambda *
 /// max(c,1)^(lambda-1))` to the amplified output.
-pub fn generic_sensitivity(
-    poly: &Polynomial,
-    gamma: f64,
-    c: f64,
-    max_f_norm: f64,
-) -> Sensitivity {
+pub fn generic_sensitivity(poly: &Polynomial, gamma: f64, c: f64, max_f_norm: f64) -> Sensitivity {
     assert!(gamma > 1.0, "gamma must exceed 1");
     assert!(max_f_norm >= 0.0 && c > 0.0);
     let lambda = poly.degree() as i32;
@@ -76,7 +71,10 @@ pub fn generic_sensitivity(
     // coefficient; plus 1 for the coefficient's own rounding. Summed over
     // d*v monomials via the triangle inequality.
     let per_monomial = (max_abs_coeff * gamma + 1.0)
-        * (2.0 * lambda.max(1) as f64 * c.max(1.0).powi((lambda - 1).max(0)) * gamma.powi((lambda - 1).max(0))
+        * (2.0
+            * lambda.max(1) as f64
+            * c.max(1.0).powi((lambda - 1).max(0))
+            * gamma.powi((lambda - 1).max(0))
             + 1.0);
     let overhead = d.sqrt() * v * per_monomial;
     Sensitivity::from_l2_for_dim(main + overhead, poly.n_dims())
@@ -123,11 +121,7 @@ pub fn estimate_max_norm<R: rand::Rng + ?Sized>(
 /// amplified computation over `m` records, used to choose a field that
 /// cannot wrap around: `m * gamma^(lambda+1) * (max||f|| + overhead) +
 /// noise_tail`, with a 12-sigma Skellam tail.
-pub fn magnitude_bound(
-    sens: Sensitivity,
-    m: usize,
-    mu: f64,
-) -> f64 {
+pub fn magnitude_bound(sens: Sensitivity, m: usize, mu: f64) -> f64 {
     let noise_tail = 12.0 * (2.0 * mu).sqrt();
     m as f64 * sens.l2 + noise_tail
 }
@@ -157,10 +151,9 @@ mod tests {
         let gamma = 1024.0;
         let d = 800;
         let s = lr_sensitivity(gamma, d);
-        let expect = ((0.75 * gamma.powi(3)).powi(2)
-            + 9.0 * gamma.powi(5) * 800.0
-            + 36.0 * gamma.powi(4))
-        .sqrt();
+        let expect =
+            ((0.75 * gamma.powi(3)).powi(2) + 9.0 * gamma.powi(5) * 800.0 + 36.0 * gamma.powi(4))
+                .sqrt();
         assert!((s.l2 - expect).abs() / expect < 1e-12);
     }
 

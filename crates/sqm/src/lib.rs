@@ -57,6 +57,8 @@ pub use sqm_field as field;
 pub use sqm_linalg as linalg;
 /// Semi-honest BGW MPC over a simulated, latency-accounted network.
 pub use sqm_mpc as mpc;
+/// Observability: structured tracing, metrics, privacy ledger, exporters.
+pub use sqm_obs as obs;
 /// Samplers (Poisson / Skellam / Gaussian / stochastic rounding) and
 /// special functions.
 pub use sqm_sampling as sampling;
@@ -78,5 +80,6 @@ mod tests {
         let _ = crate::vfl::ColumnPartition::even(2, 2);
         let _ = crate::tasks::NonPrivatePca::new(1);
         let _ = crate::datasets::Scale::Laptop;
+        let _ = crate::obs::PrivacyLedger::new(2, 1e-5);
     }
 }

@@ -34,7 +34,10 @@ impl Categorical {
             values.iter().all(|&v| v < n_categories),
             "category value out of range"
         );
-        Categorical { values, n_categories }
+        Categorical {
+            values,
+            n_categories,
+        }
     }
 
     pub fn len(&self) -> usize {
@@ -240,7 +243,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let est = SqmHistogram::new(4096.0, 1.0, 1e-5).estimate(&mut rng, &data);
         // Counts are in the thousands; noise std is O(10).
-        assert!(tv_distance(&est, &truth) < 0.01, "tv {}", tv_distance(&est, &truth));
+        assert!(
+            tv_distance(&est, &truth) < 0.01,
+            "tv {}",
+            tv_distance(&est, &truth)
+        );
     }
 
     #[test]

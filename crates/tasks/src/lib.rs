@@ -26,8 +26,8 @@ pub mod pca;
 pub mod ridge;
 pub mod stats;
 
+pub use histogram::{Categorical, GaussianHistogram, SqmContingency, SqmHistogram};
 pub use logreg::{ApproxPolyLogReg, DpSgd, LocalDpLogReg, LrConfig, NonPrivateLogReg, SqmLogReg};
 pub use pca::{AnalyzeGaussPca, LocalDpPca, NonPrivatePca, PcaBackend, SqmPca};
 pub use ridge::{GaussianRidge, LocalDpRidge, NonPrivateRidge, RidgeBackend, SqmRidge};
-pub use histogram::{Categorical, GaussianHistogram, SqmContingency, SqmHistogram};
 pub use stats::{GaussianMean, LocalDpMean, MeanBackend, SqmMean};

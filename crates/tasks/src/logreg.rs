@@ -37,7 +37,12 @@ impl LrConfig {
     pub fn new(rounds: u32, q: f64) -> Self {
         assert!(rounds >= 1);
         assert!(q > 0.0 && q <= 1.0);
-        LrConfig { rounds, q, lr: 1.0, seed: 0 }
+        LrConfig {
+            rounds,
+            q,
+            lr: 1.0,
+            seed: 0,
+        }
     }
 
     pub fn with_lr(mut self, lr: f64) -> Self {
@@ -205,9 +210,7 @@ impl SqmLogReg {
                 let n_clients = self.n_clients;
                 let gamma = self.gamma;
                 sgd_loop(rng, m, d, &self.cfg, |rng, w, batch| {
-                    gradient_sum_skellam_plaintext(
-                        rng, &data, batch, w, gamma, mu, n_clients, seed,
-                    )
+                    gradient_sum_skellam_plaintext(rng, &data, batch, w, gamma, mu, n_clients, seed)
                 })
             }
             LrBackend::Mpc(cfg) => {
@@ -217,8 +220,7 @@ impl SqmLogReg {
                 sgd_loop(rng, m, d, &self.cfg, |_rng, w, batch| {
                     round += 1;
                     let step_cfg = cfg.clone().with_seed(cfg.seed ^ round);
-                    gradient_sum_skellam(&data, &partition, batch, w, gamma, mu, &step_cfg)
-                        .grad_sum
+                    gradient_sum_skellam(&data, &partition, batch, w, gamma, mu, &step_cfg).grad_sum
                 })
             }
         }
@@ -425,11 +427,17 @@ mod tests {
                 &SqmLogReg::new(c.clone(), 8192.0, 4.0, 1e-5).fit(&mut rng, &train),
                 &test,
             );
-            a_dpsgd += accuracy(&DpSgd::new(c.clone(), 4.0, 1e-5).fit(&mut rng, &train), &test);
+            a_dpsgd += accuracy(
+                &DpSgd::new(c.clone(), 4.0, 1e-5).fit(&mut rng, &train),
+                &test,
+            );
             a_local += accuracy(&LocalDpLogReg::new(4.0, 1e-5).fit(&mut rng, &train), &test);
         }
-        let (a_sqm, a_dpsgd, a_local) =
-            (a_sqm / reps as f64, a_dpsgd / reps as f64, a_local / reps as f64);
+        let (a_sqm, a_dpsgd, a_local) = (
+            a_sqm / reps as f64,
+            a_dpsgd / reps as f64,
+            a_local / reps as f64,
+        );
         assert!(a_sqm > a_local + 0.03, "SQM {a_sqm} vs local {a_local}");
         assert!(a_sqm > a_dpsgd - 0.08, "SQM {a_sqm} vs DPSGD {a_dpsgd}");
     }
@@ -444,7 +452,10 @@ mod tests {
             &ApproxPolyLogReg::new(cfg(), 4.0, 1e-5).fit(&mut rng, &train),
             &test,
         );
-        assert!((a_exact - a_poly).abs() < 0.08, "exact {a_exact} poly {a_poly}");
+        assert!(
+            (a_exact - a_poly).abs() < 0.08,
+            "exact {a_exact} poly {a_poly}"
+        );
     }
 
     #[test]

@@ -8,11 +8,21 @@ use rand::Rng;
 use sqm_accounting::calibration::{calibrate_skellam_mu, skellam_epsilon, CalibrationTarget};
 use sqm_core::baseline::local_dp_release;
 use sqm_core::sensitivity::pca_sensitivity;
-use sqm_linalg::eigen::{captured_variance, top_k_eigenvectors};
+use sqm_linalg::eigen::{captured_variance, top_k_eigenvectors_with_sweeps};
 use sqm_linalg::Matrix;
 use sqm_sampling::gaussian::sample_normal;
 use sqm_vfl::covariance::{covariance_skellam, covariance_skellam_plaintext};
 use sqm_vfl::{ColumnPartition, VflConfig};
+
+/// Top-k eigenvectors, reporting eigensolver work to the metrics registry
+/// (`eigen.sweeps` histogram) when observability is enabled.
+fn top_k_eigenvectors(a: &Matrix, k: usize) -> Matrix {
+    let (v, sweeps) = top_k_eigenvectors_with_sweeps(a, k);
+    if let Some(sweeps) = sweeps {
+        sqm_obs::metrics::histogram_record("eigen.sweeps", sweeps as f64);
+    }
+    v
+}
 
 /// Which execution backend SQM-PCA runs on.
 #[derive(Clone, Debug)]
@@ -151,7 +161,12 @@ pub struct AnalyzeGaussPca {
 
 impl AnalyzeGaussPca {
     pub fn new(k: usize, eps: f64, delta: f64) -> Self {
-        AnalyzeGaussPca { k, eps, delta, norm_bound: 1.0 }
+        AnalyzeGaussPca {
+            k,
+            eps,
+            delta,
+            norm_bound: 1.0,
+        }
     }
 
     pub fn fit<R: Rng + ?Sized>(&self, rng: &mut R, data: &Matrix) -> Matrix {
@@ -191,7 +206,12 @@ pub struct LocalDpPca {
 
 impl LocalDpPca {
     pub fn new(k: usize, eps: f64, delta: f64) -> Self {
-        LocalDpPca { k, eps, delta, norm_bound: 1.0 }
+        LocalDpPca {
+            k,
+            eps,
+            delta,
+            norm_bound: 1.0,
+        }
     }
 
     pub fn fit<R: Rng + ?Sized>(&self, rng: &mut R, data: &Matrix) -> Matrix {
@@ -235,7 +255,10 @@ mod tests {
     use sqm_datasets::SpectralSpec;
 
     fn data() -> Matrix {
-        SpectralSpec::new(800, 12).with_decay(1.0).with_seed(3).generate()
+        SpectralSpec::new(800, 12)
+            .with_decay(1.0)
+            .with_seed(3)
+            .generate()
     }
 
     #[test]
@@ -255,8 +278,11 @@ mod tests {
             central_u += pca_utility(&x, &AnalyzeGaussPca::new(k, eps, delta).fit(&mut rng, &x));
             local_u += pca_utility(&x, &LocalDpPca::new(k, eps, delta).fit(&mut rng, &x));
         }
-        let (sqm_u, central_u, local_u) =
-            (sqm_u / reps as f64, central_u / reps as f64, local_u / reps as f64);
+        let (sqm_u, central_u, local_u) = (
+            sqm_u / reps as f64,
+            central_u / reps as f64,
+            local_u / reps as f64,
+        );
         assert!(sqm_u > local_u, "SQM {sqm_u} must beat local-DP {local_u}");
         assert!(
             sqm_u > 0.8 * central_u,
@@ -331,7 +357,10 @@ mod tests {
         let mech = SqmPca::new(3, 1024.0, 1.0, 1e-5).with_clients(16);
         let server = mech.achieved_epsilon(x.max_row_norm(), x.cols());
         let client = mech.achieved_client_epsilon(x.max_row_norm(), x.cols());
-        assert!(client > server, "client {client} must exceed server {server}");
+        assert!(
+            client > server,
+            "client {client} must exceed server {server}"
+        );
         // With many clients the degradation is dominated by sensitivity
         // doubling: roughly 2x epsilon in the Gaussian regime.
         assert!(client < 4.0 * server, "client {client} vs server {server}");

@@ -133,7 +133,12 @@ pub struct GaussianRidge {
 
 impl GaussianRidge {
     pub fn new(lambda: f64, eps: f64, delta: f64) -> Self {
-        GaussianRidge { lambda, eps, delta, norm_bound: (2.0f64).sqrt() }
+        GaussianRidge {
+            lambda,
+            eps,
+            delta,
+            norm_bound: (2.0f64).sqrt(),
+        }
     }
 
     pub fn fit<R: Rng + ?Sized>(&self, rng: &mut R, train: &RegressionDataset) -> Vec<f64> {
@@ -141,7 +146,10 @@ impl GaussianRidge {
         let m = train.len();
         let aug = train.as_vfl_matrix();
         let c_aug = self.norm_bound;
-        assert!(aug.max_row_norm() <= c_aug * (1.0 + 1e-9), "record exceeds public bound");
+        assert!(
+            aug.max_row_norm() <= c_aug * (1.0 + 1e-9),
+            "record exceeds public bound"
+        );
         let sigma = analytic_gaussian_sigma(self.eps, self.delta, c_aug * c_aug);
         let mut cov = aug.gram();
         let n_cols = d + 1;
@@ -171,7 +179,12 @@ pub struct LocalDpRidge {
 
 impl LocalDpRidge {
     pub fn new(lambda: f64, eps: f64, delta: f64) -> Self {
-        LocalDpRidge { lambda, eps, delta, norm_bound: (2.0f64).sqrt() }
+        LocalDpRidge {
+            lambda,
+            eps,
+            delta,
+            norm_bound: (2.0f64).sqrt(),
+        }
     }
 
     pub fn fit<R: Rng + ?Sized>(&self, rng: &mut R, train: &RegressionDataset) -> Vec<f64> {
@@ -179,7 +192,10 @@ impl LocalDpRidge {
         let m = train.len();
         let aug = train.as_vfl_matrix();
         let c_aug = self.norm_bound;
-        assert!(aug.max_row_norm() <= c_aug * (1.0 + 1e-9), "record exceeds public bound");
+        assert!(
+            aug.max_row_norm() <= c_aug * (1.0 + 1e-9),
+            "record exceeds public bound"
+        );
         let noisy = local_dp_release(rng, &aug, self.eps, self.delta, c_aug);
         solve_from_noisy_covariance(&noisy.gram().scaled(1.0 / m as f64), d, self.lambda)
     }
@@ -212,7 +228,10 @@ mod tests {
     use sqm_datasets::RegressionSpec;
 
     fn dataset() -> (RegressionDataset, RegressionDataset) {
-        RegressionSpec::new(4000, 10).with_seed(1).generate().split(0.8, 0)
+        RegressionSpec::new(4000, 10)
+            .with_seed(1)
+            .generate()
+            .split(0.8, 0)
     }
 
     #[test]
@@ -236,8 +255,11 @@ mod tests {
             e_central += test.mse(&GaussianRidge::new(lambda, eps, delta).fit(&mut rng, &train));
             e_local += test.mse(&LocalDpRidge::new(lambda, eps, delta).fit(&mut rng, &train));
         }
-        let (e_sqm, e_central, e_local) =
-            (e_sqm / reps as f64, e_central / reps as f64, e_local / reps as f64);
+        let (e_sqm, e_central, e_local) = (
+            e_sqm / reps as f64,
+            e_central / reps as f64,
+            e_local / reps as f64,
+        );
         assert!(e_sqm < e_local, "SQM mse {e_sqm} must beat local {e_local}");
         assert!(
             e_sqm < e_central * 2.0 + 1e-3,
@@ -265,7 +287,10 @@ mod tests {
 
     #[test]
     fn mpc_backend_produces_useful_model() {
-        let (train, test) = RegressionSpec::new(200, 5).with_seed(4).generate().split(0.8, 1);
+        let (train, test) = RegressionSpec::new(200, 5)
+            .with_seed(4)
+            .generate()
+            .split(0.8, 1);
         let mut rng = StdRng::seed_from_u64(5);
         let w = SqmRidge::new(1e-3, 4096.0, 8.0, 1e-5)
             .with_backend(RidgeBackend::Mpc(VflConfig::fast(3)))

@@ -97,14 +97,21 @@ pub struct GaussianMean {
 
 impl GaussianMean {
     pub fn new(eps: f64, delta: f64) -> Self {
-        GaussianMean { eps, delta, norm_bound: 1.0 }
+        GaussianMean {
+            eps,
+            delta,
+            norm_bound: 1.0,
+        }
     }
 
     pub fn estimate<R: Rng + ?Sized>(&self, rng: &mut R, data: &Matrix) -> Vec<f64> {
         let n = data.cols();
         let m = data.rows().max(1);
         let c = self.norm_bound;
-        assert!(data.max_row_norm() <= c * (1.0 + 1e-9), "record exceeds public bound");
+        assert!(
+            data.max_row_norm() <= c * (1.0 + 1e-9),
+            "record exceeds public bound"
+        );
         let sigma = analytic_gaussian_sigma(self.eps, self.delta, c);
         (0..n)
             .map(|j| {
@@ -126,12 +133,19 @@ pub struct LocalDpMean {
 
 impl LocalDpMean {
     pub fn new(eps: f64, delta: f64) -> Self {
-        LocalDpMean { eps, delta, norm_bound: 1.0 }
+        LocalDpMean {
+            eps,
+            delta,
+            norm_bound: 1.0,
+        }
     }
 
     pub fn estimate<R: Rng + ?Sized>(&self, rng: &mut R, data: &Matrix) -> Vec<f64> {
         let c = self.norm_bound;
-        assert!(data.max_row_norm() <= c * (1.0 + 1e-9), "record exceeds public bound");
+        assert!(
+            data.max_row_norm() <= c * (1.0 + 1e-9),
+            "record exceeds public bound"
+        );
         let noisy = local_dp_release(rng, data, self.eps, self.delta, c);
         let m = noisy.rows().max(1);
         (0..noisy.cols())
@@ -178,14 +192,26 @@ mod tests {
         let reps = 20;
         let (mut e_sqm, mut e_central, mut e_local) = (0.0, 0.0, 0.0);
         for _ in 0..reps {
-            e_sqm += mean_l2_error(&SqmMean::new(4096.0, eps, delta).estimate(&mut rng, &x), &truth);
-            e_central += mean_l2_error(&GaussianMean::new(eps, delta).estimate(&mut rng, &x), &truth);
+            e_sqm += mean_l2_error(
+                &SqmMean::new(4096.0, eps, delta).estimate(&mut rng, &x),
+                &truth,
+            );
+            e_central += mean_l2_error(
+                &GaussianMean::new(eps, delta).estimate(&mut rng, &x),
+                &truth,
+            );
             e_local += mean_l2_error(&LocalDpMean::new(eps, delta).estimate(&mut rng, &x), &truth);
         }
-        let (e_sqm, e_central, e_local) =
-            (e_sqm / reps as f64, e_central / reps as f64, e_local / reps as f64);
+        let (e_sqm, e_central, e_local) = (
+            e_sqm / reps as f64,
+            e_central / reps as f64,
+            e_local / reps as f64,
+        );
         assert!(e_sqm < e_local, "SQM {e_sqm} must beat local {e_local}");
-        assert!(e_sqm < e_central * 1.5, "SQM {e_sqm} should track central {e_central}");
+        assert!(
+            e_sqm < e_central * 1.5,
+            "SQM {e_sqm} should track central {e_central}"
+        );
     }
 
     #[test]

@@ -30,6 +30,8 @@ pub struct CovarianceOutput {
     pub c_hat: Matrix,
     /// MPC accounting (empty/default for the plaintext backend).
     pub stats: RunStats,
+    /// Structured trace (only when `VflConfig::trace` is set).
+    pub trace: Option<sqm_obs::trace::Trace>,
 }
 
 /// Full BGW execution of the noisy covariance.
@@ -97,7 +99,11 @@ pub fn covariance_skellam_plaintext<R: rand::Rng + ?Sized>(
 }
 
 fn validate(data: &Matrix, partition: &ColumnPartition, cfg: &VflConfig) {
-    assert_eq!(partition.n_cols(), data.cols(), "partition/data column mismatch");
+    assert_eq!(
+        partition.n_cols(),
+        data.cols(),
+        "partition/data column mismatch"
+    );
     assert_eq!(
         partition.n_clients(),
         cfg.n_clients,
@@ -130,12 +136,8 @@ pub fn covariance_skellam_chunked(
     assert!(chunk_records >= 1, "chunk size must be positive");
     let bound = magnitude_bound(data, gamma, mu);
     match FieldChoice::for_magnitude(bound).expect("workload exceeds M127 headroom") {
-        FieldChoice::M61 => {
-            chunked_impl::<M61>(data, partition, gamma, mu, cfg, chunk_records)
-        }
-        FieldChoice::M127 => {
-            chunked_impl::<M127>(data, partition, gamma, mu, cfg, chunk_records)
-        }
+        FieldChoice::M61 => chunked_impl::<M61>(data, partition, gamma, mu, cfg, chunk_records),
+        FieldChoice::M127 => chunked_impl::<M127>(data, partition, gamma, mu, cfg, chunk_records),
     }
 }
 
@@ -153,7 +155,8 @@ fn chunked_impl<F: PrimeField>(
     let engine = MpcEngine::new(
         MpcConfig::semi_honest(p_clients)
             .with_latency(cfg.latency)
-            .with_seed(cfg.seed),
+            .with_seed(cfg.seed)
+            .with_trace(cfg.trace),
     );
     let upper_len = n * (n + 1) / 2;
     let counts = partition.counts();
@@ -173,10 +176,8 @@ fn chunked_impl<F: PrimeField>(
             let mut my_values: Vec<F> = Vec::with_capacity(my_cols.len() * rows);
             for &j in &my_cols {
                 for i in start..end {
-                    let q = sqm_sampling::rounding::stochastic_round(
-                        &mut qrng,
-                        gamma * data[(i, j)],
-                    );
+                    let q =
+                        sqm_sampling::rounding::stochastic_round(&mut qrng, gamma * data[(i, j)]);
                     my_values.push(F::from_i128(q as i128));
                 }
             }
@@ -237,6 +238,7 @@ fn chunked_impl<F: PrimeField>(
     CovarianceOutput {
         c_hat,
         stats: run.stats,
+        trace: run.trace,
     }
 }
 
@@ -253,7 +255,8 @@ fn covariance_impl<F: PrimeField>(
     let engine = MpcEngine::new(
         MpcConfig::semi_honest(p_clients)
             .with_latency(cfg.latency)
-            .with_seed(cfg.seed),
+            .with_seed(cfg.seed)
+            .with_trace(cfg.trace),
     );
     let upper_len = n * (n + 1) / 2;
     // Column share lengths per client (column-major flattening).
@@ -334,6 +337,7 @@ fn covariance_impl<F: PrimeField>(
     CovarianceOutput {
         c_hat,
         stats: run.stats,
+        trace: run.trace,
     }
 }
 
@@ -464,13 +468,15 @@ mod chunked_tests {
 
     #[test]
     fn chunked_matches_unchunked_without_noise() {
-        let data = Matrix::from_rows(&[vec![0.5, -0.2, 0.1],
+        let data = Matrix::from_rows(&[
+            vec![0.5, -0.2, 0.1],
             vec![-0.4, 0.3, 0.2],
             vec![0.1, 0.1, -0.5],
             vec![0.6, 0.0, 0.3],
             vec![-0.2, -0.3, 0.1],
             vec![0.3, 0.2, 0.2],
-            vec![0.1, -0.1, 0.4]]);
+            vec![0.1, -0.1, 0.4],
+        ]);
         let partition = ColumnPartition::even(3, 3);
         let gamma = 2048.0;
         let cfg = VflConfig::fast(3);

@@ -32,9 +32,21 @@ pub fn eval_polynomial_skellam(
     mu: f64,
     cfg: &VflConfig,
 ) -> (Vec<f64>, RunStats) {
-    assert_eq!(poly.n_vars(), data.cols(), "polynomial/data dimension mismatch");
-    assert_eq!(partition.n_cols(), data.cols(), "partition/data column mismatch");
-    assert_eq!(partition.n_clients(), cfg.n_clients, "partition/config mismatch");
+    assert_eq!(
+        poly.n_vars(),
+        data.cols(),
+        "polynomial/data dimension mismatch"
+    );
+    assert_eq!(
+        partition.n_cols(),
+        data.cols(),
+        "partition/data column mismatch"
+    );
+    assert_eq!(
+        partition.n_clients(),
+        cfg.n_clients,
+        "partition/config mismatch"
+    );
 
     // Conservative magnitude bound for field selection.
     let lambda = poly.degree() as i32;
@@ -130,7 +142,8 @@ fn eval_impl<F: PrimeField>(
     let engine = MpcEngine::new(
         MpcConfig::semi_honest(p_clients)
             .with_latency(cfg.latency)
-            .with_seed(cfg.seed),
+            .with_seed(cfg.seed)
+            .with_trace(cfg.trace),
     );
 
     let run = engine.run::<F, Vec<i128>, _>(|ctx| {
@@ -198,10 +211,13 @@ mod tests {
         let data = toy_data();
         let truth = p.sum_over((0..data.rows()).map(|i| data.row(i)))[0];
         let partition = ColumnPartition::even(3, 3);
-        let (vals, stats) = eval_polynomial_skellam(
-            &p, &data, &partition, 2048.0, 0.0, &VflConfig::fast(3),
+        let (vals, stats) =
+            eval_polynomial_skellam(&p, &data, &partition, 2048.0, 0.0, &VflConfig::fast(3));
+        assert!(
+            (vals[0] - truth).abs() < 0.01,
+            "got {} want {truth}",
+            vals[0]
         );
-        assert!((vals[0] - truth).abs() < 0.01, "got {} want {truth}", vals[0]);
         // rounds: input(1) + mul depth 2 (x0^3 tree: ceil(log2 3) = 2) +
         // noise(1) + open(1) = 5.
         assert_eq!(stats.total.rounds, 5);
@@ -220,9 +236,8 @@ mod tests {
         let data = toy_data();
         let truth = p.sum_over((0..data.rows()).map(|i| data.row(i)));
         let partition = ColumnPartition::even(3, 2);
-        let (vals, _) = eval_polynomial_skellam(
-            &p, &data, &partition, 4096.0, 0.0, &VflConfig::fast(2),
-        );
+        let (vals, _) =
+            eval_polynomial_skellam(&p, &data, &partition, 4096.0, 0.0, &VflConfig::fast(2));
         for (v, t) in vals.iter().zip(&truth) {
             assert!((v - t).abs() < 0.01, "got {v} want {t}");
         }
@@ -233,19 +248,20 @@ mod tests {
         // With mu = 0 both paths differ only in rounding randomness; their
         // outputs must agree to quantization precision.
         use sqm_core::mechanism::{sqm_polynomial, SqmParams};
-        let p = Polynomial::one_dimensional(
-            2,
-            vec![Monomial::new(1.0, vec![(0, 1), (1, 1)])],
-        );
+        let p = Polynomial::one_dimensional(2, vec![Monomial::new(1.0, vec![(0, 1), (1, 1)])]);
         let data = Matrix::from_rows(&[vec![0.4, 0.6], vec![-0.2, 0.3]]);
         let partition = ColumnPartition::even(2, 2);
         let gamma = 8192.0;
-        let (vals, _) = eval_polynomial_skellam(
-            &p, &data, &partition, gamma, 0.0, &VflConfig::fast(2),
-        );
+        let (vals, _) =
+            eval_polynomial_skellam(&p, &data, &partition, gamma, 0.0, &VflConfig::fast(2));
         let mut rng = StdRng::seed_from_u64(1);
         let plain = sqm_polynomial(&mut rng, &p, &data, SqmParams::new(gamma, 0.0, 2));
-        assert!((vals[0] - plain[0]).abs() < 0.01, "mpc {} plain {}", vals[0], plain[0]);
+        assert!(
+            (vals[0] - plain[0]).abs() < 0.01,
+            "mpc {} plain {}",
+            vals[0],
+            plain[0]
+        );
     }
 
     #[test]
@@ -257,9 +273,8 @@ mod tests {
         // noise is visible.
         let gamma = 4.0;
         let mu = 1e6;
-        let (vals, stats) = eval_polynomial_skellam(
-            &p, &data, &partition, gamma, mu, &VflConfig::fast(2),
-        );
+        let (vals, stats) =
+            eval_polynomial_skellam(&p, &data, &partition, gamma, mu, &VflConfig::fast(2));
         assert!(vals[0].abs() > 0.01, "noise should perturb: {}", vals[0]);
         assert_eq!(stats.phases["dp_noise"].rounds, 1);
     }

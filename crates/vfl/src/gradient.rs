@@ -34,6 +34,8 @@ pub struct GradientOutput {
     pub grad_sum: Vec<f64>,
     /// MPC accounting.
     pub stats: RunStats,
+    /// Structured trace (only when `VflConfig::trace` is set).
+    pub trace: Option<sqm_obs::trace::Trace>,
 }
 
 /// Publicly quantized coefficients of Eq. 9 (all parties must agree, so the
@@ -77,10 +79,21 @@ pub fn gradient_sum_skellam(
 ) -> GradientOutput {
     let d = data.cols() - 1;
     assert_eq!(w.len(), d, "weight vector length must equal feature count");
-    assert_eq!(partition.n_cols(), data.cols(), "partition/data column mismatch");
-    assert_eq!(partition.n_clients(), cfg.n_clients, "partition/config mismatch");
+    assert_eq!(
+        partition.n_cols(),
+        data.cols(),
+        "partition/data column mismatch"
+    );
+    assert_eq!(
+        partition.n_clients(),
+        cfg.n_clients,
+        "partition/config mismatch"
+    );
     assert!(!batch.is_empty(), "empty batch");
-    assert!(batch.iter().all(|&i| i < data.rows()), "batch index out of range");
+    assert!(
+        batch.iter().all(|&i| i < data.rows()),
+        "batch index out of range"
+    );
 
     let bound = magnitude_bound(batch.len(), d, gamma, mu);
     match FieldChoice::for_magnitude(bound).expect("workload exceeds M127 headroom") {
@@ -153,7 +166,8 @@ fn gradient_impl<F: PrimeField>(
     let engine = MpcEngine::new(
         MpcConfig::semi_honest(p_clients)
             .with_latency(cfg.latency)
-            .with_seed(cfg.seed),
+            .with_seed(cfg.seed)
+            .with_trace(cfg.trace),
     );
     let counts = partition.counts();
     let expected: Vec<usize> = counts.iter().map(|&c| c * mb).collect();
@@ -188,7 +202,11 @@ fn gradient_impl<F: PrimeField>(
         ctx.set_phase("compute");
         let f_half = F::from_i128(coeffs.half as i128);
         let f_label = F::from_i128(coeffs.label as i128);
-        let f_w: Vec<F> = coeffs.w_quarter.iter().map(|&c| F::from_i128(c as i128)).collect();
+        let f_w: Vec<F> = coeffs
+            .w_quarter
+            .iter()
+            .map(|&c| F::from_i128(c as i128))
+            .collect();
         // v_i = sum_j qw_j * x_ij - q_label * y_i  (degree-t share, local).
         let mut v: Vec<F> = vec![F::ZERO; mb];
         for (i, vi) in v.iter_mut().enumerate() {
@@ -234,6 +252,7 @@ fn gradient_impl<F: PrimeField>(
     GradientOutput {
         grad_sum: opened.iter().map(|&v| v as f64 / amp).collect(),
         stats: run.stats,
+        trace: run.trace,
     }
 }
 
@@ -278,7 +297,13 @@ mod tests {
         let batch: Vec<usize> = (0..6).collect();
         let gamma = 4096.0;
         let out = gradient_sum_skellam(
-            &data, &partition, &batch, &w, gamma, 0.0, &VflConfig::fast(4),
+            &data,
+            &partition,
+            &batch,
+            &w,
+            gamma,
+            0.0,
+            &VflConfig::fast(4),
         );
         let truth = true_grad_sum(&data, &batch, &w);
         for (g, t) in out.grad_sum.iter().zip(&truth) {
@@ -307,11 +332,16 @@ mod tests {
         let batch = vec![0, 2, 4];
         let gamma = 8192.0;
         let out = gradient_sum_skellam(
-            &data, &partition, &batch, &w, gamma, 0.0, &VflConfig::fast(2),
+            &data,
+            &partition,
+            &batch,
+            &w,
+            gamma,
+            0.0,
+            &VflConfig::fast(2),
         );
         let mut rng = StdRng::seed_from_u64(11);
-        let plain =
-            gradient_sum_skellam_plaintext(&mut rng, &data, &batch, &w, gamma, 0.0, 2, 7);
+        let plain = gradient_sum_skellam_plaintext(&mut rng, &data, &batch, &w, gamma, 0.0, 2, 7);
         for (a, b) in out.grad_sum.iter().zip(&plain) {
             assert!((a - b).abs() < 0.01, "mpc {a} plain {b}");
         }
@@ -329,15 +359,17 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(5);
         let mut vals = Vec::new();
         for trial in 0..3000 {
-            let g = gradient_sum_skellam_plaintext(
-                &mut rng, &data, &batch, &w, gamma, mu, 4, trial,
-            );
+            let g =
+                gradient_sum_skellam_plaintext(&mut rng, &data, &batch, &w, gamma, mu, 4, trial);
             vals.push(g[0]);
         }
         let mean = vals.iter().sum::<f64>() / vals.len() as f64;
         let var = vals.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / vals.len() as f64;
         let expect = 2.0 * mu / gamma.powi(6);
-        assert!((var - expect).abs() / expect < 0.15, "var {var} expect {expect}");
+        assert!(
+            (var - expect).abs() / expect < 0.15,
+            "var {var} expect {expect}"
+        );
     }
 
     #[test]
@@ -347,7 +379,13 @@ mod tests {
         let w = vec![0.0, 0.0, 0.0];
         let batch = vec![1, 3];
         let out = gradient_sum_skellam(
-            &data, &partition, &batch, &w, 2048.0, 0.0, &VflConfig::fast(2),
+            &data,
+            &partition,
+            &batch,
+            &w,
+            2048.0,
+            0.0,
+            &VflConfig::fast(2),
         );
         let truth = true_grad_sum(&data, &batch, &w);
         for (g, t) in out.grad_sum.iter().zip(&truth) {

@@ -59,6 +59,8 @@ pub struct VflConfig {
     /// Seed for quantization randomness, noise sampling and share
     /// polynomials (per-party streams are derived from it).
     pub seed: u64,
+    /// Record structured MPC traces (see `sqm_obs::trace`). Off by default.
+    pub trace: bool,
 }
 
 impl VflConfig {
@@ -67,6 +69,7 @@ impl VflConfig {
             n_clients,
             latency: Duration::from_millis(100),
             seed: 7,
+            trace: false,
         }
     }
 
@@ -83,6 +86,12 @@ impl VflConfig {
 
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Turn structured trace recording on or off.
+    pub fn with_trace(mut self, trace: bool) -> Self {
+        self.trace = trace;
         self
     }
 }

@@ -24,6 +24,8 @@ pub struct MeanOutput {
     /// the mean estimate).
     pub sums_hat: Vec<f64>,
     pub stats: RunStats,
+    /// Structured trace (only when `VflConfig::trace` is set).
+    pub trace: Option<sqm_obs::trace::Trace>,
 }
 
 /// Full BGW execution of the noisy column-sum release.
@@ -34,8 +36,16 @@ pub fn column_sums_skellam(
     mu: f64,
     cfg: &VflConfig,
 ) -> MeanOutput {
-    assert_eq!(partition.n_cols(), data.cols(), "partition/data column mismatch");
-    assert_eq!(partition.n_clients(), cfg.n_clients, "partition/config mismatch");
+    assert_eq!(
+        partition.n_cols(),
+        data.cols(),
+        "partition/data column mismatch"
+    );
+    assert_eq!(
+        partition.n_clients(),
+        cfg.n_clients,
+        "partition/config mismatch"
+    );
     let c = data.max_row_norm().max(1e-9);
     let bound = data.rows() as f64 * (gamma * c + 1.0) + 12.0 * (2.0 * mu).sqrt();
     match FieldChoice::for_magnitude(bound).expect("workload exceeds M127 headroom") {
@@ -68,7 +78,6 @@ pub fn column_sums_skellam_plaintext<R: rand::Rng + ?Sized>(
     sums.into_iter().map(|s| s as f64).collect()
 }
 
-
 /// The same column-sum release executed on the *additive-sharing* backend
 /// (SPDZ-style online phase) instead of BGW — a working demonstration of
 /// the paper's claim that the MPC layer is replaceable. For a linear
@@ -81,8 +90,16 @@ pub fn column_sums_skellam_additive(
     mu: f64,
     cfg: &VflConfig,
 ) -> MeanOutput {
-    assert_eq!(partition.n_cols(), data.cols(), "partition/data column mismatch");
-    assert_eq!(partition.n_clients(), cfg.n_clients, "partition/config mismatch");
+    assert_eq!(
+        partition.n_cols(),
+        data.cols(),
+        "partition/data column mismatch"
+    );
+    assert_eq!(
+        partition.n_clients(),
+        cfg.n_clients,
+        "partition/config mismatch"
+    );
     let c = data.max_row_norm().max(1e-9);
     let bound = data.rows() as f64 * (gamma * c + 1.0) + 12.0 * (2.0 * mu).sqrt();
     match FieldChoice::for_magnitude(bound).expect("workload exceeds M127 headroom") {
@@ -104,7 +121,8 @@ fn additive_impl<F: PrimeField>(
     let engine = AdditiveEngine::new(
         MpcConfig::semi_honest(p_clients)
             .with_latency(cfg.latency)
-            .with_seed(cfg.seed),
+            .with_seed(cfg.seed)
+            .with_trace(cfg.trace),
     );
     let run = engine.run::<F, Vec<i128>, _>(|ctx| {
         let me = ctx.id;
@@ -128,8 +146,8 @@ fn additive_impl<F: PrimeField>(
         let mut col_sum_shares: Vec<F> = vec![F::ZERO; n];
         for owner in 0..ctx.n {
             let owned = partition.columns_of(owner);
-            let values: Option<Vec<F>> = (ctx.id == owner)
-                .then(|| my_sums.iter().map(|&(_, v)| v).collect());
+            let values: Option<Vec<F>> =
+                (ctx.id == owner).then(|| my_sums.iter().map(|&(_, v)| v).collect());
             let shares = ctx.share_input(owner, values.as_deref(), owned.len());
             for (slot, &j) in owned.iter().enumerate() {
                 col_sum_shares[j] = shares[slot];
@@ -154,6 +172,7 @@ fn additive_impl<F: PrimeField>(
     MeanOutput {
         sums_hat: run.outputs[0].iter().map(|&v| v as f64).collect(),
         stats: run.stats,
+        trace: run.trace,
     }
 }
 
@@ -170,7 +189,8 @@ fn mean_impl<F: PrimeField>(
     let engine = MpcEngine::new(
         MpcConfig::semi_honest(p_clients)
             .with_latency(cfg.latency)
-            .with_seed(cfg.seed),
+            .with_seed(cfg.seed)
+            .with_trace(cfg.trace),
     );
     // Each client only shares its *column sums* — for a linear function the
     // per-record values never need to be shared at all, so the input cost
@@ -220,6 +240,7 @@ fn mean_impl<F: PrimeField>(
     MeanOutput {
         sums_hat: run.outputs[0].iter().map(|&v| v as f64).collect(),
         stats: run.stats,
+        trace: run.trace,
     }
 }
 
@@ -279,14 +300,12 @@ mod tests {
         assert!((var - 2.0 * mu).abs() / (2.0 * mu) < 0.15, "var {var}");
     }
 
-
     #[test]
     fn additive_backend_matches_truth() {
         let x = data();
         let partition = ColumnPartition::even(3, 3);
         let gamma = 4096.0;
-        let out =
-            column_sums_skellam_additive(&x, &partition, gamma, 0.0, &VflConfig::fast(3));
+        let out = column_sums_skellam_additive(&x, &partition, gamma, 0.0, &VflConfig::fast(3));
         for (s, t) in out.sums_hat.iter().zip(true_sums(&x)) {
             assert!((s / gamma - t).abs() < 0.01, "{} vs {t}", s / gamma);
         }

@@ -8,8 +8,11 @@
 //! entire view of a protocol run consists of exactly the DP-accounted
 //! releases — never raw data, shares, or noise components.
 
+use sqm_accounting::skellam::Sensitivity;
+use sqm_core::sensitivity::{lr_sensitivity, pca_sensitivity};
 use sqm_linalg::Matrix;
 use sqm_mpc::RunStats;
+use sqm_obs::ledger::PrivacyLedger;
 
 use crate::covariance::covariance_skellam;
 use crate::gradient::gradient_sum_skellam;
@@ -71,16 +74,32 @@ pub struct VflSession {
     cfg: VflConfig,
     view: ServerView,
     total_stats: Vec<RunStats>,
+    ledger: PrivacyLedger,
 }
+
+/// The `delta` the session's privacy ledger reports epsilons at unless
+/// overridden with [`VflSession::with_delta`].
+pub const DEFAULT_LEDGER_DELTA: f64 = 1e-5;
 
 impl VflSession {
     pub fn new(partition: ColumnPartition, cfg: VflConfig) -> Self {
-        assert_eq!(partition.n_clients(), cfg.n_clients, "partition/config mismatch");
+        Self::with_delta(partition, cfg, DEFAULT_LEDGER_DELTA)
+    }
+
+    /// Like [`VflSession::new`] but reporting ledger epsilons at `delta`.
+    pub fn with_delta(partition: ColumnPartition, cfg: VflConfig, delta: f64) -> Self {
+        assert_eq!(
+            partition.n_clients(),
+            cfg.n_clients,
+            "partition/config mismatch"
+        );
+        let ledger = PrivacyLedger::new(cfg.n_clients, delta);
         VflSession {
             partition,
             cfg,
             view: ServerView::default(),
             total_stats: Vec::new(),
+            ledger,
         }
     }
 
@@ -94,6 +113,12 @@ impl VflSession {
         &self.total_stats
     }
 
+    /// The privacy ledger: one entry per release, with server- and
+    /// client-observed epsilons and the running RDP composition.
+    pub fn ledger(&self) -> &PrivacyLedger {
+        &self.ledger
+    }
+
     /// Run the noisy covariance protocol; the server receives only the
     /// opened `hatC` and down-scales it.
     pub fn covariance(&mut self, data: &Matrix, gamma: f64, mu: f64) -> Matrix {
@@ -104,6 +129,10 @@ impl VflSession {
             mu,
             gamma,
         });
+        let n = data.cols();
+        let c = data.max_row_norm().max(1e-9);
+        self.ledger
+            .record("covariance", n * n, gamma, mu, pca_sensitivity(gamma, c, n));
         self.total_stats.push(out.stats);
         out.c_hat.scaled(1.0 / (gamma * gamma))
     }
@@ -124,6 +153,9 @@ impl VflSession {
             mu,
             gamma,
         });
+        let d = w.len();
+        self.ledger
+            .record("gradient_sum", d, gamma, mu, lr_sensitivity(gamma, d));
         self.total_stats.push(out.stats);
         out.grad_sum
     }
@@ -137,6 +169,13 @@ impl VflSession {
             mu,
             gamma,
         });
+        // Lemma 3 shape at lambda = 1: replacing one record moves the
+        // amplified sums by at most `gamma * c` plus one rounding unit per
+        // column.
+        let n = data.cols();
+        let c = data.max_row_norm().max(1e-9);
+        let sens = Sensitivity::from_l2_for_dim(gamma * c + (n as f64).sqrt(), n);
+        self.ledger.record("column_sums", n, gamma, mu, sens);
         self.total_stats.push(out.stats);
         out.sums_hat.iter().map(|&s| s / gamma).collect()
     }
@@ -207,5 +246,74 @@ mod tests {
     #[should_panic(expected = "mismatch")]
     fn rejects_partition_config_mismatch() {
         VflSession::new(ColumnPartition::even(4, 2), VflConfig::fast(3));
+    }
+
+    #[test]
+    fn exactly_one_release_per_invocation_with_parameters() {
+        let mut session = VflSession::new(ColumnPartition::even(4, 2), VflConfig::fast(2));
+        let x = data();
+        assert!(session.server_view().is_empty());
+        session.covariance(&x, 256.0, 5.0);
+        assert_eq!(session.server_view().len(), 1);
+        session.covariance(&x, 512.0, 7.0);
+        assert_eq!(session.server_view().len(), 2);
+        let r = &session.server_view().releases()[1];
+        assert_eq!(r.kind, ReleaseKind::Covariance);
+        assert_eq!(r.gamma, 512.0);
+        assert_eq!(r.mu, 7.0);
+        assert_eq!(r.values.len(), 16); // 4x4 covariance entries
+    }
+
+    #[test]
+    fn gradient_release_is_the_amplified_opening() {
+        // The recorded values must be the *amplified* (gamma^3-scaled)
+        // integers the server actually observed, not the down-scaled output.
+        let mut session = VflSession::new(ColumnPartition::even(4, 2), VflConfig::fast(2));
+        let x = data();
+        let gamma = 128.0;
+        let grad = session.gradient_sum(&x, &[0, 1], &[0.2, -0.1, 0.0], gamma, 0.0);
+        let rel = &session.server_view().releases()[0];
+        assert_eq!(rel.values.len(), grad.len());
+        for (v, g) in rel.values.iter().zip(&grad) {
+            assert!((v - g * gamma.powi(3)).abs() < 1e-6);
+            // Amplified openings are integers.
+            assert!((v - v.round()).abs() < 1e-6, "not an integer opening: {v}");
+        }
+    }
+
+    #[test]
+    fn ledger_tracks_every_release() {
+        let mut session = VflSession::new(ColumnPartition::even(4, 2), VflConfig::fast(2));
+        let x = data();
+        session.covariance(&x, 512.0, 1e6);
+        session.column_sums(&x, 512.0, 1e4);
+        session.gradient_sum(&x, &[0, 1, 2], &[0.1, 0.0, -0.1], 32.0, 1e8);
+
+        let ledger = session.ledger();
+        assert_eq!(ledger.len(), session.server_view().len());
+        for (entry, release) in ledger
+            .entries()
+            .iter()
+            .zip(session.server_view().releases())
+        {
+            assert_eq!(entry.gamma, release.gamma);
+            assert_eq!(entry.mu, release.mu);
+            assert!(entry.server_epsilon.is_finite());
+            // The client view is strictly weaker (Eq. 4 vs Eq. 3).
+            assert!(entry.client_epsilon > entry.server_epsilon);
+        }
+        assert_eq!(ledger.entries()[0].kind, "covariance");
+        assert_eq!(ledger.entries()[1].kind, "column_sums");
+        assert_eq!(ledger.entries()[2].kind, "gradient_sum");
+        // Composition only grows.
+        assert!(ledger.server_epsilon() >= ledger.entries()[0].server_epsilon);
+        assert!(ledger.server_epsilon().is_finite());
+    }
+
+    #[test]
+    fn unperturbed_release_is_flagged_unbounded() {
+        let mut session = VflSession::new(ColumnPartition::even(4, 2), VflConfig::fast(2));
+        session.column_sums(&data(), 64.0, 0.0);
+        assert!(session.ledger().server_epsilon().is_infinite());
     }
 }

@@ -39,10 +39,7 @@ fn main() {
     // ---- 1. DP cross-party covariance for feature auditing --------------
     // Feature columns 0..3 -> platform, 3..6 -> payments, 6..8 -> bureau.
     let features = train.features.clone();
-    let partition = ColumnPartition::from_owners(
-        vec![0, 0, 0, 1, 1, 1, 2, 2],
-        3,
-    );
+    let partition = ColumnPartition::from_owners(vec![0, 0, 0, 1, 1, 1, 2, 2], 3);
     let cfg = VflConfig::new(3).with_seed(17);
     let gamma = 4096.0;
     let sens = sqm::core::sensitivity::pca_sensitivity(gamma, 1.0, 8);

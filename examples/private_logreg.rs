@@ -23,17 +23,28 @@ fn main() {
 
     let (eps, delta) = (2.0, 1e-5);
     let cfg = LrConfig::new(200, 0.05).with_lr(2.0).with_seed(11);
-    println!("privacy target (eps={eps}, delta={delta}); {} rounds at q={}", cfg.rounds, cfg.q);
+    println!(
+        "privacy target (eps={eps}, delta={delta}); {} rounds at q={}",
+        cfg.rounds, cfg.q
+    );
     println!("{:<30} {:>10}", "mechanism", "accuracy");
 
     let w = NonPrivateLogReg::new(cfg.clone()).fit(&mut rng, &train);
-    println!("{:<30} {:>10.4}", "non-private (ceiling)", accuracy(&w, &test));
+    println!(
+        "{:<30} {:>10.4}",
+        "non-private (ceiling)",
+        accuracy(&w, &test)
+    );
 
     let w = DpSgd::new(cfg.clone(), eps, delta).fit(&mut rng, &train);
     println!("{:<30} {:>10.4}", "central DPSGD", accuracy(&w, &test));
 
     let w = ApproxPolyLogReg::new(cfg.clone(), eps, delta).fit(&mut rng, &train);
-    println!("{:<30} {:>10.4}", "central Approx-Poly", accuracy(&w, &test));
+    println!(
+        "{:<30} {:>10.4}",
+        "central Approx-Poly",
+        accuracy(&w, &test)
+    );
 
     for gamma_log2 in [10u32, 13] {
         let gamma = 2f64.powi(gamma_log2 as i32);
@@ -48,5 +59,9 @@ fn main() {
     }
 
     let w = LocalDpLogReg::new(eps, delta).fit(&mut rng, &train);
-    println!("{:<30} {:>10.4}", "local DP (VFL baseline)", accuracy(&w, &test));
+    println!(
+        "{:<30} {:>10.4}",
+        "local DP (VFL baseline)",
+        accuracy(&w, &test)
+    );
 }

@@ -23,14 +23,21 @@ fn main() {
     println!("{:<28} {:>12}", "mechanism", "||XV||_F^2");
     println!("{:<28} {:>12.2}", "non-private (ceiling)", ceiling);
 
-    let central = pca_utility(&data, &AnalyzeGaussPca::new(k, eps, delta).fit(&mut rng, &data));
+    let central = pca_utility(
+        &data,
+        &AnalyzeGaussPca::new(k, eps, delta).fit(&mut rng, &data),
+    );
     println!("{:<28} {:>12.2}", "central DP (Analyze Gauss)", central);
 
     for gamma_log2 in [6u32, 10, 14] {
         let gamma = 2f64.powi(gamma_log2 as i32);
         let sqm = SqmPca::new(k, gamma, eps, delta).with_clients(n.min(16));
         let u = pca_utility(&data, &sqm.fit(&mut rng, &data));
-        println!("{:<28} {:>12.2}", format!("SQM (gamma = 2^{gamma_log2})"), u);
+        println!(
+            "{:<28} {:>12.2}",
+            format!("SQM (gamma = 2^{gamma_log2})"),
+            u
+        );
     }
 
     let local = pca_utility(&data, &LocalDpPca::new(k, eps, delta).fit(&mut rng, &data));

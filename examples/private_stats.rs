@@ -19,17 +19,29 @@ fn main() {
     let truth = exact_means(&x);
     println!("per-attribute means of 5000 x 12 data at (eps = {eps}, delta = {delta}):");
     println!("{:<24} {:>12}", "mechanism", "L2 error");
-    let e = mean_l2_error(&SqmMean::new(4096.0, eps, delta).estimate(&mut rng, &x), &truth);
+    let e = mean_l2_error(
+        &SqmMean::new(4096.0, eps, delta).estimate(&mut rng, &x),
+        &truth,
+    );
     println!("{:<24} {e:>12.6}", "SQM (gamma = 2^12)");
-    let e = mean_l2_error(&GaussianMean::new(eps, delta).estimate(&mut rng, &x), &truth);
+    let e = mean_l2_error(
+        &GaussianMean::new(eps, delta).estimate(&mut rng, &x),
+        &truth,
+    );
     println!("{:<24} {e:>12.6}", "central Gaussian");
     let e = mean_l2_error(&LocalDpMean::new(eps, delta).estimate(&mut rng, &x), &truth);
     println!("{:<24} {e:>12.6}", "local DP");
 
     // ---- DP ridge regression (degree-2 sufficient statistics) ------------
-    let (train, test) = RegressionSpec::new(4000, 15).with_seed(2).generate().split(0.8, 0);
+    let (train, test) = RegressionSpec::new(4000, 15)
+        .with_seed(2)
+        .generate()
+        .split(0.8, 0);
     let lambda = 1e-3;
-    println!("\nridge regression, {} train records, d = 15, lambda = {lambda}:", train.len());
+    println!(
+        "\nridge regression, {} train records, d = 15, lambda = {lambda}:",
+        train.len()
+    );
     println!("{:<24} {:>12}", "mechanism", "test MSE");
     let w = NonPrivateRidge::new(lambda).fit(&train);
     println!("{:<24} {:>12.6}", "non-private (floor)", test.mse(&w));

@@ -78,6 +78,8 @@ fn main() {
     );
 
     let err = (vals[0] - truth).abs();
-    println!("absolute error                : {err:.4} (noise std ~ {:.4})",
-        (2.0 * mu).sqrt() / gamma.powi(3));
+    println!(
+        "absolute error                : {err:.4} (noise std ~ {:.4})",
+        (2.0 * mu).sqrt() / gamma.powi(3)
+    );
 }

@@ -25,8 +25,8 @@ fn mpc_covariance_cross_check() {
     assert!(err < 1e-3, "relative error {err}");
 
     let mut rng = StdRng::seed_from_u64(1);
-    let plain = covariance_skellam_plaintext(&mut rng, &data, gamma, 0.0, 4)
-        .scaled(1.0 / (gamma * gamma));
+    let plain =
+        covariance_skellam_plaintext(&mut rng, &data, gamma, 0.0, 4).scaled(1.0 / (gamma * gamma));
     let diff = scaled.sub(&plain).frobenius_norm() / plain.frobenius_norm();
     assert!(diff < 1e-3, "plaintext/MPC divergence {diff}");
 }
@@ -66,16 +66,17 @@ fn covariance_communication_scales_with_n_squared_not_m() {
     let more_records = run(400, 8);
     let more_dims = run(50, 16);
     // Input sharing bytes grow with m, but compute/noise/open bytes do not.
-    let nonshare = |s: &sqm::mpc::RunStats| {
-        s.total.bytes - s.phases["input"].bytes
-    };
+    let nonshare = |s: &sqm::mpc::RunStats| s.total.bytes - s.phases["input"].bytes;
     assert_eq!(
         nonshare(&base.stats),
         nonshare(&more_records.stats),
         "non-input communication must not depend on m"
     );
     let r = nonshare(&more_dims.stats) as f64 / nonshare(&base.stats) as f64;
-    assert!((3.0..5.0).contains(&r), "n doubling should ~4x bytes, got {r}");
+    assert!(
+        (3.0..5.0).contains(&r),
+        "n doubling should ~4x bytes, got {r}"
+    );
 }
 
 /// Table II's headline: enforcing DP costs one fixed communication round
@@ -87,6 +88,7 @@ fn dp_overhead_is_one_round_regardless_of_dimension() {
         n_clients: 4,
         latency: Duration::from_millis(100),
         seed: 3,
+        trace: false,
     };
     let mut prev_total_bytes = 0u64;
     for n in [6usize, 12, 24] {
@@ -189,14 +191,12 @@ fn degree3_polynomial_full_stack() {
     );
     let truth = f.sum_over((0..3).map(|i| data.row(i)))[0];
     let partition = ColumnPartition::even(4, 2);
-    let (vals, stats) = eval_polynomial_skellam(
-        &f,
-        &data,
-        &partition,
-        4096.0,
-        0.0,
-        &VflConfig::fast(2),
+    let (vals, stats) =
+        eval_polynomial_skellam(&f, &data, &partition, 4096.0, 0.0, &VflConfig::fast(2));
+    assert!(
+        (vals[0] - truth).abs() < 0.01,
+        "got {} want {truth}",
+        vals[0]
     );
-    assert!((vals[0] - truth).abs() < 0.01, "got {} want {truth}", vals[0]);
     assert!(stats.total.rounds >= 4);
 }

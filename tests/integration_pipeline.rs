@@ -12,7 +12,10 @@ use sqm::tasks::pca::{pca_utility, AnalyzeGaussPca, LocalDpPca, NonPrivatePca, S
 /// non-private >= central ~ SQM(large gamma) > local-DP.
 #[test]
 fn pca_utility_ordering_matches_figure2() {
-    let data = SpectralSpec::new(1500, 16).with_decay(1.0).with_seed(42).generate();
+    let data = SpectralSpec::new(1500, 16)
+        .with_decay(1.0)
+        .with_seed(42)
+        .generate();
     let k = 4;
     let (eps, delta) = (1.0, 1e-5);
     let mut rng = StdRng::seed_from_u64(0);
@@ -21,8 +24,14 @@ fn pca_utility_ordering_matches_figure2() {
     let mut u = [0.0f64; 4]; // [ceiling, central, sqm, local]
     for _ in 0..reps {
         u[0] += pca_utility(&data, &NonPrivatePca::new(k).fit(&data));
-        u[1] += pca_utility(&data, &AnalyzeGaussPca::new(k, eps, delta).fit(&mut rng, &data));
-        u[2] += pca_utility(&data, &SqmPca::new(k, 2f64.powi(12), eps, delta).fit(&mut rng, &data));
+        u[1] += pca_utility(
+            &data,
+            &AnalyzeGaussPca::new(k, eps, delta).fit(&mut rng, &data),
+        );
+        u[2] += pca_utility(
+            &data,
+            &SqmPca::new(k, 2f64.powi(12), eps, delta).fit(&mut rng, &data),
+        );
         u[3] += pca_utility(&data, &LocalDpPca::new(k, eps, delta).fit(&mut rng, &data));
     }
     for v in u.iter_mut() {
@@ -30,13 +39,21 @@ fn pca_utility_ordering_matches_figure2() {
     }
     assert!(u[0] >= u[1] - 1e-9, "ceiling {} vs central {}", u[0], u[1]);
     assert!(u[2] > u[3], "SQM {} must beat local-DP {}", u[2], u[3]);
-    assert!(u[2] > 0.85 * u[1], "SQM {} should track central {}", u[2], u[1]);
+    assert!(
+        u[2] > 0.85 * u[1],
+        "SQM {} should track central {}",
+        u[2],
+        u[1]
+    );
 }
 
 /// Figure 2's epsilon trend: more budget, more utility (SQM).
 #[test]
 fn pca_utility_monotone_in_epsilon() {
-    let data = SpectralSpec::new(1000, 12).with_decay(1.0).with_seed(7).generate();
+    let data = SpectralSpec::new(1000, 12)
+        .with_decay(1.0)
+        .with_seed(7)
+        .generate();
     let mut rng = StdRng::seed_from_u64(1);
     let mut last = 0.0;
     for eps in [0.25, 1.0, 8.0] {
@@ -48,7 +65,10 @@ fn pca_utility_monotone_in_epsilon() {
             );
         }
         let u = acc / 6.0;
-        assert!(u >= last * 0.98, "eps={eps}: utility {u} dropped from {last}");
+        assert!(
+            u >= last * 0.98,
+            "eps={eps}: utility {u} dropped from {last}"
+        );
         last = u;
     }
 }
@@ -68,8 +88,14 @@ fn logreg_accuracy_ordering_matches_figure3() {
     let mut a = [0.0f64; 4]; // [ceiling, dpsgd, sqm, local]
     for r in 0..reps {
         let c = cfg.clone().with_seed(r as u64);
-        a[0] += accuracy(&NonPrivateLogReg::new(c.clone()).fit(&mut rng, &train), &test);
-        a[1] += accuracy(&DpSgd::new(c.clone(), eps, delta).fit(&mut rng, &train), &test);
+        a[0] += accuracy(
+            &NonPrivateLogReg::new(c.clone()).fit(&mut rng, &train),
+            &test,
+        );
+        a[1] += accuracy(
+            &DpSgd::new(c.clone(), eps, delta).fit(&mut rng, &train),
+            &test,
+        );
         a[2] += accuracy(
             &SqmLogReg::new(c.clone(), 2f64.powi(13), eps, delta).fit(&mut rng, &train),
             &test,
@@ -80,7 +106,12 @@ fn logreg_accuracy_ordering_matches_figure3() {
         *v /= reps as f64;
     }
     assert!(a[2] > a[3] + 0.02, "SQM {} must beat local {}", a[2], a[3]);
-    assert!(a[2] > a[1] - 0.08, "SQM {} should track DPSGD {}", a[2], a[1]);
+    assert!(
+        a[2] > a[1] - 0.08,
+        "SQM {} should track DPSGD {}",
+        a[2],
+        a[1]
+    );
     assert!(a[0] >= a[1] - 0.05, "ceiling {} vs DPSGD {}", a[0], a[1]);
 }
 
@@ -105,9 +136,8 @@ fn pca_pipeline_respects_privacy_budget() {
 fn logreg_noise_grows_with_rounds() {
     let gamma = 1024.0;
     let d = 50;
-    let mk = |rounds| {
-        SqmLogReg::new(LrConfig::new(rounds, 0.01), gamma, 1.0, 1e-5).calibrated_mu(d)
-    };
+    let mk =
+        |rounds| SqmLogReg::new(LrConfig::new(rounds, 0.01), gamma, 1.0, 1e-5).calibrated_mu(d);
     let mu10 = mk(10);
     let mu1000 = mk(1000);
     assert!(mu1000 > mu10, "mu {mu1000} vs {mu10}");

@@ -36,7 +36,10 @@ fn mechanism_noise_matches_accounting() {
         .collect();
     let (mean, var) = moments(&xs);
     let expect_var = 2.0 * mu / gamma.powf(6.0); // lambda = 2 => amp gamma^3
-    assert!(mean.abs() < 5.0 * (expect_var / 3000.0).sqrt(), "mean {mean}");
+    assert!(
+        mean.abs() < 5.0 * (expect_var / 3000.0).sqrt(),
+        "mean {mean}"
+    );
     assert!(
         (var - expect_var).abs() / expect_var < 0.15,
         "var {var} expect {expect_var}"
@@ -61,7 +64,10 @@ fn residual_noise_after_removing_one_share() {
         .collect();
     let (_, var) = moments(&residuals);
     let expect = 2.0 * mu * (n as f64 - 1.0) / n as f64;
-    assert!((var - expect).abs() / expect < 0.05, "var {var} expect {expect}");
+    assert!(
+        (var - expect).abs() / expect < 0.05,
+        "var {var} expect {expect}"
+    );
 }
 
 /// Ablation (DESIGN.md #2): stochastic rounding is unbiased for monomial
@@ -77,8 +83,14 @@ fn stochastic_vs_nearest_rounding_bias() {
         .sum::<f64>()
         / reps as f64;
     let det = nearest_round(gamma * x) as f64;
-    assert!((stoch_mean - gamma * x).abs() < 0.01, "stochastic mean {stoch_mean}");
-    assert!((det - gamma * x).abs() > 0.3, "nearest rounding should be biased here");
+    assert!(
+        (stoch_mean - gamma * x).abs() < 0.01,
+        "stochastic mean {stoch_mean}"
+    );
+    assert!(
+        (det - gamma * x).abs() > 0.3,
+        "nearest rounding should be biased here"
+    );
 }
 
 /// Ablation (DESIGN.md #3): quantizing coefficients with the
@@ -93,15 +105,20 @@ fn coefficient_quantization_is_necessary_for_mixed_degrees() {
     let gamma: f64 = 256.0;
     let x = 0.5f64;
     let qx = stochastic_round(&mut rng, gamma * x); // ~ gamma/2, exact here
-    // Naive: no coefficient compensation; both terms summed then divided by
-    // the dominant gamma^2: the linear term is off by a factor of gamma.
+                                                    // Naive: no coefficient compensation; both terms summed then divided by
+                                                    // the dominant gamma^2: the linear term is off by a factor of gamma.
     let naive = (qx as f64 * qx as f64 + qx as f64) / gamma.powi(2);
-    assert!((naive - 0.75).abs() > 0.2, "naive should be badly wrong: {naive}");
+    assert!(
+        (naive - 0.75).abs() > 0.2,
+        "naive should be badly wrong: {naive}"
+    );
     // Algorithm 3: deg-2 coeff scaled by gamma, deg-1 coeff by gamma^2,
     // divide by gamma^3.
-    let compensated =
-        (gamma * (qx as f64 * qx as f64) + gamma.powi(2) * qx as f64) / gamma.powi(3);
-    assert!((compensated - 0.75).abs() < 0.01, "compensated {compensated}");
+    let compensated = (gamma * (qx as f64 * qx as f64) + gamma.powi(2) * qx as f64) / gamma.powi(3);
+    assert!(
+        (compensated - 0.75).abs() < 0.01,
+        "compensated {compensated}"
+    );
 }
 
 /// The Skellam-vs-Gaussian comparison (Figure 4 right): at fixed (eps,
@@ -143,7 +160,10 @@ fn client_observed_epsilon_degrades_gracefully() {
     let c3 = client_eps(3);
     let c100 = client_eps(100);
     assert!(c3 > c100, "more clients => tighter client-observed privacy");
-    assert!(c100 > server_eps, "client-observed is never stronger than server-observed");
+    assert!(
+        c100 > server_eps,
+        "client-observed is never stronger than server-observed"
+    );
     // Sensitivity doubling alone implies roughly 2x epsilon in the Gaussian
     // regime; allow [1.5, 4].
     let ratio = c100 / server_eps;
