@@ -127,12 +127,10 @@ pub mod timing {
     }
 
     fn cfg(p: usize, seed: u64, trace: bool) -> VflConfig {
-        VflConfig {
-            n_clients: p,
-            latency: Duration::from_millis(100),
-            seed,
-            trace,
-        }
+        VflConfig::new(p)
+            .with_latency(Duration::from_millis(100))
+            .with_seed(seed)
+            .with_trace(trace)
     }
 
     fn timing(stats: RunStats, trace: Option<Trace>) -> Timing {

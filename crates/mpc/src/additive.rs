@@ -16,17 +16,19 @@
 //! self-contained. Both produce identical opened values, which the tests
 //! cross-check.
 
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::time::Instant;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sqm_field::PrimeField;
+use sqm_net::transport::{build_mesh, Transport};
+use sqm_net::TransportError;
 use sqm_obs::metrics;
 use sqm_obs::trace::{PartyRecorder, Trace};
 
-use crate::engine::MpcConfig;
+use crate::engine::{install_quiet_abort_hook, select_error, MpcConfig, PartyAbort};
 use crate::stats::{merge, PartyStats, RunStats};
-use crate::transport::{mesh, Endpoint};
 
 /// One party's additive shares of a Beaver triple `(a, b, c = a*b)`.
 #[derive(Copy, Clone, Debug)]
@@ -65,15 +67,28 @@ impl AdditiveEngine {
         T: Send,
         P: Fn(&mut AdditiveCtx<F>) -> T + Sync,
     {
+        self.try_run(program)
+            .unwrap_or_else(|e| panic!("mpc transport failure: {e}"))
+    }
+
+    /// Like [`AdditiveEngine::run`], but transport failures surface as the
+    /// typed [`TransportError`] instead of panicking.
+    pub fn try_run<F, T, P>(&self, program: P) -> Result<AdditiveRun<T>, TransportError>
+    where
+        F: PrimeField,
+        T: Send,
+        P: Fn(&mut AdditiveCtx<F>) -> T + Sync,
+    {
         let n = self.config.n_parties;
-        let endpoints = mesh::<F>(n);
+        install_quiet_abort_hook();
+        let endpoints = build_mesh::<F>(n, &self.config.backend, self.config.faults.as_ref())?;
         let program = &program;
         type PartyResult<T> = (T, PartyStats, Option<sqm_obs::trace::PartyTrace>);
-        let results: Vec<PartyResult<T>> = std::thread::scope(|s| {
+        let results: Vec<Result<PartyResult<T>, TransportError>> = std::thread::scope(|s| {
             let handles: Vec<_> = endpoints
                 .into_iter()
                 .map(|endpoint| {
-                    let id = endpoint.id;
+                    let id = endpoint.id();
                     let config = self.config.clone();
                     s.spawn(move || {
                         let mut ctx = AdditiveCtx {
@@ -89,9 +104,16 @@ impl AdditiveEngine {
                             phase: "default".to_string(),
                             phase_started: Instant::now(),
                         };
-                        let out = program(&mut ctx);
-                        ctx.flush_phase();
-                        (out, ctx.stats, ctx.recorder.map(PartyRecorder::finish))
+                        match catch_unwind(AssertUnwindSafe(|| program(&mut ctx))) {
+                            Ok(out) => {
+                                ctx.flush_phase();
+                                Ok((out, ctx.stats, ctx.recorder.map(PartyRecorder::finish)))
+                            }
+                            Err(payload) => match payload.downcast::<PartyAbort>() {
+                                Ok(abort) => Err(abort.0),
+                                Err(other) => resume_unwind(other),
+                            },
+                        }
                     })
                 })
                 .collect();
@@ -103,18 +125,27 @@ impl AdditiveEngine {
         let mut outputs = Vec::with_capacity(n);
         let mut stats = Vec::with_capacity(n);
         let mut party_traces = Vec::with_capacity(n);
-        for (out, ps, pt) in results {
-            outputs.push(out);
-            stats.push(ps);
-            party_traces.extend(pt);
+        let mut errors = Vec::new();
+        for result in results {
+            match result {
+                Ok((out, ps, pt)) => {
+                    outputs.push(out);
+                    stats.push(ps);
+                    party_traces.extend(pt);
+                }
+                Err(e) => errors.push(e),
+            }
+        }
+        if !errors.is_empty() {
+            return Err(select_error(errors));
         }
         let trace = (party_traces.len() == n)
             .then(|| Trace::from_parties(self.config.latency, party_traces));
-        AdditiveRun {
+        Ok(AdditiveRun {
             outputs,
             stats: merge(stats, self.config.latency),
             trace,
-        }
+        })
     }
 }
 
@@ -128,7 +159,7 @@ pub struct AdditiveCtx<F: PrimeField> {
     /// triple shares. (Semi-honest offline/online model; a real deployment
     /// replaces this with an OT- or HE-based offline phase.)
     dealer_rng: StdRng,
-    endpoint: Endpoint<F>,
+    endpoint: Box<dyn Transport<F>>,
     stats: PartyStats,
     recorder: Option<PartyRecorder>,
     phase: String,
@@ -156,10 +187,18 @@ impl<F: PrimeField> AdditiveCtx<F> {
     }
 
     fn exchange(&mut self, outgoing: Vec<Vec<F>>) -> Vec<Vec<F>> {
-        let (incoming, messages, bytes) = self.endpoint.exchange(outgoing);
+        let outcome = match self.endpoint.exchange(outgoing) {
+            Ok(outcome) => outcome,
+            Err(e) => std::panic::panic_any(PartyAbort(e)),
+        };
+        let (messages, bytes) = (outcome.messages, outcome.bytes);
         self.stats.record_round(&self.phase, messages, bytes);
+        let events = self.endpoint.drain_events();
         if let Some(rec) = &mut self.recorder {
             rec.record_round(messages, bytes);
+            for event in events {
+                rec.record_net_event(event);
+            }
         }
         if metrics::is_enabled() {
             metrics::counter_add("mpc.party_rounds", 1);
@@ -167,7 +206,7 @@ impl<F: PrimeField> AdditiveCtx<F> {
             metrics::counter_add("mpc.bytes", bytes);
             metrics::histogram_record("mpc.messages_per_round", messages as f64);
         }
-        incoming
+        outcome.incoming
     }
 
     /// Share a vector of secrets owned by `owner`: the owner sends uniform

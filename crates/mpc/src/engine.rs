@@ -14,17 +14,21 @@
 //! ordered party pair regardless of how many field elements it carries,
 //! matching the paper's synchronous cost model.
 
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::OnceLock;
 use std::time::{Duration, Instant};
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sqm_field::PrimeField;
+use sqm_net::fault::FaultSpec;
+use sqm_net::transport::{build_mesh, NetBackend, Transport};
+use sqm_net::TransportError;
 use sqm_obs::metrics;
 use sqm_obs::trace::{PartyRecorder, Trace};
 
 use crate::shamir::{lagrange_at_zero, share_secret};
 use crate::stats::{merge, PartyStats, RunStats};
-use crate::transport::{mesh, Endpoint};
 
 /// Configuration of a BGW session.
 #[derive(Clone, Debug)]
@@ -41,6 +45,11 @@ pub struct MpcConfig {
     /// records on the simulated clock). Off by default; the accounting in
     /// [`RunStats`] is always on.
     pub trace: bool,
+    /// Transport backend the parties communicate over. The protocol is
+    /// backend-agnostic; message/byte counts are identical across backends.
+    pub backend: NetBackend,
+    /// Optional deterministic fault plan injected over the backend.
+    pub faults: Option<FaultSpec>,
 }
 
 impl MpcConfig {
@@ -64,6 +73,8 @@ impl MpcConfig {
             latency: Duration::from_millis(100),
             seed: 0x5153_4D00, // "SQM"
             trace: false,
+            backend: NetBackend::InProcess,
+            faults: None,
         }
     }
 
@@ -82,6 +93,18 @@ impl MpcConfig {
     /// Turn structured trace recording on or off.
     pub fn with_trace(mut self, trace: bool) -> Self {
         self.trace = trace;
+        self
+    }
+
+    /// Select the transport backend.
+    pub fn with_backend(mut self, backend: NetBackend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Inject a deterministic fault plan over the backend.
+    pub fn with_faults(mut self, faults: Option<FaultSpec>) -> Self {
+        self.faults = faults;
         self
     }
 
@@ -111,6 +134,49 @@ pub struct MpcRun<T> {
 /// The BGW engine. Construct once, run protocol programs.
 pub struct MpcEngine {
     config: MpcConfig,
+}
+
+/// Panic payload a party thread aborts with when its transport fails.
+/// [`MpcEngine::try_run`] catches it and converts it back into the typed
+/// [`TransportError`]; every other panic payload is propagated unchanged.
+pub(crate) struct PartyAbort(pub(crate) TransportError);
+
+/// Install (once, process-wide) a panic hook that stays silent for
+/// [`PartyAbort`] unwinds — they are controlled error returns, not bugs —
+/// and delegates every other panic to the previously installed hook.
+pub(crate) fn install_quiet_abort_hook() {
+    static INSTALLED: OnceLock<()> = OnceLock::new();
+    INSTALLED.get_or_init(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<PartyAbort>().is_none() {
+                previous(info);
+            }
+        }));
+    });
+}
+
+/// Rank errors for reporting when several parties fail at once: the root
+/// cause (a crash, an exhausted retransmit budget) outranks the secondary
+/// disconnects the survivors observe.
+pub(crate) fn error_priority(e: &TransportError) -> u8 {
+    match e {
+        TransportError::Crashed { .. } => 6,
+        TransportError::RetransmitExhausted { .. } => 5,
+        TransportError::Wire { .. } => 4,
+        TransportError::ConnectFailed { .. } => 3,
+        TransportError::Timeout { .. } => 2,
+        TransportError::Io { .. } => 1,
+        TransportError::Disconnected { .. } => 0,
+    }
+}
+
+/// Pick the most diagnostic error out of the per-party results.
+pub(crate) fn select_error(errors: Vec<TransportError>) -> TransportError {
+    errors
+        .into_iter()
+        .max_by_key(error_priority)
+        .expect("select_error called with no errors")
 }
 
 impl MpcEngine {
@@ -149,17 +215,32 @@ impl MpcEngine {
         T: Send,
         P: Fn(&mut PartyCtx<F>) -> T + Sync,
     {
+        self.try_run(program)
+            .unwrap_or_else(|e| panic!("mpc transport failure: {e}"))
+    }
+
+    /// Like [`MpcEngine::run`], but a transport failure (dropped party,
+    /// socket timeout, injected crash, ...) is returned as the typed
+    /// [`TransportError`] naming the offending party and round instead of
+    /// panicking. Non-transport panics inside `program` still propagate.
+    pub fn try_run<F, T, P>(&self, program: P) -> Result<MpcRun<T>, TransportError>
+    where
+        F: PrimeField,
+        T: Send,
+        P: Fn(&mut PartyCtx<F>) -> T + Sync,
+    {
         let n = self.config.n_parties;
-        let endpoints = mesh::<F>(n);
+        install_quiet_abort_hook();
+        let endpoints = build_mesh::<F>(n, &self.config.backend, self.config.faults.as_ref())?;
         let lagrange_all = lagrange_at_zero::<F>(&(0..n).collect::<Vec<_>>());
         let program = &program;
 
         type PartyResult<T> = (T, PartyStats, Option<sqm_obs::trace::PartyTrace>);
-        let results: Vec<PartyResult<T>> = std::thread::scope(|s| {
+        let results: Vec<Result<PartyResult<T>, TransportError>> = std::thread::scope(|s| {
             let handles: Vec<_> = endpoints
                 .into_iter()
                 .map(|endpoint| {
-                    let id = endpoint.id;
+                    let id = endpoint.id();
                     let config = self.config.clone();
                     let lagrange = lagrange_all.clone();
                     s.spawn(move || {
@@ -178,9 +259,21 @@ impl MpcEngine {
                             phase: "default".to_string(),
                             phase_started: Instant::now(),
                         };
-                        let out = program(&mut ctx);
-                        ctx.flush_phase();
-                        (out, ctx.stats, ctx.recorder.map(PartyRecorder::finish))
+                        // A transport failure aborts the program mid-round via
+                        // a PartyAbort unwind; catch it here and surface the
+                        // typed error. Returning (rather than unwinding past
+                        // the closure) drops `ctx` and with it this party's
+                        // endpoint, which unblocks any peer waiting on it.
+                        match catch_unwind(AssertUnwindSafe(|| program(&mut ctx))) {
+                            Ok(out) => {
+                                ctx.flush_phase();
+                                Ok((out, ctx.stats, ctx.recorder.map(PartyRecorder::finish)))
+                            }
+                            Err(payload) => match payload.downcast::<PartyAbort>() {
+                                Ok(abort) => Err(abort.0),
+                                Err(other) => resume_unwind(other),
+                            },
+                        }
                     })
                 })
                 .collect();
@@ -193,21 +286,30 @@ impl MpcEngine {
         let mut outputs = Vec::with_capacity(n);
         let mut stats = Vec::with_capacity(n);
         let mut party_traces = Vec::with_capacity(n);
-        for (out, ps, pt) in results {
-            if metrics::is_enabled() {
-                metrics::histogram_record("mpc.bytes_per_party", ps.total.bytes as f64);
+        let mut errors = Vec::new();
+        for result in results {
+            match result {
+                Ok((out, ps, pt)) => {
+                    if metrics::is_enabled() {
+                        metrics::histogram_record("mpc.bytes_per_party", ps.total.bytes as f64);
+                    }
+                    outputs.push(out);
+                    stats.push(ps);
+                    party_traces.extend(pt);
+                }
+                Err(e) => errors.push(e),
             }
-            outputs.push(out);
-            stats.push(ps);
-            party_traces.extend(pt);
+        }
+        if !errors.is_empty() {
+            return Err(select_error(errors));
         }
         let trace = (party_traces.len() == n)
             .then(|| Trace::from_parties(self.config.latency, party_traces));
-        MpcRun {
+        Ok(MpcRun {
             outputs,
             stats: merge(stats, self.config.latency),
             trace,
-        }
+        })
     }
 }
 
@@ -229,7 +331,7 @@ pub struct PartyCtx<F: PrimeField> {
     /// Sharing threshold.
     pub t: usize,
     rng: StdRng,
-    endpoint: Endpoint<F>,
+    endpoint: Box<dyn Transport<F>>,
     stats: PartyStats,
     recorder: Option<PartyRecorder>,
     lagrange_all: Vec<F>,
@@ -260,10 +362,20 @@ impl<F: PrimeField> PartyCtx<F> {
     }
 
     fn exchange(&mut self, outgoing: Vec<Vec<F>>) -> Vec<Vec<F>> {
-        let (incoming, messages, bytes) = self.endpoint.exchange(outgoing);
+        let outcome = match self.endpoint.exchange(outgoing) {
+            Ok(outcome) => outcome,
+            // Unwind out of the SPMD program with the typed error; the
+            // engine's catch_unwind turns this back into Err(TransportError).
+            Err(e) => std::panic::panic_any(PartyAbort(e)),
+        };
+        let (messages, bytes) = (outcome.messages, outcome.bytes);
         self.stats.record_round(&self.phase, messages, bytes);
+        let events = self.endpoint.drain_events();
         if let Some(rec) = &mut self.recorder {
             rec.record_round(messages, bytes);
+            for event in events {
+                rec.record_net_event(event);
+            }
         }
         if metrics::is_enabled() {
             metrics::counter_add("mpc.party_rounds", 1);
@@ -271,7 +383,7 @@ impl<F: PrimeField> PartyCtx<F> {
             metrics::counter_add("mpc.bytes", bytes);
             metrics::histogram_record("mpc.messages_per_round", messages as f64);
         }
-        incoming
+        outcome.incoming
     }
 
     /// The party's private randomness stream (share polynomials etc.).
@@ -843,7 +955,103 @@ mod tests {
             latency: Duration::ZERO,
             seed: 0,
             trace: false,
+            backend: NetBackend::InProcess,
+            faults: None,
         });
+    }
+
+    #[test]
+    fn tcp_backend_matches_in_process_exactly() {
+        let program = |ctx: &mut PartyCtx<M61>| {
+            let a = ctx.share_input(
+                0,
+                (ctx.id == 0)
+                    .then(|| vec![M61::from_i128(-3), M61::from_u64(12)])
+                    .as_deref(),
+                2,
+            );
+            let b = ctx.share_input(
+                1,
+                (ctx.id == 1)
+                    .then(|| vec![M61::from_u64(5), M61::from_i128(-2)])
+                    .as_deref(),
+                2,
+            );
+            let p = ctx.mul(&a, &b);
+            ctx.open(&p)
+        };
+        let base = MpcConfig::semi_honest(4).with_latency(Duration::ZERO);
+        let inproc = MpcEngine::new(base.clone()).run::<M61, _, _>(program);
+        let tcp = MpcEngine::new(base.with_backend(NetBackend::tcp())).run::<M61, _, _>(program);
+        assert_eq!(inproc.outputs, tcp.outputs);
+        assert_eq!(inproc.stats.total.rounds, tcp.stats.total.rounds);
+        assert_eq!(inproc.stats.total.messages, tcp.stats.total.messages);
+        assert_eq!(inproc.stats.total.bytes, tcp.stats.total.bytes);
+    }
+
+    #[test]
+    fn try_run_surfaces_injected_crash_as_typed_error() {
+        let cfg = MpcConfig::semi_honest(4)
+            .with_latency(Duration::ZERO)
+            .with_faults(Some(sqm_net::FaultSpec::seeded(1).with_crash(2, 1)));
+        let err = MpcEngine::new(cfg)
+            .try_run::<M61, _, _>(|ctx| {
+                let x = ctx.share_input(0, (ctx.id == 0).then(|| vec![M61::ONE]).as_deref(), 1);
+                let y = ctx.mul(&x, &x);
+                ctx.open(&y)
+            })
+            .unwrap_err();
+        assert_eq!(err, TransportError::Crashed { party: 2, round: 1 });
+        assert_eq!(err.party(), 2);
+        assert_eq!(err.round(), Some(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "mpc transport failure")]
+    fn run_panics_with_the_transport_diagnosis() {
+        let cfg = MpcConfig::semi_honest(3)
+            .with_latency(Duration::ZERO)
+            .with_faults(Some(sqm_net::FaultSpec::seeded(2).with_crash(0, 0)));
+        MpcEngine::new(cfg).run::<M61, _, _>(|ctx| {
+            let x = ctx.share_input(1, (ctx.id == 1).then(|| vec![M61::ONE]).as_deref(), 1);
+            ctx.open(&x)
+        });
+    }
+
+    #[test]
+    fn seeded_faults_leave_protocol_output_identical() {
+        // Delays and drops perturb timing, never payloads: a faulted run
+        // must produce exactly the fault-free outputs, and two runs with the
+        // same fault seed must behave identically.
+        let program = |ctx: &mut PartyCtx<M61>| {
+            let x = ctx.share_input(
+                0,
+                (ctx.id == 0).then(|| vec![M61::from_u64(9); 4]).as_deref(),
+                4,
+            );
+            let y = ctx.mul(&x, &x);
+            ctx.open(&y)
+        };
+        let clean = MpcEngine::new(MpcConfig::semi_honest(3).with_latency(Duration::ZERO))
+            .run::<M61, _, _>(program);
+        let faults = sqm_net::FaultSpec::seeded(77)
+            .with_delay(Duration::ZERO, Duration::from_micros(300))
+            .with_drop(0.2)
+            .with_retransmit(Duration::from_micros(100), 32);
+        let faulted = || {
+            MpcEngine::new(
+                MpcConfig::semi_honest(3)
+                    .with_latency(Duration::ZERO)
+                    .with_faults(Some(faults.clone())),
+            )
+            .run::<M61, _, _>(program)
+        };
+        let a = faulted();
+        let b = faulted();
+        assert_eq!(a.outputs, clean.outputs);
+        assert_eq!(b.outputs, clean.outputs);
+        assert_eq!(a.stats.total.messages, clean.stats.total.messages);
+        assert_eq!(a.stats.total.bytes, clean.stats.total.bytes);
     }
 
     #[test]

@@ -6,10 +6,15 @@
 //! result. This crate provides that black box:
 //!
 //! * [`shamir`] — Shamir secret sharing and Lagrange reconstruction.
-//! * [`transport`] — a full-mesh in-process network (crossbeam channels)
-//!   with per-round, per-message and per-byte accounting.
+//! * [`transport`] — party-to-party networking, re-exported from `sqm-net`:
+//!   a [`transport::Transport`] trait with two backends (the original
+//!   full-mesh in-process channel mesh and a loopback-TCP backend) plus a
+//!   deterministic fault injector, all with per-round, per-message and
+//!   per-byte accounting. Backend selection lives on [`MpcConfig`].
 //! * [`engine`] — the SPMD party runtime: spawn `n` party threads, run the
 //!   same protocol program in each, collect outputs and [`stats::RunStats`].
+//!   Transport failures surface as typed [`TransportError`]s from
+//!   [`MpcEngine::try_run`] (or a diagnostic panic from [`MpcEngine::run`]).
 //!   Multiplication uses GRR degree reduction (`t < n/2`); vector operations
 //!   (element-wise products, inner products) are batched into single rounds,
 //!   which is what makes covariance computation `O(n^2)` *communication*
@@ -31,7 +36,12 @@ pub mod stats;
 pub mod transport;
 pub mod wire;
 
+pub use sqm_net as net;
+
 pub use additive::{AdditiveCtx, AdditiveEngine, AdditiveRun};
 pub use engine::{MpcConfig, MpcEngine, MpcRun, PartyCtx};
 pub use shamir::{reconstruct, share_secret, ShamirShare};
+pub use sqm_net::fault::{CrashPoint, FaultSpec};
+pub use sqm_net::transport::NetBackend;
+pub use sqm_net::{TcpOptions, TransportError};
 pub use stats::{PhaseStats, RunStats};

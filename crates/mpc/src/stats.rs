@@ -46,6 +46,13 @@ pub struct RunStats {
 impl RunStats {
     /// Total simulated time (wall + rounds * latency), the paper's
     /// "overall time" column.
+    ///
+    /// This assumes the paper's *uniform-latency model*: every message hop
+    /// costs exactly `latency`, regardless of payload size, congestion, or
+    /// which pair of parties it connects. Real networks are not uniform —
+    /// the `netcheck_timing` experiment binary runs the same workload over
+    /// loopback TCP and reports measured wall-clock next to this prediction
+    /// so the model's accuracy can be checked empirically.
     pub fn simulated_time(&self) -> Duration {
         self.total.simulated_time(self.latency)
     }
@@ -174,7 +181,10 @@ mod tests {
         // Totals and per-phase rows agree on units: MiB and message counts.
         assert!(shown.contains("3.00 MiB"), "{shown}");
         assert!(shown.lines().count() >= 2);
-        let phase_row = shown.lines().nth(1).unwrap();
+        let phase_row = shown
+            .lines()
+            .nth(1)
+            .expect("RunStats Display should emit a per-phase row after the totals line");
         assert!(phase_row.contains("messages"), "{phase_row}");
         assert!(phase_row.contains("MiB"), "{phase_row}");
         assert!(!phase_row.contains("bytes"), "{phase_row}");

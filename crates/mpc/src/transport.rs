@@ -1,169 +1,44 @@
-//! Full-mesh in-process transport between party threads.
+//! Party-to-party transport — re-exported from [`sqm_net`].
 //!
-//! One unbounded crossbeam channel per ordered party pair. FIFO order per
-//! pair plus the SPMD (same program order at every party) discipline of the
-//! engine guarantee that the `k`-th receive from party `j` is the `k`-th
-//! send of party `j` — no sequence numbers required.
+//! The full-mesh in-process channel transport that used to live here was
+//! extracted into `sqm-net` behind the [`Transport`] trait, alongside a
+//! loopback-TCP backend and a deterministic fault injector. The semantics
+//! of the in-process mesh are unchanged (routing, per-pair FIFO, and the
+//! exclude-loopback-and-empties traffic accounting are all covered by
+//! tests in `sqm_net::channel`), with one upgrade: a dropped peer now
+//! yields a typed [`TransportError`] naming the party and round instead of
+//! the old `expect("party channel closed mid-protocol")` panic. The engine
+//! converts that error into [`crate::MpcEngine::try_run`]'s `Err` value.
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
-use sqm_field::PrimeField;
+pub use sqm_net::channel::{mesh, ChannelEndpoint};
+pub use sqm_net::transport::{build_mesh, NetBackend, RoundOutcome, Transport};
+pub use sqm_net::{TcpOptions, TransportError};
 
-/// The payload of one hop: a vector of field elements (possibly empty —
-/// empty messages are "non-messages" and are not counted as traffic).
-type Payload<F> = Vec<F>;
-
-/// One party's view of the mesh.
-pub struct Endpoint<F: PrimeField> {
-    /// This party's index.
-    pub id: usize,
-    /// `senders[j]` delivers to party `j`'s `receivers[self.id]`.
-    senders: Vec<Sender<Payload<F>>>,
-    /// `receivers[i]` yields messages from party `i`.
-    receivers: Vec<Receiver<Payload<F>>>,
-}
-
-impl<F: PrimeField> Endpoint<F> {
-    /// Number of parties in the mesh.
-    pub fn n_parties(&self) -> usize {
-        self.senders.len()
-    }
-
-    /// One synchronous round: send `outgoing[j]` to each party `j`
-    /// (including a loop-back to self) and receive one payload from every
-    /// party. Returns `(incoming, messages_sent, bytes_sent)` where traffic
-    /// counts exclude empty payloads and the loop-back.
-    pub fn exchange(&self, outgoing: Vec<Payload<F>>) -> (Vec<Payload<F>>, u64, u64) {
-        let n = self.n_parties();
-        assert_eq!(outgoing.len(), n, "exchange: need one payload per party");
-        let mut messages = 0u64;
-        let mut bytes = 0u64;
-        for (j, payload) in outgoing.into_iter().enumerate() {
-            if j != self.id && !payload.is_empty() {
-                messages += 1;
-                bytes += crate::wire::encoded_len::<F>(payload.len());
-            }
-            self.senders[j]
-                .send(payload)
-                .expect("party channel closed mid-protocol");
-        }
-        let incoming = (0..n)
-            .map(|i| {
-                self.receivers[i]
-                    .recv()
-                    .expect("party channel closed mid-protocol")
-            })
-            .collect();
-        (incoming, messages, bytes)
-    }
-
-    /// Broadcast the same payload to every other party and collect one from
-    /// each (used for opening shares).
-    pub fn broadcast(&self, payload: Payload<F>) -> (Vec<Payload<F>>, u64, u64) {
-        let n = self.n_parties();
-        self.exchange(vec![payload; n])
-    }
-}
-
-/// Build a full mesh of `n` endpoints.
-pub fn mesh<F: PrimeField>(n: usize) -> Vec<Endpoint<F>> {
-    assert!(n >= 1);
-    // channels[i][j]: the channel from party i to party j.
-    let mut txs: Vec<Vec<Option<Sender<Payload<F>>>>> =
-        (0..n).map(|_| (0..n).map(|_| None).collect()).collect();
-    let mut rxs: Vec<Vec<Option<Receiver<Payload<F>>>>> =
-        (0..n).map(|_| (0..n).map(|_| None).collect()).collect();
-    for (i, tx_row) in txs.iter_mut().enumerate() {
-        for (j, tx) in tx_row.iter_mut().enumerate() {
-            let (s, r) = unbounded();
-            *tx = Some(s);
-            rxs[j][i] = Some(r);
-        }
-        let _ = i;
-    }
-    txs.into_iter()
-        .zip(rxs)
-        .enumerate()
-        .map(|(id, (tx_row, rx_row))| Endpoint {
-            id,
-            senders: tx_row.into_iter().map(Option::unwrap).collect(),
-            receivers: rx_row.into_iter().map(Option::unwrap).collect(),
-        })
-        .collect()
-}
+/// Historical name of the in-process mesh endpoint.
+pub type Endpoint<F> = ChannelEndpoint<F>;
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sqm_field::M61;
-    use std::thread;
+    use sqm_field::{PrimeField, M61};
 
     #[test]
-    fn exchange_routes_correctly() {
-        let endpoints = mesh::<M61>(3);
-        let results: Vec<Vec<Vec<M61>>> = thread::scope(|s| {
-            let handles: Vec<_> = endpoints
-                .iter()
-                .map(|ep| {
-                    s.spawn(move || {
-                        // Party i sends value 10*i + j to party j.
-                        let out: Vec<Vec<M61>> = (0..3)
-                            .map(|j| vec![M61::from_u64((10 * ep.id + j) as u64)])
-                            .collect();
-                        let (incoming, _, _) = ep.exchange(out);
-                        incoming
-                    })
-                })
-                .collect();
-            handles.into_iter().map(|h| h.join().unwrap()).collect()
-        });
-        // Party j receives from party i the value 10*i + j.
-        for (j, incoming) in results.iter().enumerate() {
-            for (i, payload) in incoming.iter().enumerate() {
-                assert_eq!(payload, &vec![M61::from_u64((10 * i + j) as u64)]);
-            }
-        }
-    }
-
-    #[test]
-    fn traffic_counts_exclude_loopback_and_empties() {
-        let endpoints = mesh::<M61>(2);
-        let (counts_a, counts_b) = thread::scope(|s| {
-            let a = &endpoints[0];
-            let b = &endpoints[1];
-            let ha = s.spawn(move || {
-                let (_, m, by) = a.exchange(vec![vec![M61::ONE; 5], vec![M61::ONE; 3]]);
-                (m, by)
+    fn legacy_paths_still_build_a_working_mesh() {
+        // `mpc::transport::mesh` must keep returning connected in-process
+        // endpoints (zero behavior change for existing callers).
+        let mut endpoints = mesh::<M61>(2);
+        let (a, b) = {
+            let mut it = endpoints.iter_mut();
+            (it.next().unwrap(), it.next().unwrap())
+        };
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                let out = a.exchange(vec![vec![], vec![M61::from_u64(5)]]).unwrap();
+                assert_eq!(out.incoming[1], vec![M61::from_u64(6)]);
             });
-            let hb = s.spawn(move || {
-                let (_, m, by) = b.exchange(vec![vec![], vec![M61::ONE]]);
-                (m, by)
-            });
-            (ha.join().unwrap(), hb.join().unwrap())
-        });
-        // A sent 3 elements to B (24 bytes); loop-back of 5 not counted.
-        assert_eq!(counts_a, (1, 24));
-        // B sent nothing to A (empty), loop-back of 1 not counted.
-        assert_eq!(counts_b, (0, 0));
-    }
-
-    #[test]
-    fn fifo_per_pair_across_rounds() {
-        let endpoints = mesh::<M61>(2);
-        thread::scope(|s| {
-            let a = &endpoints[0];
-            let b = &endpoints[1];
-            s.spawn(move || {
-                for round in 0..10u64 {
-                    let (incoming, _, _) = a.exchange(vec![vec![], vec![M61::from_u64(round)]]);
-                    assert_eq!(incoming[1], vec![M61::from_u64(round * 100)]);
-                }
-            });
-            s.spawn(move || {
-                for round in 0..10u64 {
-                    let (incoming, _, _) =
-                        b.exchange(vec![vec![M61::from_u64(round * 100)], vec![]]);
-                    assert_eq!(incoming[0], vec![M61::from_u64(round)]);
-                }
+            s.spawn(|| {
+                let out = b.exchange(vec![vec![M61::from_u64(6)], vec![]]).unwrap();
+                assert_eq!(out.incoming[0], vec![M61::from_u64(5)]);
             });
         });
     }

@@ -1,91 +1,71 @@
-//! Wire format for field-element vectors.
+//! Wire format for field-element vectors — re-exported from [`sqm_net`].
 //!
-//! The in-process transport passes typed values, but communication *costs*
-//! are accounted as if every element were serialized with this format
-//! (little-endian, fixed width per field). The encoder/decoder is also used
-//! by tests to validate that the byte accounting matches a real wire format.
+//! The format lives in `sqm-net` (below this crate in the dependency
+//! graph) because the TCP backend moves these exact bytes; this module
+//! keeps the historical `mpc::wire::{encode, decode, encoded_len}` paths
+//! working. `decode` returns `Result<_, WireError>` — bytes arriving from
+//! a real socket are untrusted input, so malformed lengths and
+//! non-canonical elements are errors, not panics.
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
-use sqm_field::PrimeField;
-
-/// Encode a vector of field elements (fixed `F::byte_width()` bytes each,
-/// little-endian canonical representative).
-pub fn encode<F: PrimeField>(values: &[F]) -> Bytes {
-    let w = F::byte_width();
-    let mut buf = BytesMut::with_capacity(values.len() * w);
-    for v in values {
-        let c = v.to_canonical();
-        buf.put_slice(&c.to_le_bytes()[..w]);
-    }
-    buf.freeze()
-}
-
-/// Decode a buffer produced by [`encode`]. Panics if the buffer length is
-/// not a multiple of the element width or an element is non-canonical.
-pub fn decode<F: PrimeField>(mut buf: Bytes) -> Vec<F> {
-    let w = F::byte_width();
-    assert!(
-        buf.len().is_multiple_of(w),
-        "wire buffer length {} not a multiple of element width {w}",
-        buf.len()
-    );
-    let mut out = Vec::with_capacity(buf.len() / w);
-    while buf.has_remaining() {
-        let mut raw = [0u8; 16];
-        buf.copy_to_slice(&mut raw[..w]);
-        let c = u128::from_le_bytes(raw);
-        assert!(c < F::modulus(), "non-canonical element on the wire");
-        out.push(F::from_u128(c));
-    }
-    out
-}
-
-/// The number of bytes [`encode`] produces for `len` elements.
-pub fn encoded_len<F: PrimeField>(len: usize) -> u64 {
-    (len * F::byte_width()) as u64
-}
+pub use sqm_net::wire::{decode, encode, encoded_len, WireError};
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
-    use sqm_field::{M127, M61};
+    use proptest::prelude::*;
+    use sqm_field::{PrimeField, M127, M61};
 
-    #[test]
-    fn roundtrip_m61() {
-        let mut rng = StdRng::seed_from_u64(1);
-        let vals: Vec<M61> = (0..100).map(|_| M61::random(&mut rng)).collect();
-        let bytes = encode(&vals);
-        assert_eq!(bytes.len() as u64, encoded_len::<M61>(vals.len()));
-        assert_eq!(decode::<M61>(bytes), vals);
+    // Satellite: proptest round-trips for both fields, explicitly seeding
+    // the canonical boundary values 0 and p-1 into every generated vector.
+    proptest! {
+        #[test]
+        fn roundtrip_m61_with_boundaries(raw in proptest::collection::vec(any::<u64>(), 0..64)) {
+            let mut vals: Vec<M61> = raw.into_iter().map(|v| M61::from_u128(v as u128 % M61::modulus())).collect();
+            vals.push(M61::from_u128(0));
+            vals.push(M61::from_u128(M61::modulus() - 1));
+            let bytes = encode(&vals);
+            prop_assert_eq!(bytes.len() as u64, encoded_len::<M61>(vals.len()));
+            let back = decode::<M61>(bytes).expect("canonical round-trip");
+            prop_assert_eq!(back, vals);
+        }
+
+        #[test]
+        fn roundtrip_m127_with_boundaries(raw in proptest::collection::vec(any::<u64>(), 0..64)) {
+            let m = M127::modulus();
+            let mut vals: Vec<M127> = raw
+                .into_iter()
+                .map(|v| {
+                    // Spread 64-bit raws across the 127-bit range.
+                    let wide = (v as u128).wrapping_mul(0x1_0000_0001_0000_0001) % m;
+                    M127::from_u128(wide)
+                })
+                .collect();
+            vals.push(M127::from_u128(0));
+            vals.push(M127::from_u128(m - 1));
+            let bytes = encode(&vals);
+            prop_assert_eq!(bytes.len() as u64, encoded_len::<M127>(vals.len()));
+            let back = decode::<M127>(bytes).expect("canonical round-trip");
+            prop_assert_eq!(back, vals);
+        }
+
+        #[test]
+        fn ragged_buffers_always_rejected(len in 1usize..64) {
+            prop_assume!(len % M61::byte_width() != 0);
+            let buf = bytes::Bytes::from(vec![0u8; len]);
+            prop_assert_eq!(
+                decode::<M61>(buf).unwrap_err(),
+                WireError::RaggedBuffer { len, width: M61::byte_width() }
+            );
+        }
     }
 
     #[test]
-    fn roundtrip_m127() {
-        let mut rng = StdRng::seed_from_u64(2);
-        let vals: Vec<M127> = (0..50).map(|_| M127::random(&mut rng)).collect();
-        let bytes = encode(&vals);
-        assert_eq!(bytes.len() as u64, encoded_len::<M127>(vals.len()));
-        assert_eq!(decode::<M127>(bytes), vals);
-    }
-
-    #[test]
-    fn widths() {
-        assert_eq!(encoded_len::<M61>(1), 8);
-        assert_eq!(encoded_len::<M127>(1), 16);
-    }
-
-    #[test]
-    fn empty() {
-        let bytes = encode::<M61>(&[]);
-        assert!(bytes.is_empty());
-        assert!(decode::<M61>(bytes).is_empty());
-    }
-
-    #[test]
-    #[should_panic(expected = "multiple")]
-    fn rejects_ragged_buffer() {
-        decode::<M61>(Bytes::from_static(&[1, 2, 3]));
+    fn non_canonical_is_an_error_not_a_panic() {
+        let above = M61::modulus(); // p itself is the smallest non-canonical value
+        let buf = bytes::Bytes::from((above as u64).to_le_bytes().to_vec());
+        assert!(matches!(
+            decode::<M61>(buf),
+            Err(WireError::NonCanonical { .. })
+        ));
     }
 }

@@ -1,0 +1,118 @@
+//! Wire format for field-element vectors.
+//!
+//! Every payload that crosses a transport link is a flat vector of field
+//! elements, serialized as the little-endian canonical representative at a
+//! fixed `F::byte_width()` bytes per element. The in-process backend passes
+//! typed values and only *accounts* bytes with [`encoded_len`]; the TCP
+//! backend actually moves these bytes, so [`decode`] validates untrusted
+//! input and returns a [`WireError`] instead of panicking.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use sqm_field::PrimeField;
+
+pub use crate::error::WireError;
+
+/// Encode a vector of field elements (fixed `F::byte_width()` bytes each,
+/// little-endian canonical representative).
+pub fn encode<F: PrimeField>(values: &[F]) -> Bytes {
+    let w = F::byte_width();
+    let mut buf = BytesMut::with_capacity(values.len() * w);
+    for v in values {
+        let c = v.to_canonical();
+        buf.put_slice(&c.to_le_bytes()[..w]);
+    }
+    buf.freeze()
+}
+
+/// Decode a buffer produced by [`encode`].
+///
+/// Returns [`WireError::RaggedBuffer`] when the buffer length is not a
+/// multiple of the element width and [`WireError::NonCanonical`] when an
+/// element is `>=` the field modulus — both are real possibilities once
+/// bytes come from a socket rather than an in-process channel.
+pub fn decode<F: PrimeField>(mut buf: Bytes) -> Result<Vec<F>, WireError> {
+    let w = F::byte_width();
+    if !buf.len().is_multiple_of(w) {
+        return Err(WireError::RaggedBuffer {
+            len: buf.len(),
+            width: w,
+        });
+    }
+    let mut out = Vec::with_capacity(buf.len() / w);
+    while buf.has_remaining() {
+        let mut raw = [0u8; 16];
+        buf.copy_to_slice(&mut raw[..w]);
+        let c = u128::from_le_bytes(raw);
+        if c >= F::modulus() {
+            return Err(WireError::NonCanonical {
+                value: c,
+                modulus: F::modulus(),
+            });
+        }
+        out.push(F::from_u128(c));
+    }
+    Ok(out)
+}
+
+/// The number of bytes [`encode`] produces for `len` elements.
+pub fn encoded_len<F: PrimeField>(len: usize) -> u64 {
+    (len * F::byte_width()) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sqm_field::{M127, M61};
+
+    #[test]
+    fn roundtrip_m61() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let vals: Vec<M61> = (0..100).map(|_| M61::random(&mut rng)).collect();
+        let bytes = encode(&vals);
+        assert_eq!(bytes.len() as u64, encoded_len::<M61>(vals.len()));
+        assert_eq!(decode::<M61>(bytes).expect("roundtrip"), vals);
+    }
+
+    #[test]
+    fn roundtrip_m127() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let vals: Vec<M127> = (0..50).map(|_| M127::random(&mut rng)).collect();
+        let bytes = encode(&vals);
+        assert_eq!(bytes.len() as u64, encoded_len::<M127>(vals.len()));
+        assert_eq!(decode::<M127>(bytes).expect("roundtrip"), vals);
+    }
+
+    #[test]
+    fn widths() {
+        assert_eq!(encoded_len::<M61>(1), 8);
+        assert_eq!(encoded_len::<M127>(1), 16);
+    }
+
+    #[test]
+    fn empty() {
+        let bytes = encode::<M61>(&[]);
+        assert!(bytes.is_empty());
+        assert!(decode::<M61>(bytes).expect("empty").is_empty());
+    }
+
+    #[test]
+    fn rejects_ragged_buffer() {
+        let err = decode::<M61>(Bytes::from_static(&[1, 2, 3])).unwrap_err();
+        assert_eq!(err, WireError::RaggedBuffer { len: 3, width: 8 });
+    }
+
+    #[test]
+    fn rejects_non_canonical_element() {
+        // 2^64 - 1 is far above the Mersenne-61 modulus.
+        let err = decode::<M61>(Bytes::from_static(&[0xFF; 8])).unwrap_err();
+        match err {
+            WireError::NonCanonical { value, modulus } => {
+                assert_eq!(value, u64::MAX as u128);
+                assert_eq!(modulus, M61::modulus());
+            }
+            other => panic!("expected NonCanonical, got {other:?}"),
+        }
+    }
+}

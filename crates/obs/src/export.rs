@@ -6,7 +6,7 @@
 //! finished in milliseconds of real time.
 //!
 //! * JSONL: one self-describing JSON object per line (`"type"` is
-//!   `"meta"`, `"span"` or `"round"`), easy to `jq`/stream.
+//!   `"meta"`, `"span"`, `"round"` or `"net"`), easy to `jq`/stream.
 //! * Chrome trace: the [trace-event format] with complete (`"X"`) events,
 //!   one track per party (`pid` 0, `tid` = party id), loadable in
 //!   Perfetto or `chrome://tracing`.
@@ -67,6 +67,18 @@ pub fn write_jsonl<W: Write>(trace: &Trace, w: &mut W) -> io::Result<()> {
                 ",\"index\":{},\"messages\":{},\"bytes\":{}}}",
                 r.index, r.messages, r.bytes
             ));
+            writeln!(w, "{line}")?;
+        }
+        for e in &pt.net_events {
+            let mut line = String::new();
+            line.push_str(&format!(
+                "{{\"type\":\"net\",\"party\":{},\"round\":{},\"peer\":{},\"kind\":",
+                e.party, e.round, e.peer
+            ));
+            json::write_str(&mut line, &e.kind);
+            line.push_str(",\"value\":");
+            json::write_f64(&mut line, e.value);
+            line.push('}');
             writeln!(w, "{line}")?;
         }
     }
@@ -167,6 +179,32 @@ mod tests {
         }
         assert!(text.contains("\"phase\":\"input\""));
         assert!(text.contains("\"type\":\"round\""));
+    }
+
+    #[test]
+    fn jsonl_includes_net_events() {
+        let latency = Duration::from_millis(100);
+        let mut r = PartyRecorder::new(0, latency);
+        r.record_round(1, 8);
+        r.record_net_event(crate::trace::NetEvent {
+            party: 0,
+            round: 0,
+            peer: 1,
+            kind: "retransmit".to_string(),
+            value: 3.0,
+        });
+        r.flush_phase(Duration::from_millis(1));
+        let trace = Trace::from_parties(latency, vec![r.finish()]);
+        let mut buf = Vec::new();
+        write_jsonl(&trace, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let net_line = text
+            .lines()
+            .find(|l| l.contains("\"type\":\"net\""))
+            .expect("net event line");
+        assert!(net_line.contains("\"kind\":\"retransmit\""), "{net_line}");
+        assert!(net_line.contains("\"peer\":1"), "{net_line}");
+        assert!(net_line.ends_with('}'), "{net_line}");
     }
 
     #[test]

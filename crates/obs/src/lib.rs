@@ -35,4 +35,6 @@ pub mod trace;
 
 pub use export::{chrome_trace_json, write_chrome_trace, write_jsonl};
 pub use ledger::{LedgerEntry, LedgerReport, PrivacyLedger};
-pub use trace::{PartyRecorder, PartyTrace, RoundRecord, SpanRecord, Trace, TraceSummary};
+pub use trace::{
+    NetEvent, PartyRecorder, PartyTrace, RoundRecord, SpanRecord, Trace, TraceSummary,
+};

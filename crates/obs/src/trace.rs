@@ -61,6 +61,24 @@ pub struct RoundRecord {
     pub bytes: u64,
 }
 
+/// One transport-level incident (injected fault, retransmit, reconnect,
+/// timeout) as observed by one party's transport endpoint. Emitted by the
+/// `sqm-net` backends and drained into the trace by the engine.
+#[derive(Clone, Debug, Serialize)]
+pub struct NetEvent {
+    /// Party whose endpoint observed the event.
+    pub party: usize,
+    /// Synchronous round the event occurred in.
+    pub round: u64,
+    /// The peer on the affected link.
+    pub peer: usize,
+    /// Event kind: `"delay"`, `"retransmit"`, `"reconnect"`, `"timeout"`.
+    pub kind: String,
+    /// Kind-specific magnitude: injected delay in seconds for `"delay"`,
+    /// attempt count for `"retransmit"` / `"reconnect"`.
+    pub value: f64,
+}
+
 /// Per-party-thread recorder. Owned by exactly one thread; all methods are
 /// plain mutations (lock-free by construction, like `PartyStats`).
 #[derive(Debug)]
@@ -76,6 +94,7 @@ pub struct PartyRecorder {
     round_index: u64,
     spans: Vec<SpanRecord>,
     rounds: Vec<RoundRecord>,
+    net_events: Vec<NetEvent>,
 }
 
 impl PartyRecorder {
@@ -93,6 +112,7 @@ impl PartyRecorder {
             round_index: 0,
             spans: Vec::new(),
             rounds: Vec::new(),
+            net_events: Vec::new(),
         }
     }
 
@@ -139,6 +159,13 @@ impl PartyRecorder {
         self.phase = name.to_string();
     }
 
+    /// Record a transport-level event (drained from the transport by the
+    /// engine after each exchange). Events do not affect the simulated
+    /// clock — injected delays already show up in the measured wall time.
+    pub fn record_net_event(&mut self, event: NetEvent) {
+        self.net_events.push(event);
+    }
+
     /// Finish recording. Any un-flushed activity is dropped, so the engine
     /// flushes before calling this.
     pub fn finish(self) -> PartyTrace {
@@ -146,6 +173,7 @@ impl PartyRecorder {
             party: self.party,
             spans: self.spans,
             rounds: self.rounds,
+            net_events: self.net_events,
         }
     }
 }
@@ -156,6 +184,8 @@ pub struct PartyTrace {
     pub party: usize,
     pub spans: Vec<SpanRecord>,
     pub rounds: Vec<RoundRecord>,
+    /// Transport incidents (faults, retransmits, reconnects), in order.
+    pub net_events: Vec<NetEvent>,
 }
 
 /// The merged trace of one protocol run: every party's timeline plus the
@@ -375,6 +405,35 @@ mod tests {
         assert_eq!(input.simulated, ms(24));
         assert_eq!(s.total.rounds, 2);
         assert_eq!(s.total_simulated(), ms(26));
+    }
+
+    #[test]
+    fn net_events_are_kept_in_order_and_do_not_touch_the_clock() {
+        let mut r = PartyRecorder::new(1, ms(100));
+        r.set_phase("input");
+        r.record_round(2, 16);
+        r.record_net_event(NetEvent {
+            party: 1,
+            round: 0,
+            peer: 0,
+            kind: "retransmit".to_string(),
+            value: 2.0,
+        });
+        r.record_net_event(NetEvent {
+            party: 1,
+            round: 0,
+            peer: 2,
+            kind: "delay".to_string(),
+            value: 0.005,
+        });
+        r.flush_phase(ms(3));
+        let t = r.finish();
+        assert_eq!(t.net_events.len(), 2);
+        assert_eq!(t.net_events[0].kind, "retransmit");
+        assert_eq!(t.net_events[1].peer, 2);
+        // Simulated clock still `wall + latency * rounds` only: one round
+        // was recorded, and the net events add nothing to it.
+        assert_eq!(t.spans[0].duration, ms(103));
     }
 
     #[test]

@@ -57,6 +57,9 @@ pub use sqm_field as field;
 pub use sqm_linalg as linalg;
 /// Semi-honest BGW MPC over a simulated, latency-accounted network.
 pub use sqm_mpc as mpc;
+/// Pluggable party-to-party transport: in-process channels, loopback TCP,
+/// deterministic fault injection.
+pub use sqm_net as net;
 /// Observability: structured tracing, metrics, privacy ledger, exporters.
 pub use sqm_obs as obs;
 /// Samplers (Poisson / Skellam / Gaussian / stochastic rounding) and

@@ -129,6 +129,9 @@ where
 
 /// Which execution backend SQM-LR uses.
 #[derive(Clone, Debug)]
+// The Mpc variant carries the whole VflConfig (transport backend
+// included); backends are built once per task, so the size gap is fine.
+#[allow(clippy::large_enum_variant)]
 pub enum LrBackend {
     /// Output-equivalent plaintext simulation.
     Plaintext,

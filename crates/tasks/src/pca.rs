@@ -26,6 +26,9 @@ fn top_k_eigenvectors(a: &Matrix, k: usize) -> Matrix {
 
 /// Which execution backend SQM-PCA runs on.
 #[derive(Clone, Debug)]
+// The Mpc variant carries the whole VflConfig (transport backend
+// included); backends are built once per task, so the size gap is fine.
+#[allow(clippy::large_enum_variant)]
 pub enum PcaBackend {
     /// Output-equivalent plaintext simulation — fast, for statistical
     /// experiments.

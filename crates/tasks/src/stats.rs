@@ -17,6 +17,9 @@ use sqm_vfl::{ColumnPartition, VflConfig};
 
 /// Execution backend for SQM-Mean.
 #[derive(Clone, Debug)]
+// The Mpc variant carries the whole VflConfig (transport backend
+// included); backends are built once per task, so the size gap is fine.
+#[allow(clippy::large_enum_variant)]
 pub enum MeanBackend {
     Plaintext,
     Mpc(VflConfig),

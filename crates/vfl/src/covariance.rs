@@ -16,7 +16,7 @@ use rand::SeedableRng;
 use sqm_core::quantize::quantize_vec;
 use sqm_field::{FieldChoice, PrimeField, M127, M61};
 use sqm_linalg::Matrix;
-use sqm_mpc::{MpcConfig, MpcEngine, RunStats};
+use sqm_mpc::{MpcEngine, RunStats, TransportError};
 use sqm_sampling::skellam::{sample_skellam, sample_skellam_symmetric};
 
 use crate::partition::ColumnPartition;
@@ -35,6 +35,10 @@ pub struct CovarianceOutput {
 }
 
 /// Full BGW execution of the noisy covariance.
+///
+/// Panics on transport failure; use [`try_covariance_skellam`] to receive
+/// the typed [`TransportError`] instead (crashed party, exhausted
+/// retransmits, socket timeout, ...).
 pub fn covariance_skellam(
     data: &Matrix,
     partition: &ColumnPartition,
@@ -42,6 +46,18 @@ pub fn covariance_skellam(
     mu: f64,
     cfg: &VflConfig,
 ) -> CovarianceOutput {
+    try_covariance_skellam(data, partition, gamma, mu, cfg)
+        .unwrap_or_else(|e| panic!("mpc transport failure: {e}"))
+}
+
+/// [`covariance_skellam`] with transport failures surfaced as values.
+pub fn try_covariance_skellam(
+    data: &Matrix,
+    partition: &ColumnPartition,
+    gamma: f64,
+    mu: f64,
+    cfg: &VflConfig,
+) -> Result<CovarianceOutput, TransportError> {
     validate(data, partition, cfg);
     let bound = magnitude_bound(data, gamma, mu);
     match FieldChoice::for_magnitude(bound).expect("workload exceeds M127 headroom") {
@@ -152,12 +168,7 @@ fn chunked_impl<F: PrimeField>(
     let n = data.cols();
     let m = data.rows();
     let p_clients = cfg.n_clients;
-    let engine = MpcEngine::new(
-        MpcConfig::semi_honest(p_clients)
-            .with_latency(cfg.latency)
-            .with_seed(cfg.seed)
-            .with_trace(cfg.trace),
-    );
+    let engine = MpcEngine::new(cfg.mpc_config());
     let upper_len = n * (n + 1) / 2;
     let counts = partition.counts();
 
@@ -248,22 +259,17 @@ fn covariance_impl<F: PrimeField>(
     gamma: f64,
     mu: f64,
     cfg: &VflConfig,
-) -> CovarianceOutput {
+) -> Result<CovarianceOutput, TransportError> {
     let n = data.cols();
     let m = data.rows();
     let p_clients = cfg.n_clients;
-    let engine = MpcEngine::new(
-        MpcConfig::semi_honest(p_clients)
-            .with_latency(cfg.latency)
-            .with_seed(cfg.seed)
-            .with_trace(cfg.trace),
-    );
+    let engine = MpcEngine::new(cfg.mpc_config());
     let upper_len = n * (n + 1) / 2;
     // Column share lengths per client (column-major flattening).
     let counts = partition.counts();
     let expected: Vec<usize> = counts.iter().map(|&c| c * m).collect();
 
-    let run = engine.run::<F, Vec<i128>, _>(|ctx| {
+    let run = engine.try_run::<F, Vec<i128>, _>(|ctx| {
         let me = ctx.id;
         // --- quantize my own columns with my private randomness ----------
         ctx.set_phase("quantize");
@@ -318,7 +324,7 @@ fn covariance_impl<F: PrimeField>(
         ctx.set_phase("open");
         let opened = ctx.open(&reduced);
         opened.into_iter().map(|v| v.to_centered_i128()).collect()
-    });
+    })?;
 
     // All parties opened the same values; take party 0's view.
     let opened = &run.outputs[0];
@@ -334,11 +340,11 @@ fn covariance_impl<F: PrimeField>(
             idx += 1;
         }
     }
-    CovarianceOutput {
+    Ok(CovarianceOutput {
         c_hat,
         stats: run.stats,
         trace: run.trace,
-    }
+    })
 }
 
 #[cfg(test)]

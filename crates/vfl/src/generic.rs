@@ -15,7 +15,7 @@ use sqm_core::quantize::{quantize_polynomial, quantize_value};
 use sqm_field::{FieldChoice, PrimeField, M127, M61};
 use sqm_linalg::Matrix;
 use sqm_mpc::circuit::{Circuit, CircuitBuilder, Wire};
-use sqm_mpc::{MpcConfig, MpcEngine, RunStats};
+use sqm_mpc::{MpcEngine, RunStats};
 use sqm_sampling::skellam::sample_skellam;
 
 use crate::partition::ColumnPartition;
@@ -139,12 +139,7 @@ fn eval_impl<F: PrimeField>(
     let amplification = qpoly.amplification();
 
     let circuit = compile::<F>(poly, partition, &coeffs, m);
-    let engine = MpcEngine::new(
-        MpcConfig::semi_honest(p_clients)
-            .with_latency(cfg.latency)
-            .with_seed(cfg.seed)
-            .with_trace(cfg.trace),
-    );
+    let engine = MpcEngine::new(cfg.mpc_config());
 
     let run = engine.run::<F, Vec<i128>, _>(|ctx| {
         let me = ctx.id;

@@ -19,7 +19,7 @@ use rand::SeedableRng;
 use sqm_core::quantize::quantize_vec;
 use sqm_field::{FieldChoice, PrimeField, M127, M61};
 use sqm_linalg::Matrix;
-use sqm_mpc::{MpcConfig, MpcEngine, RunStats};
+use sqm_mpc::{MpcEngine, RunStats};
 use sqm_sampling::rounding::stochastic_round;
 use sqm_sampling::skellam::sample_skellam;
 
@@ -163,12 +163,7 @@ fn gradient_impl<F: PrimeField>(
     let mb = batch.len();
     let p_clients = cfg.n_clients;
     let coeffs = quantize_lr_coeffs(w, gamma, cfg.seed);
-    let engine = MpcEngine::new(
-        MpcConfig::semi_honest(p_clients)
-            .with_latency(cfg.latency)
-            .with_seed(cfg.seed)
-            .with_trace(cfg.trace),
-    );
+    let engine = MpcEngine::new(cfg.mpc_config());
     let counts = partition.counts();
     let expected: Vec<usize> = counts.iter().map(|&c| c * mb).collect();
 

@@ -40,14 +40,21 @@ pub mod mean;
 pub mod partition;
 pub mod session;
 
-pub use covariance::{covariance_skellam, covariance_skellam_chunked, CovarianceOutput};
+pub use covariance::{
+    covariance_skellam, covariance_skellam_chunked, try_covariance_skellam, CovarianceOutput,
+};
 pub use generic::eval_polynomial_skellam;
 pub use gradient::{gradient_sum_skellam, GradientOutput};
 pub use mean::{column_sums_skellam, column_sums_skellam_additive, MeanOutput};
 pub use partition::ColumnPartition;
 pub use session::{ServerView, VflSession};
 
+pub use sqm_mpc::net;
+pub use sqm_mpc::{CrashPoint, FaultSpec, NetBackend, TcpOptions, TransportError};
+
 use std::time::Duration;
+
+use sqm_mpc::MpcConfig;
 
 /// Configuration shared by the VFL protocols.
 #[derive(Clone, Debug)]
@@ -61,6 +68,11 @@ pub struct VflConfig {
     pub seed: u64,
     /// Record structured MPC traces (see `sqm_obs::trace`). Off by default.
     pub trace: bool,
+    /// Party-to-party transport backend (in-process channels by default;
+    /// `NetBackend::Tcp` runs the same protocols over loopback sockets).
+    pub backend: NetBackend,
+    /// Optional deterministic fault injection layered over the backend.
+    pub faults: Option<FaultSpec>,
 }
 
 impl VflConfig {
@@ -70,6 +82,8 @@ impl VflConfig {
             latency: Duration::from_millis(100),
             seed: 7,
             trace: false,
+            backend: NetBackend::InProcess,
+            faults: None,
         }
     }
 
@@ -93,5 +107,27 @@ impl VflConfig {
     pub fn with_trace(mut self, trace: bool) -> Self {
         self.trace = trace;
         self
+    }
+
+    /// Select the transport backend the MPC parties communicate over.
+    pub fn with_backend(mut self, backend: NetBackend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Layer deterministic fault injection over the selected backend.
+    pub fn with_faults(mut self, faults: FaultSpec) -> Self {
+        self.faults = Some(faults);
+        self
+    }
+
+    /// The `MpcConfig` every VFL protocol derives from this configuration.
+    pub fn mpc_config(&self) -> MpcConfig {
+        MpcConfig::semi_honest(self.n_clients)
+            .with_latency(self.latency)
+            .with_seed(self.seed)
+            .with_trace(self.trace)
+            .with_backend(self.backend.clone())
+            .with_faults(self.faults.clone())
     }
 }

@@ -11,7 +11,7 @@ use rand::SeedableRng;
 use sqm_core::quantize::quantize_vec;
 use sqm_field::{FieldChoice, PrimeField, M127, M61};
 use sqm_linalg::Matrix;
-use sqm_mpc::{MpcConfig, MpcEngine, RunStats};
+use sqm_mpc::{MpcEngine, RunStats};
 use sqm_sampling::skellam::sample_skellam;
 
 use crate::partition::ColumnPartition;
@@ -118,12 +118,7 @@ fn additive_impl<F: PrimeField>(
     use sqm_mpc::AdditiveEngine;
     let n = data.cols();
     let p_clients = cfg.n_clients;
-    let engine = AdditiveEngine::new(
-        MpcConfig::semi_honest(p_clients)
-            .with_latency(cfg.latency)
-            .with_seed(cfg.seed)
-            .with_trace(cfg.trace),
-    );
+    let engine = AdditiveEngine::new(cfg.mpc_config());
     let run = engine.run::<F, Vec<i128>, _>(|ctx| {
         let me = ctx.id;
         ctx.set_phase("quantize");
@@ -186,12 +181,7 @@ fn mean_impl<F: PrimeField>(
     let n = data.cols();
     let m = data.rows();
     let p_clients = cfg.n_clients;
-    let engine = MpcEngine::new(
-        MpcConfig::semi_honest(p_clients)
-            .with_latency(cfg.latency)
-            .with_seed(cfg.seed)
-            .with_trace(cfg.trace),
-    );
+    let engine = MpcEngine::new(cfg.mpc_config());
     // Each client only shares its *column sums* — for a linear function the
     // per-record values never need to be shared at all, so the input cost
     // is O(n P^2) rather than O(m n P^2).

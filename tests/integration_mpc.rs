@@ -84,12 +84,10 @@ fn covariance_communication_scales_with_n_squared_not_m() {
 /// total protocol cost grows with n — so the relative DP overhead vanishes.
 #[test]
 fn dp_overhead_is_one_round_regardless_of_dimension() {
-    let cfg = VflConfig {
-        n_clients: 4,
-        latency: Duration::from_millis(100),
-        seed: 3,
-        trace: false,
-    };
+    let cfg = VflConfig::new(4)
+        .with_latency(Duration::from_millis(100))
+        .with_seed(3)
+        .with_trace(false);
     let mut prev_total_bytes = 0u64;
     for n in [6usize, 12, 24] {
         let data = SpectralSpec::new(30, n).with_seed(14).generate();
