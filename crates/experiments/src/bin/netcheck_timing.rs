@@ -114,6 +114,11 @@ fn run_lr(m: usize, n: usize, p: usize, seed: u64) -> Row {
 
 fn main() {
     let opts = parse_options();
+    // This binary exists to compare transports, so always record metrics:
+    // the TCP backend fills per-link send/recv latency histograms
+    // (`net.tcp.{send,recv}_ns.*`) that contextualize the CSV's wall-clock
+    // column, dumped as a snapshot next to it.
+    sqm::obs::metrics::set_enabled(true);
     let (m, n, p) = match opts.scale {
         Scale::Laptop => (100, 20, 4),
         Scale::Paper => (1000, 100, 4),
@@ -151,6 +156,7 @@ fn main() {
     let path = obsout::results_dir().join("netcheck_timing.csv");
     fs::write(&path, csv).expect("writing results/netcheck_timing.csv");
     println!("\nwrote {}", path.display());
+    obsout::dump_metrics("netcheck_timing").expect("writing metrics snapshot");
     println!(
         "Outputs and traffic were asserted identical across backends; the timing gap is\n\
          the uniform-latency charge ({:?} x rounds) the paper's tables are built on.",

@@ -189,7 +189,7 @@ pub mod obsout {
     use serde::Serialize as _;
     use sqm::mpc::RunStats;
     use sqm::obs::trace::Trace;
-    use sqm::obs::{chrome_trace_json, metrics, write_jsonl};
+    use sqm::obs::{chrome_trace_json, html_report, metrics, write_jsonl};
 
     /// The `results/` directory, created on first use.
     pub fn results_dir() -> PathBuf {
@@ -224,6 +224,13 @@ pub mod obsout {
             let chrome_path = dir.join(format!("{name}.chrome.json"));
             fs::write(&chrome_path, chrome_trace_json(trace))?;
             written.push(chrome_path);
+            let html_path = dir.join(format!("{name}.report.html"));
+            let snapshot = metrics::is_enabled().then(metrics::snapshot);
+            fs::write(
+                &html_path,
+                html_report(name, trace, None, snapshot.as_ref()),
+            )?;
+            written.push(html_path);
             println!("[trace {name}]");
             println!("{summary}");
         }

@@ -27,7 +27,7 @@ use sqm_net::TransportError;
 use sqm_obs::metrics;
 use sqm_obs::trace::{PartyRecorder, Trace};
 
-use crate::engine::{install_quiet_abort_hook, select_error, MpcConfig, PartyAbort};
+use crate::engine::{install_quiet_abort_hook, make_recorder, select_error, MpcConfig, PartyAbort};
 use crate::stats::{merge, PartyStats, RunStats};
 
 /// One party's additive shares of a Beaver triple `(a, b, c = a*b)`.
@@ -100,7 +100,7 @@ impl AdditiveEngine {
                             dealer_rng: StdRng::seed_from_u64(config.seed ^ 0x00DE_A1E4),
                             endpoint,
                             stats: PartyStats::default(),
-                            recorder: config.trace.then(|| PartyRecorder::new(id, config.latency)),
+                            recorder: make_recorder(&config, id),
                             phase: "default".to_string(),
                             phase_started: Instant::now(),
                         };
@@ -187,6 +187,7 @@ impl<F: PrimeField> AdditiveCtx<F> {
     }
 
     fn exchange(&mut self, outgoing: Vec<Vec<F>>) -> Vec<Vec<F>> {
+        let round_started = metrics::is_enabled().then(Instant::now);
         let outcome = match self.endpoint.exchange(outgoing) {
             Ok(outcome) => outcome,
             Err(e) => std::panic::panic_any(PartyAbort(e)),
@@ -200,7 +201,8 @@ impl<F: PrimeField> AdditiveCtx<F> {
                 rec.record_net_event(event);
             }
         }
-        if metrics::is_enabled() {
+        if let Some(t0) = round_started {
+            metrics::histogram_record("mpc.round_wall_ns", t0.elapsed().as_nanos() as f64);
             metrics::counter_add("mpc.party_rounds", 1);
             metrics::counter_add("mpc.messages", messages);
             metrics::counter_add("mpc.bytes", bytes);

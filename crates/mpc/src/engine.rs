@@ -45,6 +45,11 @@ pub struct MpcConfig {
     /// records on the simulated clock). Off by default; the accounting in
     /// [`RunStats`] is always on.
     pub trace: bool,
+    /// Per-party bound on trace detail records (spans + rounds + net
+    /// events). `None` uses [`sqm_obs::trace::DEFAULT_EVENT_CAP`]. Dropped
+    /// detail is counted (`PartyTrace::dropped_events`, metric
+    /// `obs.trace.dropped_events`); trace summaries stay exact regardless.
+    pub trace_event_cap: Option<usize>,
     /// Transport backend the parties communicate over. The protocol is
     /// backend-agnostic; message/byte counts are identical across backends.
     pub backend: NetBackend,
@@ -73,6 +78,7 @@ impl MpcConfig {
             latency: Duration::from_millis(100),
             seed: 0x5153_4D00, // "SQM"
             trace: false,
+            trace_event_cap: None,
             backend: NetBackend::InProcess,
             faults: None,
         }
@@ -93,6 +99,13 @@ impl MpcConfig {
     /// Turn structured trace recording on or off.
     pub fn with_trace(mut self, trace: bool) -> Self {
         self.trace = trace;
+        self
+    }
+
+    /// Bound the trace detail kept per party (see
+    /// [`MpcConfig::trace_event_cap`]).
+    pub fn with_trace_event_cap(mut self, cap: usize) -> Self {
+        self.trace_event_cap = Some(cap);
         self
     }
 
@@ -179,6 +192,17 @@ pub(crate) fn select_error(errors: Vec<TransportError>) -> TransportError {
         .expect("select_error called with no errors")
 }
 
+/// Build one party's trace recorder per the config (trace flag + event cap).
+pub(crate) fn make_recorder(config: &MpcConfig, id: usize) -> Option<PartyRecorder> {
+    config.trace.then(|| {
+        let rec = PartyRecorder::new(id, config.latency);
+        match config.trace_event_cap {
+            Some(cap) => rec.with_event_cap(cap),
+            None => rec,
+        }
+    })
+}
+
 impl MpcEngine {
     pub fn new(config: MpcConfig) -> Self {
         config.validate();
@@ -254,7 +278,7 @@ impl MpcEngine {
                             ),
                             endpoint,
                             stats: PartyStats::default(),
-                            recorder: config.trace.then(|| PartyRecorder::new(id, config.latency)),
+                            recorder: make_recorder(&config, id),
                             lagrange_all: lagrange,
                             phase: "default".to_string(),
                             phase_started: Instant::now(),
@@ -287,11 +311,22 @@ impl MpcEngine {
         let mut stats = Vec::with_capacity(n);
         let mut party_traces = Vec::with_capacity(n);
         let mut errors = Vec::new();
-        for result in results {
+        for (party, result) in results.into_iter().enumerate() {
             match result {
                 Ok((out, ps, pt)) => {
                     if metrics::is_enabled() {
                         metrics::histogram_record("mpc.bytes_per_party", ps.total.bytes as f64);
+                        // Last-run-wins per-party gauges: the traffic each
+                        // party shipped, readable from a metrics snapshot
+                        // without parsing the trace.
+                        metrics::gauge_set(
+                            &format!("mpc.party.{party}.bytes_sent"),
+                            ps.total.bytes as f64,
+                        );
+                        metrics::gauge_set(
+                            &format!("mpc.party.{party}.messages_sent"),
+                            ps.total.messages as f64,
+                        );
                     }
                     outputs.push(out);
                     stats.push(ps);
@@ -362,6 +397,11 @@ impl<F: PrimeField> PartyCtx<F> {
     }
 
     fn exchange(&mut self, outgoing: Vec<Vec<F>>) -> Vec<Vec<F>> {
+        // Scoped round timer: when metrics are on, the wall time of every
+        // synchronous exchange lands in the `mpc.round_wall_ns` histogram
+        // (the per-round half of the virtual-clock model; the latency half
+        // is `rounds * latency` by construction).
+        let round_started = metrics::is_enabled().then(Instant::now);
         let outcome = match self.endpoint.exchange(outgoing) {
             Ok(outcome) => outcome,
             // Unwind out of the SPMD program with the typed error; the
@@ -377,7 +417,8 @@ impl<F: PrimeField> PartyCtx<F> {
                 rec.record_net_event(event);
             }
         }
-        if metrics::is_enabled() {
+        if let Some(t0) = round_started {
+            metrics::histogram_record("mpc.round_wall_ns", t0.elapsed().as_nanos() as f64);
             metrics::counter_add("mpc.party_rounds", 1);
             metrics::counter_add("mpc.messages", messages);
             metrics::counter_add("mpc.bytes", bytes);
@@ -955,6 +996,7 @@ mod tests {
             latency: Duration::ZERO,
             seed: 0,
             trace: false,
+            trace_event_cap: None,
             backend: NetBackend::InProcess,
             faults: None,
         });
@@ -1095,6 +1137,39 @@ mod tests {
             trace.parties.iter().map(|p| p.rounds.len()).sum::<usize>() as u64,
             4 * run.stats.total.rounds
         );
+    }
+
+    #[test]
+    fn capped_trace_still_reproduces_simulated_time_exactly() {
+        // A cap of 2 detail events per party drops most spans/rounds, but
+        // the per-phase totals keep the merged summary exact.
+        let cfg = MpcConfig::semi_honest(4)
+            .with_latency(Duration::from_millis(50))
+            .with_trace(true)
+            .with_trace_event_cap(2);
+        let run = MpcEngine::new(cfg).run::<M61, _, _>(|ctx| {
+            ctx.set_phase("input");
+            let x = ctx.share_input(
+                0,
+                (ctx.id == 0).then(|| vec![M61::from_u64(5); 3]).as_deref(),
+                3,
+            );
+            ctx.set_phase("mul");
+            let y = ctx.mul(&x, &x);
+            let y = ctx.mul(&y, &x);
+            ctx.set_phase("open");
+            ctx.open(&y)
+        });
+        let trace = run.trace.expect("trace requested");
+        assert!(trace.dropped_events() > 0, "cap of 2 must drop detail");
+        let summary = trace.summary();
+        assert_eq!(summary.total_simulated(), run.stats.simulated_time());
+        assert_eq!(summary.total.rounds, run.stats.total.rounds);
+        assert_eq!(summary.total.messages, run.stats.total.messages);
+        assert_eq!(summary.total.bytes, run.stats.total.bytes);
+        for pt in &trace.parties {
+            assert!(pt.spans.len() + pt.rounds.len() + pt.net_events.len() <= 2);
+        }
     }
 
     #[test]

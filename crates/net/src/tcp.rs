@@ -34,7 +34,7 @@
 use std::io::{ErrorKind, Read, Write};
 use std::marker::PhantomData;
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use bytes::Bytes;
 use sqm_field::PrimeField;
@@ -336,12 +336,23 @@ impl<F: PrimeField> Transport<F> for TcpEndpoint<F> {
 
         let writers = &mut self.writers;
         let readers = &mut self.readers;
+        // Per-link latency histograms are priced at one `is_enabled` load
+        // per exchange, not per frame; the timing itself only runs when the
+        // registry is on.
+        let timing = metrics::is_enabled();
         let (write_result, read_result) = std::thread::scope(|s| {
             let writer = s.spawn(move || -> Result<(), TransportError> {
                 for (j, frame) in frames.iter().enumerate() {
                     let Some(frame) = frame else { continue };
                     let stream = writers[j].as_mut().expect("writer socket present");
+                    let t0 = timing.then(Instant::now);
                     write_frame(stream, frame.as_ref(), j, round)?;
+                    if let Some(t0) = t0 {
+                        metrics::histogram_record(
+                            &format!("net.tcp.send_ns.p{id}_to_p{j}"),
+                            t0.elapsed().as_nanos() as f64,
+                        );
+                    }
                 }
                 Ok(())
             });
@@ -351,7 +362,14 @@ impl<F: PrimeField> Transport<F> for TcpEndpoint<F> {
                     let Some(stream) = reader.as_mut() else {
                         continue;
                     };
+                    let t0 = timing.then(Instant::now);
                     let frame = read_frame(stream, i, round, read_timeout)?;
+                    if let Some(t0) = t0 {
+                        metrics::histogram_record(
+                            &format!("net.tcp.recv_ns.p{i}_to_p{id}"),
+                            t0.elapsed().as_nanos() as f64,
+                        );
+                    }
                     incoming[i] =
                         wire::decode::<F>(frame).map_err(|source| TransportError::Wire {
                             party: i,
@@ -494,6 +512,44 @@ mod tests {
         }
         // Keep party 1's endpoint alive until after the timeout fired.
         drop(silent);
+    }
+
+    #[test]
+    fn per_link_latency_histograms_recorded_when_metrics_on() {
+        let mut eps = tcp_mesh::<M61>(2, &TcpOptions::default()).unwrap();
+        metrics::set_enabled(true);
+        thread::scope(|s| {
+            for ep in eps.iter_mut() {
+                s.spawn(move || {
+                    let id = Transport::<M61>::id(ep);
+                    let out: Vec<Vec<M61>> = (0..2)
+                        .map(|j| {
+                            if j == id {
+                                vec![]
+                            } else {
+                                vec![M61::from_u64(7); 3]
+                            }
+                        })
+                        .collect();
+                    ep.exchange(out).unwrap();
+                });
+            }
+        });
+        metrics::set_enabled(false);
+        let snap = metrics::snapshot();
+        for name in [
+            "net.tcp.send_ns.p0_to_p1",
+            "net.tcp.send_ns.p1_to_p0",
+            "net.tcp.recv_ns.p0_to_p1",
+            "net.tcp.recv_ns.p1_to_p0",
+        ] {
+            let h = snap
+                .histograms
+                .get(name)
+                .unwrap_or_else(|| panic!("missing histogram {name}"));
+            assert!(h.count >= 1, "{name} recorded no samples");
+            assert!(h.min >= 0.0);
+        }
     }
 
     #[test]

@@ -18,6 +18,8 @@ use std::time::Duration;
 
 use serde::json;
 
+use crate::ledger::LedgerReport;
+use crate::metrics::MetricsSnapshot;
 use crate::trace::Trace;
 
 fn secs(d: Duration) -> f64 {
@@ -33,7 +35,11 @@ pub fn write_jsonl<W: Write>(trace: &Trace, w: &mut W) -> io::Result<()> {
     let mut line = String::new();
     line.push_str("{\"type\":\"meta\",\"latency_s\":");
     json::write_f64(&mut line, secs(trace.latency));
-    line.push_str(&format!(",\"parties\":{}}}", trace.parties.len()));
+    line.push_str(&format!(
+        ",\"parties\":{},\"dropped_events\":{}}}",
+        trace.parties.len(),
+        trace.dropped_events()
+    ));
     writeln!(w, "{line}")?;
 
     for pt in &trace.parties {
@@ -142,6 +148,294 @@ pub fn write_chrome_trace<W: Write>(trace: &Trace, w: &mut W) -> io::Result<()> 
     w.write_all(chrome_trace_json(trace).as_bytes())
 }
 
+// ---------------------------------------------------------------------------
+// Self-contained HTML report
+// ---------------------------------------------------------------------------
+
+fn html_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Stable phase → color assignment (FNV-1a hash into a hue), so the same
+/// phase gets the same color across reports and report regenerations.
+fn phase_color(phase: &str) -> String {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in phase.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    format!("hsl({},62%,52%)", h % 360)
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let s = d.as_secs_f64();
+    if s >= 1.0 {
+        format!("{s:.2} s")
+    } else if s >= 1e-3 {
+        format!("{:.2} ms", s * 1e3)
+    } else {
+        format!("{:.1} µs", s * 1e6)
+    }
+}
+
+fn fmt_bytes(b: u64) -> String {
+    if b >= 1024 * 1024 {
+        format!("{:.2} MiB", b as f64 / (1024.0 * 1024.0))
+    } else if b >= 1024 {
+        format!("{:.1} KiB", b as f64 / 1024.0)
+    } else {
+        format!("{b} B")
+    }
+}
+
+/// Render a run as a single self-contained HTML page: a per-party phase
+/// waterfall on the simulated clock (inline SVG), the per-phase summary
+/// table, a per-party message/byte table, and — when provided — the
+/// privacy-ledger and metrics-registry summaries. No external scripts,
+/// stylesheets, fonts, or network access of any kind: the file renders
+/// offline in any browser.
+pub fn html_report(
+    title: &str,
+    trace: &Trace,
+    ledger: Option<&LedgerReport>,
+    metrics: Option<&MetricsSnapshot>,
+) -> String {
+    let summary = trace.summary();
+    let mut out = String::with_capacity(16 * 1024);
+    out.push_str("<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\">\n<title>");
+    out.push_str(&html_escape(title));
+    out.push_str("</title>\n<style>\n");
+    out.push_str(
+        "body{font-family:system-ui,sans-serif;margin:2em auto;max-width:64em;color:#1a1a2e}\n\
+         h1{font-size:1.4em}h2{font-size:1.1em;margin-top:2em;border-bottom:1px solid #ccd}\n\
+         table{border-collapse:collapse;margin:0.8em 0}\n\
+         th,td{border:1px solid #ccd;padding:0.25em 0.7em;text-align:right;font-variant-numeric:tabular-nums}\n\
+         th{background:#eef;font-weight:600}td.l,th.l{text-align:left}\n\
+         .chip{display:inline-block;width:0.8em;height:0.8em;border-radius:2px;margin-right:0.4em;vertical-align:-0.05em}\n\
+         .warn{background:#fff3cd;border:1px solid #e0c96a;padding:0.5em 0.8em;border-radius:4px}\n\
+         .meta{color:#556}\n",
+    );
+    out.push_str("</style></head><body>\n<h1>");
+    out.push_str(&html_escape(title));
+    out.push_str("</h1>\n<p class=\"meta\">");
+    out.push_str(&format!(
+        "{} parties · {} per hop · total simulated {} · {} messages · {}",
+        trace.parties.len(),
+        fmt_duration(trace.latency),
+        fmt_duration(summary.total.simulated),
+        summary.total.messages,
+        fmt_bytes(summary.total.bytes),
+    ));
+    out.push_str("</p>\n");
+    if trace.dropped_events() > 0 {
+        out.push_str(&format!(
+            "<p class=\"warn\">{} detail event(s) were dropped under the trace event cap; \
+             the waterfall below is truncated, but every table is computed from exact \
+             per-phase totals.</p>\n",
+            trace.dropped_events()
+        ));
+    }
+
+    // --- phase waterfall (SVG) ---------------------------------------
+    out.push_str("<h2>Phase waterfall (simulated clock)</h2>\n");
+    let horizon = trace
+        .parties
+        .iter()
+        .flat_map(|p| p.spans.iter().map(|s| s.start + s.duration))
+        .max()
+        .unwrap_or_default()
+        .as_secs_f64()
+        .max(1e-9);
+    const W: f64 = 880.0;
+    const ROW: f64 = 26.0;
+    const LEFT: f64 = 70.0;
+    let height = ROW * trace.parties.len() as f64 + 24.0;
+    out.push_str(&format!(
+        "<svg width=\"{}\" height=\"{height}\" role=\"img\">\n",
+        W + LEFT + 10.0
+    ));
+    for (row, pt) in trace.parties.iter().enumerate() {
+        let y = row as f64 * ROW + 4.0;
+        out.push_str(&format!(
+            "<text x=\"0\" y=\"{:.1}\" font-size=\"12\">party {}</text>\n",
+            y + 14.0,
+            pt.party
+        ));
+        for s in &pt.spans {
+            let x = LEFT + W * s.start.as_secs_f64() / horizon;
+            let w = (W * s.duration.as_secs_f64() / horizon).max(0.5);
+            out.push_str(&format!(
+                "<rect x=\"{x:.2}\" y=\"{y:.1}\" width=\"{w:.2}\" height=\"{:.1}\" fill=\"{}\">\
+                 <title>{}: {} (wall {}, {} rounds, {} msgs, {})</title></rect>\n",
+                ROW - 6.0,
+                phase_color(&s.phase),
+                html_escape(&s.phase),
+                fmt_duration(s.duration),
+                fmt_duration(s.wall),
+                s.rounds,
+                s.messages,
+                fmt_bytes(s.bytes),
+            ));
+        }
+    }
+    // Time axis.
+    let axis_y = ROW * trace.parties.len() as f64 + 8.0;
+    out.push_str(&format!(
+        "<line x1=\"{LEFT}\" y1=\"{axis_y:.1}\" x2=\"{:.1}\" y2=\"{axis_y:.1}\" stroke=\"#889\"/>\n\
+         <text x=\"{LEFT}\" y=\"{:.1}\" font-size=\"11\">0</text>\n\
+         <text x=\"{:.1}\" y=\"{:.1}\" font-size=\"11\" text-anchor=\"end\">{}</text>\n",
+        LEFT + W,
+        axis_y + 12.0,
+        LEFT + W,
+        axis_y + 12.0,
+        fmt_duration(Duration::from_secs_f64(horizon)),
+    ));
+    out.push_str("</svg>\n<p>");
+    for row in &summary.phases {
+        out.push_str(&format!(
+            "<span class=\"chip\" style=\"background:{}\"></span>{}&nbsp;&nbsp;",
+            phase_color(&row.name),
+            html_escape(&row.name)
+        ));
+    }
+    out.push_str("</p>\n");
+
+    // --- per-phase summary table -------------------------------------
+    out.push_str(
+        "<h2>Per-phase summary</h2>\n<table>\n<tr><th class=\"l\">phase</th><th>rounds</th>\
+         <th>messages</th><th>bytes</th><th>wall</th><th>simulated</th></tr>\n",
+    );
+    for row in summary.phases.iter().chain(std::iter::once(&summary.total)) {
+        out.push_str(&format!(
+            "<tr><td class=\"l\">{}</td><td>{}</td><td>{}</td><td>{}</td><td>{}</td><td>{}</td></tr>\n",
+            html_escape(&row.name),
+            row.rounds,
+            row.messages,
+            fmt_bytes(row.bytes),
+            fmt_duration(row.wall),
+            fmt_duration(row.simulated),
+        ));
+    }
+    out.push_str("</table>\n");
+
+    // --- per-party table ----------------------------------------------
+    out.push_str(
+        "<h2>Per-party traffic</h2>\n<table>\n<tr><th class=\"l\">party</th><th>rounds</th>\
+         <th>messages</th><th>bytes</th><th>wall</th><th>net events</th><th>dropped</th></tr>\n",
+    );
+    for pt in &trace.parties {
+        let (mut rounds, mut messages, mut bytes) = (0u64, 0u64, 0u64);
+        let mut wall = Duration::ZERO;
+        for t in &pt.phase_totals {
+            rounds += t.rounds;
+            messages += t.messages;
+            bytes += t.bytes;
+            wall += t.wall;
+        }
+        out.push_str(&format!(
+            "<tr><td class=\"l\">party {}</td><td>{rounds}</td><td>{messages}</td>\
+             <td>{}</td><td>{}</td><td>{}</td><td>{}</td></tr>\n",
+            pt.party,
+            fmt_bytes(bytes),
+            fmt_duration(wall),
+            pt.net_events.len(),
+            pt.dropped_events,
+        ));
+    }
+    out.push_str("</table>\n");
+
+    // --- privacy ledger -----------------------------------------------
+    if let Some(report) = ledger {
+        out.push_str(&format!(
+            "<h2>Privacy ledger</h2>\n<p class=\"meta\">{} release(s), P = {}, δ = {:.1e} — \
+             composed ε: server {:.4}, client {:.4}</p>\n",
+            report.releases,
+            report.n_clients,
+            report.delta,
+            report.server_epsilon_total,
+            report.client_epsilon_total,
+        ));
+        out.push_str(
+            "<table>\n<tr><th class=\"l\">kind</th><th>dims</th><th>γ</th><th>μ</th>\
+             <th>Δ₂</th><th>ε (server)</th><th>ε (client)</th></tr>\n",
+        );
+        for e in &report.entries {
+            out.push_str(&format!(
+                "<tr><td class=\"l\">{}</td><td>{}</td><td>{:.1}</td><td>{:.3e}</td>\
+                 <td>{:.3e}</td><td>{:.4}</td><td>{:.4}</td></tr>\n",
+                html_escape(&e.kind),
+                e.dims,
+                e.gamma,
+                e.mu,
+                e.sensitivity_l2,
+                e.server_epsilon,
+                e.client_epsilon,
+            ));
+        }
+        out.push_str("</table>\n");
+    }
+
+    // --- metrics snapshot ----------------------------------------------
+    if let Some(snap) = metrics {
+        if !snap.counters.is_empty() {
+            out.push_str(
+                "<h2>Counters</h2>\n<table>\n<tr><th class=\"l\">counter</th><th>value</th></tr>\n",
+            );
+            for (name, v) in &snap.counters {
+                out.push_str(&format!(
+                    "<tr><td class=\"l\">{}</td><td>{v}</td></tr>\n",
+                    html_escape(name)
+                ));
+            }
+            out.push_str("</table>\n");
+        }
+        if !snap.histograms.is_empty() {
+            out.push_str(
+                "<h2>Histograms</h2>\n<table>\n<tr><th class=\"l\">histogram</th><th>count</th>\
+                 <th>mean</th><th>p50</th><th>p95</th><th>p99</th><th>max</th></tr>\n",
+            );
+            for (name, h) in &snap.histograms {
+                out.push_str(&format!(
+                    "<tr><td class=\"l\">{}</td><td>{}</td><td>{:.1}</td><td>{:.1}</td>\
+                     <td>{:.1}</td><td>{:.1}</td><td>{:.1}</td></tr>\n",
+                    html_escape(name),
+                    h.count,
+                    h.mean,
+                    h.p50,
+                    h.p95,
+                    h.p99,
+                    h.max,
+                ));
+            }
+            out.push_str("</table>\n");
+        }
+    }
+
+    out.push_str("</body></html>\n");
+    out
+}
+
+/// Write [`html_report`] to a writer.
+pub fn write_html_report<W: Write>(
+    title: &str,
+    trace: &Trace,
+    ledger: Option<&LedgerReport>,
+    metrics: Option<&MetricsSnapshot>,
+    w: &mut W,
+) -> io::Result<()> {
+    w.write_all(html_report(title, trace, ledger, metrics).as_bytes())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -229,5 +523,57 @@ mod tests {
         let mut buf = Vec::new();
         write_chrome_trace(&t, &mut buf).unwrap();
         assert_eq!(String::from_utf8(buf).unwrap(), chrome_trace_json(&t));
+    }
+
+    #[test]
+    fn html_report_is_self_contained_and_renders_all_sections() {
+        let trace = sample_trace();
+        let html = html_report("covariance run", &trace, None, None);
+        assert!(html.starts_with("<!DOCTYPE html>"));
+        assert!(html.contains("<svg") && html.contains("</svg>"));
+        // Waterfall: one rect per span (2 parties * 2 spans).
+        assert_eq!(html.matches("<rect").count(), 4);
+        // Per-phase summary and per-party table are present.
+        assert!(html.contains("Per-phase summary"));
+        assert!(html.contains("Per-party traffic"));
+        assert!(html.contains("party 0") && html.contains("party 1"));
+        assert!(html.contains("input") && html.contains("open"));
+        // Self-contained: no external fetches of any kind.
+        assert!(!html.contains("http://") && !html.contains("https://"));
+        assert!(!html.contains("<script") && !html.contains("<link"));
+    }
+
+    #[test]
+    fn html_report_includes_ledger_and_metrics_when_given() {
+        use crate::ledger::PrivacyLedger;
+        let mut ledger = PrivacyLedger::new(4, 1e-5);
+        ledger.record(
+            "covariance",
+            16,
+            18.0,
+            1e6,
+            sqm_accounting::skellam::Sensitivity::from_l2_for_dim(330.0, 16),
+        );
+        let report = ledger.report();
+        let mut snap = crate::metrics::MetricsSnapshot::default();
+        snap.counters.insert("mpc.rounds".to_string(), 7);
+        let html = html_report("with ledger", &sample_trace(), Some(&report), Some(&snap));
+        assert!(html.contains("Privacy ledger"));
+        assert!(html.contains("covariance"));
+        assert!(html.contains("Counters"));
+        assert!(html.contains("mpc.rounds"));
+    }
+
+    #[test]
+    fn html_escapes_hostile_phase_names() {
+        let latency = Duration::from_millis(1);
+        let mut r = PartyRecorder::new(0, latency);
+        r.set_phase("<script>alert(1)</script>");
+        r.record_round(1, 8);
+        r.flush_phase(Duration::from_millis(1));
+        let trace = Trace::from_parties(latency, vec![r.finish()]);
+        let html = html_report("x & <y>", &trace, None, None);
+        assert!(!html.contains("<script>alert"));
+        assert!(html.contains("&lt;script&gt;"));
     }
 }

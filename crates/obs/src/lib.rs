@@ -33,8 +33,10 @@ pub mod ledger;
 pub mod metrics;
 pub mod trace;
 
-pub use export::{chrome_trace_json, write_chrome_trace, write_jsonl};
+pub use export::{
+    chrome_trace_json, html_report, write_chrome_trace, write_html_report, write_jsonl,
+};
 pub use ledger::{LedgerEntry, LedgerReport, PrivacyLedger};
 pub use trace::{
-    NetEvent, PartyRecorder, PartyTrace, RoundRecord, SpanRecord, Trace, TraceSummary,
+    NetEvent, PartyRecorder, PartyTrace, PhaseTotal, RoundRecord, SpanRecord, Trace, TraceSummary,
 };

@@ -79,9 +79,16 @@ pub fn gauge_set(name: &str, value: f64) {
         .insert(name.to_string(), value);
 }
 
-/// Record one observation into the histogram `name`.
+/// Record one observation into the histogram `name`. Non-finite values
+/// (NaN, ±∞) cannot be ranked into quantiles; they are discarded and
+/// counted under `obs.metrics.non_finite_dropped` instead of poisoning the
+/// summary.
 pub fn histogram_record(name: &str, value: f64) {
     if !is_enabled() {
+        return;
+    }
+    if !value.is_finite() {
+        counter_add("obs.metrics.non_finite_dropped", 1);
         return;
     }
     let mut reg = registry().lock().unwrap();
@@ -107,7 +114,13 @@ pub fn reset() {
 }
 
 /// Aggregated view of one histogram.
-#[derive(Clone, Debug, Serialize)]
+///
+/// `count`/`sum`/`min`/`max`/`mean` are exact over every recorded
+/// observation. Quantiles are computed from the first [`HISTOGRAM_CAP`]
+/// raw samples; when observations beyond the cap were discarded,
+/// `samples_dropped` reports how many, so a consumer can see that the
+/// quantiles cover a prefix rather than silently trusting a biased p95.
+#[derive(Clone, Debug, Default, Serialize)]
 pub struct HistogramSummary {
     pub count: u64,
     pub sum: f64,
@@ -116,7 +129,42 @@ pub struct HistogramSummary {
     pub mean: f64,
     pub p50: f64,
     pub p90: f64,
+    pub p95: f64,
     pub p99: f64,
+    /// Observations not retained as raw samples (quantiles are estimated
+    /// from the retained prefix when this is non-zero).
+    pub samples_dropped: u64,
+}
+
+/// Summarize one histogram. An empty histogram (possible when a consumer
+/// pre-registers a name, or when every observation was non-finite) yields
+/// an all-zero summary — never NaN, which would serialize as `null` and
+/// break downstream arithmetic.
+fn summarize(h: &Histogram) -> HistogramSummary {
+    if h.count == 0 {
+        return HistogramSummary::default();
+    }
+    let mut sorted = h.samples.clone();
+    sorted.sort_by(f64::total_cmp);
+    let q = |p: f64| -> f64 {
+        if sorted.is_empty() {
+            return 0.0;
+        }
+        let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+        sorted[idx]
+    };
+    HistogramSummary {
+        count: h.count,
+        sum: h.sum,
+        min: h.min,
+        max: h.max,
+        mean: h.sum / h.count as f64,
+        p50: q(0.50),
+        p90: q(0.90),
+        p95: q(0.95),
+        p99: q(0.99),
+        samples_dropped: h.count - h.samples.len() as u64,
+    }
 }
 
 /// A point-in-time copy of the whole registry, ready for JSON export.
@@ -133,36 +181,23 @@ pub fn snapshot() -> MetricsSnapshot {
     let histograms = reg
         .histograms
         .iter()
-        .map(|(name, h)| {
-            let mut sorted = h.samples.clone();
-            sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN histogram sample"));
-            let q = |p: f64| -> f64 {
-                if sorted.is_empty() {
-                    return f64::NAN;
-                }
-                let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
-                sorted[idx]
-            };
-            (
-                name.clone(),
-                HistogramSummary {
-                    count: h.count,
-                    sum: h.sum,
-                    min: h.min,
-                    max: h.max,
-                    mean: h.sum / h.count.max(1) as f64,
-                    p50: q(0.50),
-                    p90: q(0.90),
-                    p99: q(0.99),
-                },
-            )
-        })
+        .map(|(name, h)| (name.clone(), summarize(h)))
         .collect();
     MetricsSnapshot {
         counters: reg.counters.clone(),
         gauges: reg.gauges.clone(),
         histograms,
     }
+}
+
+/// Peak resident-set size of this process in bytes (`VmHWM` from
+/// `/proc/self/status`). `None` on platforms without procfs — callers
+/// should treat that as "unknown", not zero.
+pub fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb * 1024)
 }
 
 #[cfg(test)]
@@ -209,5 +244,52 @@ mod tests {
 
         reset();
         assert!(snapshot().counters.is_empty());
+
+        // --- histogram edge cases (same test fn: registry is global) ---
+
+        // Empty histogram: all-zero summary, no NaN, no panic.
+        let empty = summarize(&Histogram::default());
+        assert_eq!(empty.count, 0);
+        assert_eq!(empty.p95, 0.0);
+        assert!(!empty.mean.is_nan() && !empty.p50.is_nan());
+        assert_eq!(empty.samples_dropped, 0);
+
+        // Non-finite observations are dropped and counted, not stored.
+        set_enabled(true);
+        histogram_record("t.nan", f64::NAN);
+        histogram_record("t.nan", f64::INFINITY);
+        histogram_record("t.nan", 1.0);
+        let snap = snapshot();
+        assert_eq!(snap.counters["obs.metrics.non_finite_dropped"], 2);
+        assert_eq!(snap.histograms["t.nan"].count, 1);
+        assert_eq!(snap.histograms["t.nan"].p99, 1.0);
+
+        // Over-cap: count/sum/min/max stay exact, samples_dropped reports
+        // how many observations the quantiles do not cover.
+        reset();
+        let n = HISTOGRAM_CAP as u64 + 100;
+        for v in 0..n {
+            histogram_record("t.big", v as f64);
+        }
+        let snap = snapshot();
+        let h = &snap.histograms["t.big"];
+        assert_eq!(h.count, n);
+        assert_eq!(h.max, (n - 1) as f64);
+        assert_eq!(h.samples_dropped, 100);
+        // p95 is computed over the retained prefix only; the summary says so.
+        assert!(h.p95 <= HISTOGRAM_CAP as f64);
+
+        set_enabled(false);
+        reset();
+    }
+
+    #[test]
+    fn peak_rss_is_plausible_on_linux() {
+        if let Some(rss) = peak_rss_bytes() {
+            // A running test binary occupies at least a page and (sanity)
+            // less than a terabyte.
+            assert!(rss > 4096, "peak RSS {rss} implausibly small");
+            assert!(rss < (1u64 << 40), "peak RSS {rss} implausibly large");
+        }
     }
 }

@@ -79,6 +79,30 @@ pub struct NetEvent {
     pub value: f64,
 }
 
+/// Exact per-phase aggregate a party maintains alongside its detail
+/// records. Unlike the span/round vectors, phase totals are bounded by the
+/// number of distinct phase names, so they survive the event cap intact —
+/// [`Trace::summary`] is computed from these and stays exact no matter how
+/// many detail events were dropped.
+#[derive(Clone, Debug, Default, Serialize)]
+pub struct PhaseTotal {
+    pub phase: String,
+    /// Communication rounds this party spent in the phase.
+    pub rounds: u64,
+    /// Messages this party sent in the phase.
+    pub messages: u64,
+    /// Payload bytes this party sent in the phase.
+    pub bytes: u64,
+    /// Wall time this party measured in the phase (sum over visits).
+    pub wall: Duration,
+}
+
+/// Default bound on detail records (spans + rounds + net events) kept per
+/// party. Long epoch loops (e.g. the `sqm-perf` suite) can emit millions of
+/// per-round records; beyond the cap they are counted, not stored, and the
+/// per-phase aggregates keep the summary exact.
+pub const DEFAULT_EVENT_CAP: usize = 1 << 20;
+
 /// Per-party-thread recorder. Owned by exactly one thread; all methods are
 /// plain mutations (lock-free by construction, like `PartyStats`).
 #[derive(Debug)]
@@ -92,14 +116,19 @@ pub struct PartyRecorder {
     open_messages: u64,
     open_bytes: u64,
     round_index: u64,
+    /// Bound on `spans.len() + rounds.len() + net_events.len()`.
+    event_cap: usize,
+    /// Detail records discarded because the cap was reached.
+    dropped_events: u64,
     spans: Vec<SpanRecord>,
     rounds: Vec<RoundRecord>,
     net_events: Vec<NetEvent>,
+    phase_totals: BTreeMap<String, PhaseTotal>,
 }
 
 impl PartyRecorder {
     /// A fresh recorder positioned at simulated time zero in the engine's
-    /// initial `"default"` phase.
+    /// initial `"default"` phase, with the [`DEFAULT_EVENT_CAP`].
     pub fn new(party: usize, latency: Duration) -> Self {
         PartyRecorder {
             party,
@@ -110,21 +139,42 @@ impl PartyRecorder {
             open_messages: 0,
             open_bytes: 0,
             round_index: 0,
+            event_cap: DEFAULT_EVENT_CAP,
+            dropped_events: 0,
             spans: Vec::new(),
             rounds: Vec::new(),
             net_events: Vec::new(),
+            phase_totals: BTreeMap::new(),
         }
+    }
+
+    /// Bound the number of detail records (spans, rounds, net events) this
+    /// recorder keeps. Once the cap is reached further detail is dropped and
+    /// counted ([`PartyTrace::dropped_events`], metrics counter
+    /// `obs.trace.dropped_events`); phase totals — and with them the exact
+    /// summary — are unaffected.
+    pub fn with_event_cap(mut self, cap: usize) -> Self {
+        self.event_cap = cap;
+        self
+    }
+
+    fn stored_events(&self) -> usize {
+        self.spans.len() + self.rounds.len() + self.net_events.len()
     }
 
     /// Record one exchange charged to the current phase.
     pub fn record_round(&mut self, messages: u64, bytes: u64) {
-        self.rounds.push(RoundRecord {
-            party: self.party,
-            phase: self.phase.clone(),
-            index: self.round_index,
-            messages,
-            bytes,
-        });
+        if self.stored_events() < self.event_cap {
+            self.rounds.push(RoundRecord {
+                party: self.party,
+                phase: self.phase.clone(),
+                index: self.round_index,
+                messages,
+                bytes,
+            });
+        } else {
+            self.dropped_events += 1;
+        }
         self.round_index += 1;
         self.open_rounds += 1;
         self.open_messages += messages;
@@ -136,17 +186,32 @@ impl PartyRecorder {
     /// that is what makes the summary exact.
     pub fn flush_phase(&mut self, wall: Duration) {
         let duration = wall + self.latency * self.open_rounds as u32;
-        self.spans.push(SpanRecord {
-            party: self.party,
-            phase: self.phase.clone(),
-            seq: self.spans.len(),
-            start: self.clock,
-            duration,
-            wall,
-            rounds: self.open_rounds,
-            messages: self.open_messages,
-            bytes: self.open_bytes,
-        });
+        let total = self
+            .phase_totals
+            .entry(self.phase.clone())
+            .or_insert_with(|| PhaseTotal {
+                phase: self.phase.clone(),
+                ..PhaseTotal::default()
+            });
+        total.rounds += self.open_rounds;
+        total.messages += self.open_messages;
+        total.bytes += self.open_bytes;
+        total.wall += wall;
+        if self.stored_events() < self.event_cap {
+            self.spans.push(SpanRecord {
+                party: self.party,
+                phase: self.phase.clone(),
+                seq: self.spans.len(),
+                start: self.clock,
+                duration,
+                wall,
+                rounds: self.open_rounds,
+                messages: self.open_messages,
+                bytes: self.open_bytes,
+            });
+        } else {
+            self.dropped_events += 1;
+        }
         self.clock += duration;
         self.open_rounds = 0;
         self.open_messages = 0;
@@ -163,17 +228,26 @@ impl PartyRecorder {
     /// engine after each exchange). Events do not affect the simulated
     /// clock — injected delays already show up in the measured wall time.
     pub fn record_net_event(&mut self, event: NetEvent) {
-        self.net_events.push(event);
+        if self.stored_events() < self.event_cap {
+            self.net_events.push(event);
+        } else {
+            self.dropped_events += 1;
+        }
     }
 
     /// Finish recording. Any un-flushed activity is dropped, so the engine
     /// flushes before calling this.
     pub fn finish(self) -> PartyTrace {
+        if self.dropped_events > 0 {
+            crate::metrics::counter_add("obs.trace.dropped_events", self.dropped_events);
+        }
         PartyTrace {
             party: self.party,
             spans: self.spans,
             rounds: self.rounds,
             net_events: self.net_events,
+            phase_totals: self.phase_totals.into_values().collect(),
+            dropped_events: self.dropped_events,
         }
     }
 }
@@ -186,6 +260,12 @@ pub struct PartyTrace {
     pub rounds: Vec<RoundRecord>,
     /// Transport incidents (faults, retransmits, reconnects), in order.
     pub net_events: Vec<NetEvent>,
+    /// Exact per-phase aggregates (sorted by phase name). These feed
+    /// [`Trace::summary`] and are complete even when detail records were
+    /// dropped under the event cap.
+    pub phase_totals: Vec<PhaseTotal>,
+    /// Detail records discarded because the event cap was reached.
+    pub dropped_events: u64,
 }
 
 /// The merged trace of one protocol run: every party's timeline plus the
@@ -209,8 +289,8 @@ impl Trace {
     pub fn total_messages(&self) -> u64 {
         self.parties
             .iter()
-            .flat_map(|p| &p.spans)
-            .map(|s| s.messages)
+            .flat_map(|p| &p.phase_totals)
+            .map(|t| t.messages)
             .sum()
     }
 
@@ -218,15 +298,23 @@ impl Trace {
     pub fn total_bytes(&self) -> u64 {
         self.parties
             .iter()
-            .flat_map(|p| &p.spans)
-            .map(|s| s.bytes)
+            .flat_map(|p| &p.phase_totals)
+            .map(|t| t.bytes)
             .sum()
     }
 
-    /// Merge spans into a per-phase summary using the engine's semantics:
-    /// within a party, visits to the same phase add; across parties, rounds
-    /// and wall take the maximum (parties run concurrently in lock-step)
-    /// while messages and bytes sum (total network traffic).
+    /// Detail records dropped across all parties under the event cap.
+    pub fn dropped_events(&self) -> u64 {
+        self.parties.iter().map(|p| p.dropped_events).sum()
+    }
+
+    /// Merge the per-party phase totals into a per-phase summary using the
+    /// engine's semantics: within a party, visits to the same phase add;
+    /// across parties, rounds and wall take the maximum (parties run
+    /// concurrently in lock-step) while messages and bytes sum (total
+    /// network traffic). Phase totals are exact even when detail spans were
+    /// dropped under the event cap, so the summary always reproduces
+    /// `RunStats` exactly.
     pub fn summary(&self) -> TraceSummary {
         #[derive(Default, Clone)]
         struct Acc {
@@ -238,25 +326,17 @@ impl Trace {
         let mut phases: BTreeMap<String, Acc> = BTreeMap::new();
         let mut total = Acc::default();
         for pt in &self.parties {
-            let mut party_phases: BTreeMap<&str, Acc> = BTreeMap::new();
             let mut party_total = Acc::default();
-            for s in &pt.spans {
-                let a = party_phases.entry(s.phase.as_str()).or_default();
-                a.rounds += s.rounds;
-                a.messages += s.messages;
-                a.bytes += s.bytes;
-                a.wall += s.wall;
-                party_total.rounds += s.rounds;
-                party_total.messages += s.messages;
-                party_total.bytes += s.bytes;
-                party_total.wall += s.wall;
-            }
-            for (name, a) in party_phases {
-                let m = phases.entry(name.to_string()).or_default();
-                m.rounds = m.rounds.max(a.rounds);
-                m.wall = m.wall.max(a.wall);
-                m.messages += a.messages;
-                m.bytes += a.bytes;
+            for t in &pt.phase_totals {
+                let m = phases.entry(t.phase.clone()).or_default();
+                m.rounds = m.rounds.max(t.rounds);
+                m.wall = m.wall.max(t.wall);
+                m.messages += t.messages;
+                m.bytes += t.bytes;
+                party_total.rounds += t.rounds;
+                party_total.messages += t.messages;
+                party_total.bytes += t.bytes;
+                party_total.wall += t.wall;
             }
             total.rounds = total.rounds.max(party_total.rounds);
             total.wall = total.wall.max(party_total.wall);
@@ -434,6 +514,70 @@ mod tests {
         // Simulated clock still `wall + latency * rounds` only: one round
         // was recorded, and the net events add nothing to it.
         assert_eq!(t.spans[0].duration, ms(103));
+    }
+
+    #[test]
+    fn event_cap_drops_detail_but_keeps_summary_exact() {
+        // Uncapped reference.
+        let record = |cap: Option<usize>| {
+            let mut r = PartyRecorder::new(0, ms(10));
+            if let Some(cap) = cap {
+                r = r.with_event_cap(cap);
+            }
+            for _ in 0..50 {
+                r.set_phase("epoch");
+                r.record_round(2, 64);
+                r.flush_phase(ms(1));
+            }
+            r.finish()
+        };
+        let full = record(None);
+        let capped = record(Some(8));
+        assert_eq!(full.dropped_events, 0);
+        assert_eq!(full.spans.len(), 50);
+        assert_eq!(full.rounds.len(), 50);
+        // Capped: only 8 detail records kept, the other 92 counted.
+        assert_eq!(
+            capped.spans.len() + capped.rounds.len() + capped.net_events.len(),
+            8
+        );
+        assert_eq!(capped.dropped_events, 92);
+        // The summary is identical — phase totals are exact regardless.
+        let t_full = Trace::from_parties(ms(10), vec![full]);
+        let t_capped = Trace::from_parties(ms(10), vec![capped]);
+        let (a, b) = (t_full.summary(), t_capped.summary());
+        assert_eq!(a.total.rounds, b.total.rounds);
+        assert_eq!(a.total.messages, b.total.messages);
+        assert_eq!(a.total.bytes, b.total.bytes);
+        assert_eq!(a.total_simulated(), b.total_simulated());
+        assert_eq!(t_capped.total_messages(), 100);
+        assert_eq!(t_capped.total_bytes(), 50 * 64);
+        assert_eq!(t_capped.dropped_events(), 92);
+        assert_eq!(t_full.dropped_events(), 0);
+    }
+
+    #[test]
+    fn zero_cap_keeps_no_detail_and_all_totals() {
+        let mut r = PartyRecorder::new(0, ms(1)).with_event_cap(0);
+        r.set_phase("x");
+        r.record_round(3, 9);
+        r.record_net_event(NetEvent {
+            party: 0,
+            round: 0,
+            peer: 1,
+            kind: "delay".to_string(),
+            value: 0.1,
+        });
+        r.flush_phase(ms(2));
+        let t = r.finish();
+        assert!(t.spans.is_empty() && t.rounds.is_empty() && t.net_events.is_empty());
+        assert_eq!(t.dropped_events, 3);
+        let trace = Trace::from_parties(ms(1), vec![t]);
+        let s = trace.summary();
+        assert_eq!(s.total.rounds, 1);
+        assert_eq!(s.total.messages, 3);
+        assert_eq!(s.total.bytes, 9);
+        assert_eq!(s.total_simulated(), ms(3));
     }
 
     #[test]

@@ -68,6 +68,10 @@ pub struct VflConfig {
     pub seed: u64,
     /// Record structured MPC traces (see `sqm_obs::trace`). Off by default.
     pub trace: bool,
+    /// Cap on per-party trace *detail* records (spans/rounds/net events);
+    /// `None` uses `sqm_obs::trace::DEFAULT_EVENT_CAP`. Summaries stay
+    /// exact regardless — see `PartyRecorder::with_event_cap`.
+    pub trace_event_cap: Option<usize>,
     /// Party-to-party transport backend (in-process channels by default;
     /// `NetBackend::Tcp` runs the same protocols over loopback sockets).
     pub backend: NetBackend,
@@ -82,6 +86,7 @@ impl VflConfig {
             latency: Duration::from_millis(100),
             seed: 7,
             trace: false,
+            trace_event_cap: None,
             backend: NetBackend::InProcess,
             faults: None,
         }
@@ -109,6 +114,12 @@ impl VflConfig {
         self
     }
 
+    /// Bound the number of per-party trace detail records.
+    pub fn with_trace_event_cap(mut self, cap: usize) -> Self {
+        self.trace_event_cap = Some(cap);
+        self
+    }
+
     /// Select the transport backend the MPC parties communicate over.
     pub fn with_backend(mut self, backend: NetBackend) -> Self {
         self.backend = backend;
@@ -123,11 +134,15 @@ impl VflConfig {
 
     /// The `MpcConfig` every VFL protocol derives from this configuration.
     pub fn mpc_config(&self) -> MpcConfig {
-        MpcConfig::semi_honest(self.n_clients)
+        let config = MpcConfig::semi_honest(self.n_clients)
             .with_latency(self.latency)
             .with_seed(self.seed)
             .with_trace(self.trace)
             .with_backend(self.backend.clone())
-            .with_faults(self.faults.clone())
+            .with_faults(self.faults.clone());
+        match self.trace_event_cap {
+            Some(cap) => config.with_trace_event_cap(cap),
+            None => config,
+        }
     }
 }
