@@ -248,6 +248,31 @@ pub fn compare(baseline: &BenchArtifact, current: &BenchArtifact, cfg: &GateConf
             );
         }
 
+        // Critical path: same deterministic-latency/measured-wall mix as
+        // simulated_s, so the same ratio gate — but only when both sides
+        // measured it (a zero means the workload ran untraced, e.g. a
+        // baseline written before causal stamping existed).
+        if base.critical_path_s > 0.0 && cur.critical_path_s > 0.0 {
+            let ratio = cur.critical_path_s / base.critical_path_s;
+            let verdict = if ratio <= cfg.median_ratio_max {
+                Verdict::Pass
+            } else {
+                Verdict::Fail
+            };
+            push(
+                &mut report,
+                &cur.name,
+                "critical_path_s",
+                base.critical_path_s,
+                cur.critical_path_s,
+                verdict,
+                format!(
+                    "{:.3}s -> {:.3}s (x{ratio:.2}, limit x{:.2})",
+                    base.critical_path_s, cur.critical_path_s, cfg.median_ratio_max
+                ),
+            );
+        }
+
         // Simulated time: latency term is deterministic, wall term is not;
         // ratio-gate it (a changed round count already failed above).
         if base.simulated_s > 0.0 {
@@ -463,6 +488,28 @@ mod tests {
         let mut wobble = a.clone();
         wobble.entries[0].median_ns = (wobble.entries[0].median_ns as f64 * 1.3) as u64;
         assert!(compare(&a, &wobble, &GateConfig::default()).passed());
+    }
+
+    #[test]
+    fn critical_path_gated_by_ratio_only_when_both_measured() {
+        let mut a = toy_artifact();
+        a.entries[0].critical_path_s = 0.4;
+        let mut slow = a.clone();
+        slow.entries[0].critical_path_s = 1.0; // x2.5 > the 1.5x limit
+        let report = compare(&a, &slow, &GateConfig::default());
+        assert!(report.failures().any(|f| f.metric == "critical_path_s"));
+        // An untraced side (0.0) is non-comparable, never a failure.
+        let mut unmeasured = a.clone();
+        unmeasured.entries[0].critical_path_s = 0.0;
+        let report = compare(&unmeasured, &slow, &GateConfig::default());
+        assert!(
+            !report
+                .findings
+                .iter()
+                .any(|f| f.metric == "critical_path_s"),
+            "{}",
+            report.render(true)
+        );
     }
 
     #[test]

@@ -33,7 +33,8 @@ use sqm::datasets::SpectralSpec;
 use sqm::field::{PrimeField, M127, M61};
 use sqm::mpc::shamir::{reconstruct, share_secret};
 use sqm::mpc::{MpcConfig, MpcEngine, RunStats};
-use sqm::obs::metrics;
+use sqm::obs::trace::Trace;
+use sqm::obs::{metrics, MessageDag};
 use sqm::sampling::skellam::sample_skellam_vec;
 use sqm::vfl::{covariance_skellam, gradient_sum_skellam, ColumnPartition, NetBackend, VflConfig};
 
@@ -92,6 +93,9 @@ pub struct RunCost {
     pub messages: u64,
     pub bytes: u64,
     pub simulated: Duration,
+    /// Latency-weighted critical path of the causal message DAG (zero for
+    /// untraced or pure-compute workloads).
+    pub critical_path: Duration,
 }
 
 impl RunCost {
@@ -101,7 +105,18 @@ impl RunCost {
             messages: stats.total.messages,
             bytes: stats.total.bytes,
             simulated: stats.simulated_time(),
+            critical_path: Duration::ZERO,
         }
+    }
+
+    /// Like [`RunCost::from_stats`], plus the critical path of the run's
+    /// causal message DAG (requires the workload to run with tracing on).
+    pub fn from_stats_and_trace(stats: &RunStats, trace: Option<&Trace>) -> RunCost {
+        let mut cost = RunCost::from_stats(stats);
+        if let Some(trace) = trace {
+            cost.critical_path = MessageDag::build(trace).critical_path().total;
+        }
+        cost
     }
 }
 
@@ -126,6 +141,12 @@ pub struct BenchEntry {
     /// is deterministic but the wall part is not — the gate compares this
     /// by ratio, while `rounds`/`messages`/`bytes` must match exactly.
     pub simulated_s: f64,
+    /// Critical path of the causal message DAG, seconds (0 when the
+    /// workload runs untraced). Same deterministic-latency/measured-wall
+    /// mix as `simulated_s`, so the gate ratio-compares it — and only
+    /// when both sides are non-zero, since older baselines predate the
+    /// field.
+    pub critical_path_s: f64,
 }
 
 /// One suite run: what `BENCH_<suite>.json` holds.
@@ -207,6 +228,12 @@ impl BenchArtifact {
                         .get("simulated_s")
                         .and_then(JsonValue::as_f64)
                         .ok_or_else(|| "entry missing number \"simulated_s\"".to_string())?,
+                    // Absent from pre-causal baselines: default 0 = "not
+                    // measured", which the gate treats as non-comparable.
+                    critical_path_s: e
+                        .get("critical_path_s")
+                        .and_then(JsonValue::as_f64)
+                        .unwrap_or(0.0),
                 })
             })
             .collect::<Result<Vec<_>, _>>()?;
@@ -260,6 +287,7 @@ pub fn measure(name: &str, tier: Tier, mut work: impl FnMut() -> RunCost) -> Ben
         messages: cost.messages,
         bytes: cost.bytes,
         simulated_s: cost.simulated.as_secs_f64(),
+        critical_path_s: cost.critical_path.as_secs_f64(),
     }
 }
 
@@ -408,6 +436,10 @@ pub fn run_vfl(tier: Tier) -> BenchArtifact {
         ("inprocess", NetBackend::InProcess),
         ("tcp", NetBackend::tcp()),
     ] {
+        // Traced: the engines stamp every message, so the entry carries
+        // the causal critical path next to the virtual-clock total. The
+        // stamps ride outside the byte accounting, so rounds/messages/
+        // bytes stay identical to an untraced run.
         let cov_name = format!("covariance_{backend_name}_m{m}_n{n}_p{p}");
         let backend_cov = backend.clone();
         entries.push(measure(&cov_name, tier, || {
@@ -415,10 +447,11 @@ pub fn run_vfl(tier: Tier) -> BenchArtifact {
             let partition = ColumnPartition::even(n, p);
             let cfg = VflConfig::new(p)
                 .with_seed(32)
+                .with_trace(true)
                 .with_backend(backend_cov.clone());
             let out = covariance_skellam(&data, &partition, 18.0, 100.0, &cfg);
             black_box(&out.c_hat);
-            RunCost::from_stats(&out.stats)
+            RunCost::from_stats_and_trace(&out.stats, out.trace.as_ref())
         }));
 
         let lr_name = format!("logreg_grad_{backend_name}_m{m}_d{d}_p{p}", d = n - 1);
@@ -427,12 +460,13 @@ pub fn run_vfl(tier: Tier) -> BenchArtifact {
             let partition = ColumnPartition::even(n, p);
             let cfg = VflConfig::new(p)
                 .with_seed(34)
+                .with_trace(true)
                 .with_backend(backend.clone());
             let batch: Vec<usize> = (0..m).collect();
             let w = vec![0.01; n - 1];
             let out = gradient_sum_skellam(&data, &partition, &batch, &w, 18.0, 100.0, &cfg);
             black_box(&out.grad_sum);
-            RunCost::from_stats(&out.stats)
+            RunCost::from_stats_and_trace(&out.stats, out.trace.as_ref())
         }));
     }
 
@@ -460,6 +494,7 @@ mod tests {
                 messages: 7,
                 bytes: 99,
                 simulated: Duration::from_millis(250),
+                critical_path: Duration::from_millis(260),
             }
         });
         assert_eq!(calls, 1 + 7); // warmup + repeats at Small
@@ -471,6 +506,7 @@ mod tests {
         assert_eq!(entry.messages, 7);
         assert_eq!(entry.bytes, 99);
         assert!((entry.simulated_s - 0.25).abs() < 1e-12);
+        assert!((entry.critical_path_s - 0.26).abs() < 1e-12);
     }
 
     #[test]

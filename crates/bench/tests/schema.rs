@@ -49,6 +49,7 @@ fn serialize_then_parse_is_identity() {
             messages: 24,
             bytes: 4096,
             simulated: std::time::Duration::from_millis(400),
+            critical_path: std::time::Duration::from_millis(450),
         });
         let mut artifact = golden();
         artifact.suite = "roundtrip".to_string();
@@ -71,6 +72,19 @@ fn serialize_then_parse_is_identity() {
         (b.rounds, b.messages, b.bytes)
     );
     assert_eq!(a.simulated_s, b.simulated_s);
+    assert_eq!(a.critical_path_s, b.critical_path_s);
+    assert_eq!(a.critical_path_s, 0.45);
+}
+
+#[test]
+fn golden_file_without_critical_path_defaults_to_zero() {
+    // Pre-causal baselines were written before `critical_path_s` existed;
+    // they must keep parsing (the gate skips the metric when either side
+    // is zero).
+    let artifact = golden();
+    for entry in &artifact.entries {
+        assert_eq!(entry.critical_path_s, 0.0);
+    }
 }
 
 #[test]

@@ -189,7 +189,7 @@ pub mod obsout {
     use serde::Serialize as _;
     use sqm::mpc::RunStats;
     use sqm::obs::trace::Trace;
-    use sqm::obs::{chrome_trace_json, html_report, metrics, write_jsonl};
+    use sqm::obs::{chrome_trace_json, html_report, metrics, write_jsonl, MessageDag};
 
     /// The `results/` directory, created on first use.
     pub fn results_dir() -> PathBuf {
@@ -208,7 +208,19 @@ pub mod obsout {
         let dir = results_dir();
         let mut written = Vec::new();
         let stats_path = dir.join(format!("{name}.stats.json"));
-        fs::write(&stats_path, stats.to_json())?;
+        // When the trace carries causal stamps, the stats JSON gains a
+        // `critical_path` section (total, per-party idle/compute, walked
+        // segments) computed from the reconstructed message DAG.
+        let mut stats_json = stats.to_json();
+        if let Some(trace) = trace.filter(|t| t.parties.iter().any(|p| !p.causal.is_empty())) {
+            let cp = MessageDag::build(trace).critical_path();
+            debug_assert!(stats_json.ends_with('}'));
+            stats_json.truncate(stats_json.len() - 1);
+            stats_json.push_str(",\"critical_path\":");
+            stats_json.push_str(&cp.to_json());
+            stats_json.push('}');
+        }
+        fs::write(&stats_path, stats_json)?;
         written.push(stats_path);
         if let Some(trace) = trace {
             let summary = trace.summary();

@@ -23,9 +23,9 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sqm_field::PrimeField;
 use sqm_net::transport::{build_mesh, Transport};
-use sqm_net::TransportError;
+use sqm_net::{TraceHeader, TransportError};
 use sqm_obs::metrics;
-use sqm_obs::trace::{PartyRecorder, Trace};
+use sqm_obs::trace::{MsgStamp, PartyRecorder, Trace};
 
 use crate::engine::{install_quiet_abort_hook, make_recorder, select_error, MpcConfig, PartyAbort};
 use crate::stats::{merge, PartyStats, RunStats};
@@ -103,6 +103,9 @@ impl AdditiveEngine {
                             recorder: make_recorder(&config, id),
                             phase: "default".to_string(),
                             phase_started: Instant::now(),
+                            run_id: config.seed,
+                            lamport: 0,
+                            link_seq: vec![0; n],
                         };
                         match catch_unwind(AssertUnwindSafe(|| program(&mut ctx))) {
                             Ok(out) => {
@@ -164,6 +167,12 @@ pub struct AdditiveCtx<F: PrimeField> {
     recorder: Option<PartyRecorder>,
     phase: String,
     phase_started: Instant,
+    /// Causal stamping state (active only when tracing): run identifier
+    /// (the engine seed), the party's Lamport clock, and one sequence
+    /// counter per directed outgoing link.
+    run_id: u64,
+    lamport: u64,
+    link_seq: Vec<u64>,
 }
 
 impl<F: PrimeField> AdditiveCtx<F> {
@@ -188,13 +197,83 @@ impl<F: PrimeField> AdditiveCtx<F> {
 
     fn exchange(&mut self, outgoing: Vec<Vec<F>>) -> Vec<Vec<F>> {
         let round_started = metrics::is_enabled().then(Instant::now);
-        let outcome = match self.endpoint.exchange(outgoing) {
+        // Causal stamping (traced runs only) — same protocol as the BGW
+        // engine: every real outgoing payload carries this party's Lamport
+        // clock and a per-link sequence number, out-of-band of the byte
+        // accounting.
+        let stamping = self.recorder.is_some().then(|| {
+            let lamport_send = self.lamport + 1;
+            let round = self.endpoint.round();
+            let mut sends = Vec::new();
+            let headers: Vec<Option<TraceHeader>> = outgoing
+                .iter()
+                .enumerate()
+                .map(|(j, payload)| {
+                    if j == self.id || payload.is_empty() {
+                        return None;
+                    }
+                    let link_seq = self.link_seq[j];
+                    self.link_seq[j] += 1;
+                    sends.push(MsgStamp {
+                        peer: j,
+                        link_seq,
+                        lamport: lamport_send,
+                        round,
+                    });
+                    Some(TraceHeader {
+                        run_id: self.run_id,
+                        party: self.id as u32,
+                        round,
+                        link_seq,
+                        lamport: lamport_send,
+                    })
+                })
+                .collect();
+            (headers, sends, lamport_send, self.phase_started.elapsed())
+        });
+        let result = match &stamping {
+            Some((headers, ..)) => self
+                .endpoint
+                .exchange_stamped(outgoing, Some(headers.clone())),
+            None => self.endpoint.exchange(outgoing),
+        };
+        let outcome = match result {
             Ok(outcome) => outcome,
             Err(e) => std::panic::panic_any(PartyAbort(e)),
         };
         let (messages, bytes) = (outcome.messages, outcome.bytes);
         self.stats.record_round(&self.phase, messages, bytes);
         let events = self.endpoint.drain_events();
+        if let Some((_, sends, lamport_send, wall_send)) = stamping {
+            let wall_recv = self.phase_started.elapsed();
+            let recvs: Vec<MsgStamp> = outcome
+                .headers
+                .iter()
+                .enumerate()
+                .filter(|&(i, _)| i != self.id)
+                .filter_map(|(i, h)| {
+                    h.map(|h| MsgStamp {
+                        peer: i,
+                        link_seq: h.link_seq,
+                        lamport: h.lamport,
+                        round: h.round,
+                    })
+                })
+                .collect();
+            let max_recv = recvs.iter().map(|s| s.lamport).max().unwrap_or(0);
+            let lamport_recv = lamport_send.max(max_recv) + 1;
+            self.lamport = lamport_recv;
+            if let Some(rec) = &mut self.recorder {
+                rec.record_causal_round(
+                    wall_send,
+                    wall_recv,
+                    lamport_send,
+                    lamport_recv,
+                    sends,
+                    recvs,
+                );
+            }
+        }
         if let Some(rec) = &mut self.recorder {
             rec.record_round(messages, bytes);
             for event in events {
@@ -516,6 +595,34 @@ mod tests {
         assert_eq!(summary.total_simulated(), run.stats.simulated_time());
         assert_eq!(summary.total.rounds, run.stats.total.rounds);
         assert_eq!(summary.total.bytes, run.stats.total.bytes);
+    }
+
+    #[test]
+    fn causal_critical_path_matches_simulated_time_exactly() {
+        // Same exactness contract as the BGW engine: the critical path of
+        // the reconstructed message DAG is the virtual clock, bit-exact.
+        let cfg = MpcConfig::semi_honest(3)
+            .with_latency(Duration::from_millis(100))
+            .with_trace(true);
+        let run = AdditiveEngine::new(cfg).run::<M61, _, _>(|ctx| {
+            ctx.set_phase("input");
+            let x = ctx.share_input(
+                0,
+                (ctx.id == 0).then(|| vec![M61::from_u64(2); 4]).as_deref(),
+                4,
+            );
+            let triples = ctx.dealer_triples(4);
+            ctx.set_phase("online");
+            let x2 = x.clone();
+            let z = ctx.mul_beaver(&x, &x2, &triples);
+            ctx.open(&z)
+        });
+        let trace = run.trace.expect("trace requested");
+        let dag = sqm_obs::MessageDag::build(&trace);
+        assert!(dag.fully_matched());
+        assert_eq!(dag.lamport_violations(), 0);
+        assert_eq!(dag.edges().len() as u64, run.stats.total.messages);
+        assert_eq!(dag.critical_path().total, run.stats.simulated_time());
     }
 
     #[test]

@@ -23,9 +23,9 @@ use rand::SeedableRng;
 use sqm_field::PrimeField;
 use sqm_net::fault::FaultSpec;
 use sqm_net::transport::{build_mesh, NetBackend, Transport};
-use sqm_net::TransportError;
+use sqm_net::{TraceHeader, TransportError};
 use sqm_obs::metrics;
-use sqm_obs::trace::{PartyRecorder, Trace};
+use sqm_obs::trace::{MsgStamp, PartyRecorder, Trace};
 
 use crate::shamir::{lagrange_at_zero, share_secret};
 use crate::stats::{merge, PartyStats, RunStats};
@@ -282,6 +282,9 @@ impl MpcEngine {
                             lagrange_all: lagrange,
                             phase: "default".to_string(),
                             phase_started: Instant::now(),
+                            run_id: config.seed,
+                            lamport: 0,
+                            link_seq: vec![0; n],
                         };
                         // A transport failure aborts the program mid-round via
                         // a PartyAbort unwind; catch it here and surface the
@@ -372,6 +375,12 @@ pub struct PartyCtx<F: PrimeField> {
     lagrange_all: Vec<F>,
     phase: String,
     phase_started: Instant,
+    /// Causal stamping state (active only when tracing): run identifier
+    /// (the engine seed), the party's Lamport clock, and one sequence
+    /// counter per directed outgoing link.
+    run_id: u64,
+    lamport: u64,
+    link_seq: Vec<u64>,
 }
 
 impl<F: PrimeField> PartyCtx<F> {
@@ -402,7 +411,46 @@ impl<F: PrimeField> PartyCtx<F> {
         // (the per-round half of the virtual-clock model; the latency half
         // is `rounds * latency` by construction).
         let round_started = metrics::is_enabled().then(Instant::now);
-        let outcome = match self.endpoint.exchange(outgoing) {
+        // Causal stamping (traced runs only): every real outgoing payload
+        // carries this party's Lamport clock and a per-link sequence
+        // number; the header travels out-of-band of the byte accounting.
+        let stamping = self.recorder.is_some().then(|| {
+            let lamport_send = self.lamport + 1;
+            let round = self.endpoint.round();
+            let mut sends = Vec::new();
+            let headers: Vec<Option<TraceHeader>> = outgoing
+                .iter()
+                .enumerate()
+                .map(|(j, payload)| {
+                    if j == self.id || payload.is_empty() {
+                        return None;
+                    }
+                    let link_seq = self.link_seq[j];
+                    self.link_seq[j] += 1;
+                    sends.push(MsgStamp {
+                        peer: j,
+                        link_seq,
+                        lamport: lamport_send,
+                        round,
+                    });
+                    Some(TraceHeader {
+                        run_id: self.run_id,
+                        party: self.id as u32,
+                        round,
+                        link_seq,
+                        lamport: lamport_send,
+                    })
+                })
+                .collect();
+            (headers, sends, lamport_send, self.phase_started.elapsed())
+        });
+        let result = match &stamping {
+            Some((headers, ..)) => self
+                .endpoint
+                .exchange_stamped(outgoing, Some(headers.clone())),
+            None => self.endpoint.exchange(outgoing),
+        };
+        let outcome = match result {
             Ok(outcome) => outcome,
             // Unwind out of the SPMD program with the typed error; the
             // engine's catch_unwind turns this back into Err(TransportError).
@@ -411,6 +459,36 @@ impl<F: PrimeField> PartyCtx<F> {
         let (messages, bytes) = (outcome.messages, outcome.bytes);
         self.stats.record_round(&self.phase, messages, bytes);
         let events = self.endpoint.drain_events();
+        if let Some((_, sends, lamport_send, wall_send)) = stamping {
+            let wall_recv = self.phase_started.elapsed();
+            let recvs: Vec<MsgStamp> = outcome
+                .headers
+                .iter()
+                .enumerate()
+                .filter(|&(i, _)| i != self.id)
+                .filter_map(|(i, h)| {
+                    h.map(|h| MsgStamp {
+                        peer: i,
+                        link_seq: h.link_seq,
+                        lamport: h.lamport,
+                        round: h.round,
+                    })
+                })
+                .collect();
+            let max_recv = recvs.iter().map(|s| s.lamport).max().unwrap_or(0);
+            let lamport_recv = lamport_send.max(max_recv) + 1;
+            self.lamport = lamport_recv;
+            if let Some(rec) = &mut self.recorder {
+                rec.record_causal_round(
+                    wall_send,
+                    wall_recv,
+                    lamport_send,
+                    lamport_recv,
+                    sends,
+                    recvs,
+                );
+            }
+        }
         if let Some(rec) = &mut self.recorder {
             rec.record_round(messages, bytes);
             for event in events {
@@ -1170,6 +1248,66 @@ mod tests {
         for pt in &trace.parties {
             assert!(pt.spans.len() + pt.rounds.len() + pt.net_events.len() <= 2);
         }
+    }
+
+    #[test]
+    fn causal_critical_path_matches_simulated_time_exactly() {
+        // The message DAG reconstructed from the causal stamps must yield a
+        // critical path whose total is bit-exact with the virtual clock.
+        let cfg = MpcConfig::semi_honest(4)
+            .with_latency(Duration::from_millis(100))
+            .with_trace(true);
+        let run = MpcEngine::new(cfg).run::<M61, _, _>(|ctx| {
+            ctx.set_phase("input");
+            let x = ctx.share_input(
+                0,
+                (ctx.id == 0).then(|| vec![M61::from_u64(5); 3]).as_deref(),
+                3,
+            );
+            ctx.set_phase("mul");
+            let y = ctx.mul(&x, &x);
+            ctx.set_phase("open");
+            ctx.open(&y)
+        });
+        let trace = run.trace.expect("trace requested");
+        let dag = sqm_obs::MessageDag::build(&trace);
+        assert!(
+            dag.fully_matched(),
+            "every send must match exactly one recv"
+        );
+        assert_eq!(dag.lamport_violations(), 0);
+        assert_eq!(dag.edges().len() as u64, run.stats.total.messages);
+        let cp = dag.critical_path();
+        assert_eq!(cp.total, run.stats.simulated_time());
+        // Per-party breakdowns partition each party's timeline.
+        for p in &cp.parties {
+            assert_eq!(p.idle + p.compute, p.total);
+        }
+    }
+
+    #[test]
+    fn causal_stamps_cross_the_tcp_backend() {
+        // Headers travel inside the TCP frames: the reconstructed DAG over
+        // loopback sockets must match every send to a recv, with the same
+        // message count and zero Lamport violations as in-process.
+        let cfg = MpcConfig::semi_honest(3)
+            .with_latency(Duration::ZERO)
+            .with_trace(true)
+            .with_backend(NetBackend::tcp());
+        let run = MpcEngine::new(cfg).run::<M61, _, _>(|ctx| {
+            let x = ctx.share_input(
+                0,
+                (ctx.id == 0).then(|| vec![M61::from_u64(7)]).as_deref(),
+                1,
+            );
+            let y = ctx.mul(&x, &x);
+            ctx.open(&y)
+        });
+        let trace = run.trace.expect("trace requested");
+        let dag = sqm_obs::MessageDag::build(&trace);
+        assert!(dag.fully_matched());
+        assert_eq!(dag.lamport_violations(), 0);
+        assert_eq!(dag.edges().len() as u64, run.stats.total.messages);
     }
 
     #[test]

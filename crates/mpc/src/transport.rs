@@ -12,7 +12,7 @@
 
 pub use sqm_net::channel::{mesh, ChannelEndpoint};
 pub use sqm_net::transport::{build_mesh, NetBackend, RoundOutcome, Transport};
-pub use sqm_net::{TcpOptions, TransportError};
+pub use sqm_net::{TcpOptions, TraceHeader, TransportError};
 
 /// Historical name of the in-process mesh endpoint.
 pub type Endpoint<F> = ChannelEndpoint<F>;

@@ -33,6 +33,15 @@ pub enum WireError {
         /// The largest frame the transport accepts.
         max: usize,
     },
+    /// The versioned trace-context header prefixing a frame payload is
+    /// malformed: the buffer is too short for the announced version, or
+    /// the version byte is unknown.
+    BadTraceHeader {
+        /// The version byte observed (0 when the buffer was empty).
+        version: u8,
+        /// Bytes available when header decoding started.
+        remaining: usize,
+    },
 }
 
 impl fmt::Display for WireError {
@@ -49,6 +58,12 @@ impl fmt::Display for WireError {
                 write!(
                     f,
                     "frame announces {len} bytes, exceeding the {max}-byte cap"
+                )
+            }
+            WireError::BadTraceHeader { version, remaining } => {
+                write!(
+                    f,
+                    "malformed trace header (version byte {version}, {remaining} bytes available)"
                 )
             }
         }

@@ -39,6 +39,7 @@ use sqm_obs::trace::NetEvent;
 
 use crate::error::TransportError;
 use crate::transport::{RoundOutcome, Transport};
+use crate::wire::TraceHeader;
 
 /// Crash `party` at the start of its `round`-th exchange (0-based).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -188,7 +189,11 @@ impl<F: PrimeField> Transport<F> for FaultTransport<F> {
         self.inner.round()
     }
 
-    fn exchange(&mut self, outgoing: Vec<Vec<F>>) -> Result<RoundOutcome<F>, TransportError> {
+    fn exchange_stamped(
+        &mut self,
+        outgoing: Vec<Vec<F>>,
+        headers: Option<Vec<Option<TraceHeader>>>,
+    ) -> Result<RoundOutcome<F>, TransportError> {
         let me = self.inner.id();
         let round = self.inner.round();
 
@@ -251,7 +256,7 @@ impl<F: PrimeField> Transport<F> for FaultTransport<F> {
             std::thread::sleep(injected);
         }
 
-        self.inner.exchange(outgoing)
+        self.inner.exchange_stamped(outgoing, headers)
     }
 
     fn drain_events(&mut self) -> Vec<NetEvent> {

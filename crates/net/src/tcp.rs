@@ -8,12 +8,14 @@
 //! ## Framing
 //!
 //! Every payload is one frame: a 4-byte little-endian length prefix
-//! followed by the [`crate::wire`] encoding of the element vector. Empty
-//! payloads still send a zero-length frame — the lock-step structure needs
-//! one frame per (pair, round) — but, like the channel backend, they are
+//! followed by the versioned optional [`wire::TraceHeader`] (one byte when
+//! absent) and then the [`crate::wire`] encoding of the element vector.
+//! Empty payloads still send a frame — the lock-step structure needs one
+//! frame per (pair, round) — but, like the channel backend, they are
 //! excluded from the message/byte accounting, and accounted bytes are the
-//! wire-encoded payload only (no frame headers). This is what makes
-//! `RunStats` message/byte counts *identical* across backends.
+//! wire-encoded payload only (no frame or trace headers). This is what
+//! makes `RunStats` message/byte counts *identical* across backends, and
+//! identical with tracing on or off.
 //!
 //! ## Timeouts and reconnection
 //!
@@ -36,14 +38,18 @@ use std::marker::PhantomData;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::time::{Duration, Instant};
 
-use bytes::Bytes;
+use bytes::{BufMut, Bytes, BytesMut};
 use sqm_field::PrimeField;
 use sqm_obs::metrics;
 use sqm_obs::trace::NetEvent;
 
 use crate::error::{TransportError, WireError};
 use crate::transport::{RoundOutcome, Transport};
-use crate::wire;
+use crate::wire::{self, TraceHeader};
+
+/// Read-side result of one exchange: per-sender payloads plus the optional
+/// trace header decoded from each frame.
+type ReadHalf<F> = Result<(Vec<Vec<F>>, Vec<Option<TraceHeader>>), TransportError>;
 
 /// Hello preamble: magic, sender id, receiver id (validates pairing).
 const HELLO_MAGIC: u32 = 0x5351_4D4E; // "SQMN"
@@ -308,17 +314,27 @@ impl<F: PrimeField> Transport<F> for TcpEndpoint<F> {
         self.round
     }
 
-    fn exchange(&mut self, mut outgoing: Vec<Vec<F>>) -> Result<RoundOutcome<F>, TransportError> {
+    fn exchange_stamped(
+        &mut self,
+        mut outgoing: Vec<Vec<F>>,
+        headers: Option<Vec<Option<TraceHeader>>>,
+    ) -> Result<RoundOutcome<F>, TransportError> {
         let n = self.n;
         assert_eq!(outgoing.len(), n, "exchange: need one payload per party");
+        if let Some(hs) = &headers {
+            assert_eq!(hs.len(), n, "exchange: need one header slot per party");
+        }
         let id = self.id;
         let round = self.round;
         let read_timeout = self.read_timeout;
 
-        // Encode everything up front; account only real messages.
+        // Encode everything up front; account only real messages, and only
+        // their element bytes — the trace header rides inside the frame but
+        // never enters the byte accounting.
         let mut messages = 0u64;
         let mut bytes = 0u64;
         let loopback = std::mem::take(&mut outgoing[id]);
+        let loopback_header = headers.as_ref().and_then(|hs| hs[id]);
         let frames: Vec<Option<Bytes>> = outgoing
             .iter()
             .enumerate()
@@ -330,7 +346,12 @@ impl<F: PrimeField> Transport<F> for TcpEndpoint<F> {
                     messages += 1;
                     bytes += wire::encoded_len::<F>(payload.len());
                 }
-                Some(wire::encode::<F>(payload))
+                let header = headers.as_ref().and_then(|hs| hs[j]);
+                let encoded = wire::encode::<F>(payload);
+                let mut frame = BytesMut::with_capacity(1 + encoded.len());
+                TraceHeader::encode_into(header.as_ref(), &mut frame);
+                frame.put_slice(encoded.as_ref_slice());
+                Some(frame.freeze())
             })
             .collect();
 
@@ -356,43 +377,47 @@ impl<F: PrimeField> Transport<F> for TcpEndpoint<F> {
                 }
                 Ok(())
             });
-            let read = (|| -> Result<Vec<Vec<F>>, TransportError> {
+            let read = (|| -> ReadHalf<F> {
                 let mut incoming: Vec<Vec<F>> = (0..n).map(|_| Vec::new()).collect();
+                let mut in_headers: Vec<Option<TraceHeader>> = vec![None; n];
                 for (i, reader) in readers.iter_mut().enumerate() {
                     let Some(stream) = reader.as_mut() else {
                         continue;
                     };
                     let t0 = timing.then(Instant::now);
-                    let frame = read_frame(stream, i, round, read_timeout)?;
+                    let mut frame = read_frame(stream, i, round, read_timeout)?;
                     if let Some(t0) = t0 {
                         metrics::histogram_record(
                             &format!("net.tcp.recv_ns.p{i}_to_p{id}"),
                             t0.elapsed().as_nanos() as f64,
                         );
                     }
-                    incoming[i] =
-                        wire::decode::<F>(frame).map_err(|source| TransportError::Wire {
-                            party: i,
-                            round,
-                            source,
-                        })?;
+                    let wire_err = |source| TransportError::Wire {
+                        party: i,
+                        round,
+                        source,
+                    };
+                    in_headers[i] = TraceHeader::decode_from(&mut frame).map_err(wire_err)?;
+                    incoming[i] = wire::decode::<F>(frame).map_err(wire_err)?;
                 }
-                Ok(incoming)
+                Ok((incoming, in_headers))
             })();
             (writer.join().expect("tcp writer thread panicked"), read)
         });
 
         // Prefer the read-side error: it attributes the failure to the peer
         // whose data never arrived, which is the actionable diagnosis.
-        let mut incoming = read_result?;
+        let (mut incoming, mut in_headers) = read_result?;
         write_result?;
         incoming[id] = loopback;
+        in_headers[id] = loopback_header;
 
         metrics::counter_add("net.tcp.frames_sent", (n - 1) as u64);
         metrics::counter_add("net.tcp.payload_bytes_sent", bytes);
         self.round += 1;
         Ok(RoundOutcome {
             incoming,
+            headers: in_headers,
             messages,
             bytes,
         })
@@ -474,6 +499,46 @@ mod tests {
                 }
             });
         });
+    }
+
+    #[test]
+    fn trace_headers_cross_the_socket() {
+        let mut eps = tcp_mesh::<M61>(2, &TcpOptions::default()).unwrap();
+        let results: Vec<RoundOutcome<M61>> = thread::scope(|s| {
+            let handles: Vec<_> = eps
+                .iter_mut()
+                .map(|ep| {
+                    s.spawn(move || {
+                        let id = Transport::<M61>::id(ep);
+                        let headers: Vec<Option<TraceHeader>> = (0..2)
+                            .map(|j| {
+                                (j != id).then_some(TraceHeader {
+                                    run_id: 11,
+                                    party: id as u32,
+                                    round: 0,
+                                    link_seq: 3,
+                                    lamport: 10 + id as u64,
+                                })
+                            })
+                            .collect();
+                        ep.exchange_stamped(vec![vec![M61::ONE]; 2], Some(headers))
+                            .unwrap()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for (me, out) in results.iter().enumerate() {
+            let peer = 1 - me;
+            let h = out.headers[peer].expect("peer header over tcp");
+            assert_eq!(h.run_id, 11);
+            assert_eq!(h.party, peer as u32);
+            assert_eq!(h.link_seq, 3);
+            assert_eq!(h.lamport, 10 + peer as u64);
+            assert_eq!(out.headers[me], None);
+            // Header bytes never enter the accounting.
+            assert_eq!(out.bytes, 8);
+        }
     }
 
     #[test]

@@ -14,6 +14,7 @@ use crate::channel;
 use crate::error::TransportError;
 use crate::fault::{FaultSpec, FaultTransport};
 use crate::tcp::{self, TcpOptions};
+use crate::wire::TraceHeader;
 
 /// The result of one successful synchronous round.
 #[derive(Clone, Debug)]
@@ -21,11 +22,16 @@ pub struct RoundOutcome<F> {
     /// `incoming[i]` is the payload received from party `i` (the self slot
     /// holds the loop-back payload).
     pub incoming: Vec<Vec<F>>,
+    /// `headers[i]` is the causal trace context party `i` stamped on its
+    /// payload, if any. Always `n_parties()` entries; all `None` when the
+    /// sender ran without tracing.
+    pub headers: Vec<Option<TraceHeader>>,
     /// Messages this party sent (non-empty payloads to other parties).
     pub messages: u64,
     /// Payload bytes this party sent, at the canonical wire encoding
-    /// ([`crate::wire::encoded_len`]); framing overhead is *not* counted,
-    /// so the figure is identical across backends.
+    /// ([`crate::wire::encoded_len`]); framing overhead is *not* counted
+    /// and neither are trace headers, so the figure is identical across
+    /// backends and identical with tracing on or off.
     pub bytes: u64,
 }
 
@@ -57,7 +63,20 @@ pub trait Transport<F: PrimeField>: Send {
 
     /// One synchronous round: send `outgoing[j]` to each party `j` and
     /// receive one payload from every party.
-    fn exchange(&mut self, outgoing: Vec<Vec<F>>) -> Result<RoundOutcome<F>, TransportError>;
+    fn exchange(&mut self, outgoing: Vec<Vec<F>>) -> Result<RoundOutcome<F>, TransportError> {
+        self.exchange_stamped(outgoing, None)
+    }
+
+    /// [`exchange`](Transport::exchange) with an optional causal trace
+    /// context per destination: `headers[j]` is stamped on the payload to
+    /// party `j` and surfaces in the receiver's
+    /// [`RoundOutcome::headers`]. Headers are observability metadata only
+    /// — they never enter the message/byte accounting.
+    fn exchange_stamped(
+        &mut self,
+        outgoing: Vec<Vec<F>>,
+        headers: Option<Vec<Option<TraceHeader>>>,
+    ) -> Result<RoundOutcome<F>, TransportError>;
 
     /// Broadcast the same payload to every party and collect one from each
     /// (used for opening shares).

@@ -59,6 +59,104 @@ pub fn encoded_len<F: PrimeField>(len: usize) -> u64 {
     (len * F::byte_width()) as u64
 }
 
+/// Wire version byte announcing "no trace context attached".
+pub const TRACE_HEADER_ABSENT: u8 = 0;
+/// Wire version byte of the [`TraceHeader`] v1 layout.
+pub const TRACE_HEADER_V1: u8 = 1;
+
+/// Compact causal trace context stamped on a message by the sending party.
+///
+/// Carried as a *versioned optional* prefix of each frame payload: a single
+/// version byte ([`TRACE_HEADER_ABSENT`] or [`TRACE_HEADER_V1`]) followed,
+/// for v1, by the five fields in little-endian order. The header is pure
+/// observability metadata: it is excluded from the message/byte accounting
+/// so [`RoundOutcome`](crate::RoundOutcome) figures stay identical whether
+/// tracing is on or off, and identical across backends.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub struct TraceHeader {
+    /// Identifies the protocol run (derived deterministically from the
+    /// engine seed so repeated runs produce comparable traces).
+    pub run_id: u64,
+    /// The sending party's index.
+    pub party: u32,
+    /// The sender's synchronous round index at send time.
+    pub round: u64,
+    /// Per-directed-link sequence number (the k-th real message this
+    /// sender put on this link), used to match sends to receives.
+    pub link_seq: u64,
+    /// The sender's Lamport clock at send time.
+    pub lamport: u64,
+}
+
+impl TraceHeader {
+    /// Bytes of a v1 header body (the version byte is not included).
+    pub const ENCODED_BYTES: usize = 8 + 4 + 8 + 8 + 8;
+
+    /// Append the versioned optional header (`None` encodes as the single
+    /// [`TRACE_HEADER_ABSENT`] byte).
+    pub fn encode_into(header: Option<&TraceHeader>, buf: &mut BytesMut) {
+        match header {
+            None => buf.put_u8(TRACE_HEADER_ABSENT),
+            Some(h) => {
+                buf.put_u8(TRACE_HEADER_V1);
+                buf.put_slice(&h.run_id.to_le_bytes());
+                buf.put_slice(&h.party.to_le_bytes());
+                buf.put_slice(&h.round.to_le_bytes());
+                buf.put_slice(&h.link_seq.to_le_bytes());
+                buf.put_slice(&h.lamport.to_le_bytes());
+            }
+        }
+    }
+
+    /// Decode the versioned optional header from the front of `buf`,
+    /// leaving the cursor at the first payload byte.
+    pub fn decode_from(buf: &mut Bytes) -> Result<Option<TraceHeader>, WireError> {
+        let remaining = buf.len();
+        if remaining == 0 {
+            return Err(WireError::BadTraceHeader {
+                version: TRACE_HEADER_ABSENT,
+                remaining,
+            });
+        }
+        let mut version = [0u8; 1];
+        buf.copy_to_slice(&mut version);
+        match version[0] {
+            TRACE_HEADER_ABSENT => Ok(None),
+            TRACE_HEADER_V1 => {
+                if buf.len() < Self::ENCODED_BYTES {
+                    return Err(WireError::BadTraceHeader {
+                        version: TRACE_HEADER_V1,
+                        remaining,
+                    });
+                }
+                let mut u64buf = [0u8; 8];
+                let mut u32buf = [0u8; 4];
+                buf.copy_to_slice(&mut u64buf);
+                let run_id = u64::from_le_bytes(u64buf);
+                buf.copy_to_slice(&mut u32buf);
+                let party = u32::from_le_bytes(u32buf);
+                buf.copy_to_slice(&mut u64buf);
+                let round = u64::from_le_bytes(u64buf);
+                buf.copy_to_slice(&mut u64buf);
+                let link_seq = u64::from_le_bytes(u64buf);
+                buf.copy_to_slice(&mut u64buf);
+                let lamport = u64::from_le_bytes(u64buf);
+                Ok(Some(TraceHeader {
+                    run_id,
+                    party,
+                    round,
+                    link_seq,
+                    lamport,
+                }))
+            }
+            v => Err(WireError::BadTraceHeader {
+                version: v,
+                remaining,
+            }),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -101,6 +199,69 @@ mod tests {
     fn rejects_ragged_buffer() {
         let err = decode::<M61>(Bytes::from_static(&[1, 2, 3])).unwrap_err();
         assert_eq!(err, WireError::RaggedBuffer { len: 3, width: 8 });
+    }
+
+    #[test]
+    fn trace_header_roundtrip() {
+        let h = TraceHeader {
+            run_id: 0xDEAD_BEEF_0123_4567,
+            party: 3,
+            round: 42,
+            link_seq: 7,
+            lamport: 99,
+        };
+        let mut buf = BytesMut::new();
+        TraceHeader::encode_into(Some(&h), &mut buf);
+        assert_eq!(buf.len(), 1 + TraceHeader::ENCODED_BYTES);
+        let mut bytes = buf.freeze();
+        assert_eq!(TraceHeader::decode_from(&mut bytes).expect("v1"), Some(h));
+        assert!(bytes.is_empty());
+    }
+
+    #[test]
+    fn trace_header_absent_is_one_byte() {
+        let mut buf = BytesMut::new();
+        TraceHeader::encode_into(None, &mut buf);
+        assert_eq!(buf.len(), 1);
+        let mut bytes = buf.freeze();
+        assert_eq!(TraceHeader::decode_from(&mut bytes).expect("absent"), None);
+    }
+
+    #[test]
+    fn trace_header_survives_payload_suffix() {
+        let vals: Vec<M61> = (0..5).map(M61::from_u64).collect();
+        let h = TraceHeader {
+            run_id: 1,
+            party: 0,
+            round: 0,
+            link_seq: 0,
+            lamport: 1,
+        };
+        let mut buf = BytesMut::new();
+        TraceHeader::encode_into(Some(&h), &mut buf);
+        buf.put_slice(encode(&vals).as_ref_slice());
+        let mut bytes = buf.freeze();
+        assert_eq!(TraceHeader::decode_from(&mut bytes).expect("v1"), Some(h));
+        assert_eq!(decode::<M61>(bytes).expect("payload"), vals);
+    }
+
+    #[test]
+    fn trace_header_rejects_unknown_version_and_truncation() {
+        let mut bytes = Bytes::from_static(&[9, 0, 0]);
+        match TraceHeader::decode_from(&mut bytes).unwrap_err() {
+            WireError::BadTraceHeader { version: 9, .. } => {}
+            other => panic!("expected BadTraceHeader, got {other:?}"),
+        }
+        let mut short = Bytes::from_static(&[TRACE_HEADER_V1, 1, 2, 3]);
+        match TraceHeader::decode_from(&mut short).unwrap_err() {
+            WireError::BadTraceHeader {
+                version: TRACE_HEADER_V1,
+                remaining: 4,
+            } => {}
+            other => panic!("expected truncated BadTraceHeader, got {other:?}"),
+        }
+        let mut empty = Bytes::new();
+        assert!(TraceHeader::decode_from(&mut empty).is_err());
     }
 
     #[test]

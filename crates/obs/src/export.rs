@@ -6,10 +6,15 @@
 //! finished in milliseconds of real time.
 //!
 //! * JSONL: one self-describing JSON object per line (`"type"` is
-//!   `"meta"`, `"span"`, `"round"` or `"net"`), easy to `jq`/stream.
+//!   `"meta"`, `"span"`, `"round"`, `"net"` or `"causal"`), easy to
+//!   `jq`/stream.
 //! * Chrome trace: the [trace-event format] with complete (`"X"`) events,
 //!   one track per party (`pid` 0, `tid` = party id), loadable in
-//!   Perfetto or `chrome://tracing`.
+//!   Perfetto or `chrome://tracing`. When the trace carries causal stamps
+//!   (see [`crate::causal`]), every matched send→recv message becomes a
+//!   flow-event pair (`"ph":"s"` on the sender track, `"ph":"f"` with
+//!   `"bp":"e"` on the receiver track, shared `"id"`), rendered as arrows
+//!   between party tracks.
 //!
 //! [trace-event format]: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
 
@@ -18,6 +23,7 @@ use std::time::Duration;
 
 use serde::json;
 
+use crate::causal::MessageDag;
 use crate::ledger::LedgerReport;
 use crate::metrics::MetricsSnapshot;
 use crate::trace::Trace;
@@ -87,6 +93,26 @@ pub fn write_jsonl<W: Write>(trace: &Trace, w: &mut W) -> io::Result<()> {
             line.push('}');
             writeln!(w, "{line}")?;
         }
+        for c in &pt.causal {
+            let mut line = String::new();
+            line.push_str(&format!(
+                "{{\"type\":\"causal\",\"party\":{},\"phase\":",
+                c.party
+            ));
+            json::write_str(&mut line, &c.phase);
+            line.push_str(&format!(",\"index\":{},\"t_send_s\":", c.index));
+            json::write_f64(&mut line, secs(c.t_send));
+            line.push_str(",\"t_recv_s\":");
+            json::write_f64(&mut line, secs(c.t_recv));
+            line.push_str(&format!(
+                ",\"lamport_send\":{},\"lamport_recv\":{},\"sends\":{},\"recvs\":{}}}",
+                c.lamport_send,
+                c.lamport_recv,
+                c.sends.len(),
+                c.recvs.len()
+            ));
+            writeln!(w, "{line}")?;
+        }
     }
     Ok(())
 }
@@ -138,6 +164,28 @@ pub fn chrome_trace_json(trace: &Trace) -> String {
             ev.push_str("}}");
             push_event(&mut out, ev);
         }
+    }
+    // Flow arrows: one `s`/`f` pair per matched send→recv edge. The shared
+    // `id` is the edge's index in the DAG's deterministic (from, to,
+    // link_seq) ordering, so identical runs produce identical flow ids.
+    let dag = MessageDag::build(trace);
+    for (id, e) in dag.edges().iter().enumerate() {
+        let mut ev = format!(
+            "{{\"ph\":\"s\",\"pid\":0,\"tid\":{},\"name\":\"msg\",\
+             \"cat\":\"flow\",\"id\":{id},\"ts\":",
+            e.from
+        );
+        json::write_f64(&mut ev, micros(e.send_time));
+        ev.push('}');
+        push_event(&mut out, ev);
+        let mut ev = format!(
+            "{{\"ph\":\"f\",\"bp\":\"e\",\"pid\":0,\"tid\":{},\"name\":\"msg\",\
+             \"cat\":\"flow\",\"id\":{id},\"ts\":",
+            e.to
+        );
+        json::write_f64(&mut ev, micros(e.recv_time));
+        ev.push('}');
+        push_event(&mut out, ev);
     }
     out.push_str("]}");
     out
@@ -354,6 +402,70 @@ pub fn html_report(
     }
     out.push_str("</table>\n");
 
+    // --- critical path (causal stamps required) -----------------------
+    let has_causal = trace.parties.iter().any(|p| !p.causal.is_empty());
+    if has_causal {
+        let dag = MessageDag::build(trace);
+        let cp = dag.critical_path();
+        out.push_str("<h2>Critical path</h2>\n<p class=\"meta\">");
+        out.push_str(&format!(
+            "total {} · ends at party {} · {} cross-party hop(s) · \
+             {} flow edge(s), {} unmatched send(s), {} Lamport violation(s)",
+            fmt_duration(cp.total),
+            cp.end_party,
+            cp.cross_hops,
+            dag.edges().len(),
+            dag.unmatched_sends(),
+            dag.lamport_violations(),
+        ));
+        out.push_str("</p>\n");
+        out.push_str(
+            "<table>\n<tr><th class=\"l\">party</th><th>total</th><th>compute</th>\
+             <th>idle (waiting)</th><th>causal rounds</th><th>messages sent</th></tr>\n",
+        );
+        for p in &cp.parties {
+            out.push_str(&format!(
+                "<tr><td class=\"l\">party {}</td><td>{}</td><td>{}</td><td>{}</td>\
+                 <td>{}</td><td>{}</td></tr>\n",
+                p.party,
+                fmt_duration(p.total),
+                fmt_duration(p.compute),
+                fmt_duration(p.idle),
+                p.rounds,
+                p.messages,
+            ));
+        }
+        out.push_str("</table>\n");
+        const MAX_SEGMENTS: usize = 32;
+        out.push_str(
+            "<table>\n<tr><th class=\"l\">segment</th><th class=\"l\">kind</th>\
+             <th class=\"l\">phase</th><th>party</th><th>start</th><th>end</th>\
+             <th>duration</th><th>from</th></tr>\n",
+        );
+        for (i, seg) in cp.segments.iter().take(MAX_SEGMENTS).enumerate() {
+            out.push_str(&format!(
+                "<tr><td class=\"l\">{i}</td><td class=\"l\">{}</td><td class=\"l\">{}</td>\
+                 <td>{}</td><td>{}</td><td>{}</td><td>{}</td><td class=\"l\">{}</td></tr>\n",
+                html_escape(&seg.kind),
+                html_escape(&seg.phase),
+                seg.party,
+                fmt_duration(seg.start),
+                fmt_duration(seg.end),
+                fmt_duration(seg.end.saturating_sub(seg.start)),
+                seg.from_party
+                    .map_or_else(|| "—".to_string(), |p| format!("party {p}")),
+            ));
+        }
+        out.push_str("</table>\n");
+        if cp.segments.len() > MAX_SEGMENTS {
+            out.push_str(&format!(
+                "<p class=\"meta\">… {} further segment(s) omitted; the full walk is in \
+                 the Chrome trace's flow arrows.</p>\n",
+                cp.segments.len() - MAX_SEGMENTS
+            ));
+        }
+    }
+
     // --- privacy ledger -----------------------------------------------
     if let Some(report) = ledger {
         out.push_str(&format!(
@@ -515,6 +627,92 @@ mod tests {
         assert!(json.contains("\"dur\":102000.0"));
         // No trailing commas (the classic hand-rolled-JSON bug).
         assert!(!json.contains(",]") && !json.contains(",}"));
+    }
+
+    /// Two parties, two causally-stamped rounds each (the engines' recording
+    /// order: causal context, then the round, then one flush per phase).
+    fn causal_sample_trace() -> Trace {
+        use crate::trace::MsgStamp;
+        let latency = Duration::from_millis(100);
+        let parties = (0..2usize)
+            .map(|me| {
+                let peer = 1 - me;
+                let mut rec = PartyRecorder::new(me, latency);
+                rec.set_phase("compute");
+                let mut lamport = 0u64;
+                for k in 0..2u64 {
+                    let send = lamport + 1;
+                    let recv = send + 1;
+                    let stamp = MsgStamp {
+                        peer,
+                        link_seq: k,
+                        lamport: send,
+                        round: k,
+                    };
+                    rec.record_causal_round(
+                        Duration::from_millis(k),
+                        Duration::from_millis(k),
+                        send,
+                        recv,
+                        vec![stamp],
+                        vec![stamp],
+                    );
+                    rec.record_round(1, 8);
+                    lamport = recv;
+                }
+                rec.flush_phase(Duration::from_millis(2));
+                rec.finish()
+            })
+            .collect();
+        Trace::from_parties(latency, parties)
+    }
+
+    #[test]
+    fn chrome_trace_emits_one_flow_pair_per_message() {
+        let json = chrome_trace_json(&causal_sample_trace());
+        // 2 parties * 2 rounds = 4 matched messages → 4 s/f pairs.
+        assert_eq!(json.matches("\"ph\":\"s\"").count(), 4);
+        assert_eq!(json.matches("\"ph\":\"f\"").count(), 4);
+        assert_eq!(json.matches("\"bp\":\"e\"").count(), 4);
+        // Each flow id appears exactly twice: once on the sender track,
+        // once on the receiver track.
+        for id in 0..4 {
+            assert_eq!(json.matches(&format!("\"id\":{id},")).count(), 2, "{id}");
+        }
+        assert!(!json.contains(",]") && !json.contains(",}"));
+    }
+
+    #[test]
+    fn chrome_trace_has_no_flow_events_without_causal_stamps() {
+        let json = chrome_trace_json(&sample_trace());
+        assert_eq!(json.matches("\"ph\":\"s\"").count(), 0);
+        assert_eq!(json.matches("\"ph\":\"f\"").count(), 0);
+    }
+
+    #[test]
+    fn jsonl_includes_causal_lines() {
+        let mut buf = Vec::new();
+        write_jsonl(&causal_sample_trace(), &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let causal_lines: Vec<&str> = text
+            .lines()
+            .filter(|l| l.contains("\"type\":\"causal\""))
+            .collect();
+        assert_eq!(causal_lines.len(), 4);
+        assert!(causal_lines[0].contains("\"lamport_send\":1"));
+        assert!(causal_lines[0].ends_with('}'));
+    }
+
+    #[test]
+    fn html_report_gains_critical_path_section_with_causal_stamps() {
+        let html = html_report("causal run", &causal_sample_trace(), None, None);
+        assert!(html.contains("Critical path"));
+        assert!(html.contains("idle (waiting)"));
+        // Still self-contained.
+        assert!(!html.contains("<script") && !html.contains("<link"));
+        // And absent without stamps.
+        let plain = html_report("plain run", &sample_trace(), None, None);
+        assert!(!plain.contains("Critical path"));
     }
 
     #[test]

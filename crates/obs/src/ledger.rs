@@ -83,7 +83,9 @@ impl PrivacyLedger {
         }
     }
 
-    /// Record one Skellam release and return its ledger entry.
+    /// Record one Skellam release and return a reference to its entry
+    /// (`None` is impossible after a push, but the signature keeps the
+    /// ledger free of panic paths).
     pub fn record(
         &mut self,
         kind: &str,
@@ -91,7 +93,7 @@ impl PrivacyLedger {
         gamma: f64,
         mu: f64,
         sens: Sensitivity,
-    ) -> &LedgerEntry {
+    ) -> Option<&LedgerEntry> {
         let grid = default_alpha_grid();
         let (server_eps, client_eps) = if mu > 0.0 {
             let server = RdpCurve::from_fn(&grid, |a| skellam_rdp(a, sens, mu));
@@ -122,12 +124,17 @@ impl PrivacyLedger {
             client_epsilon_total: self.client_epsilon(),
         };
         self.entries.push(entry);
-        self.entries.last().unwrap()
+        self.last_entry()
     }
 
     /// Every recorded release, in order.
     pub fn entries(&self) -> &[LedgerEntry] {
         &self.entries
+    }
+
+    /// The most recent release, if any has been recorded.
+    pub fn last_entry(&self) -> Option<&LedgerEntry> {
+        self.entries.last()
     }
 
     pub fn len(&self) -> usize {
@@ -235,8 +242,10 @@ mod tests {
     #[test]
     fn records_both_views_per_release() {
         let mut ledger = PrivacyLedger::new(4, 1e-5);
+        assert!(ledger.last_entry().is_none(), "fresh ledger has no entries");
         let e = ledger
             .record("covariance", 16, 18.0, 1e6, sens(330.0, 16))
+            .expect("entry just recorded")
             .clone();
         assert_eq!(e.index, 0);
         assert_eq!(e.kind, "covariance");

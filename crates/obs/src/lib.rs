@@ -20,23 +20,35 @@
 //!   running RDP composition of everything released so far. The composed
 //!   totals agree with `sqm_accounting::budget::PrivacyOdometer` fed the
 //!   same curves.
+//! * [`causal`] — cross-party causal analysis of a traced run: every
+//!   message carries a compact trace context (run id, party, round,
+//!   per-link sequence number, Lamport clock), from which
+//!   [`causal::MessageDag`] reconstructs the full send→recv flow graph,
+//!   validates it (Lamport monotonicity, one matching receive per send),
+//!   and computes the latency-weighted critical path with a per-party
+//!   idle/compute breakdown. On the in-process backend the critical-path
+//!   total equals `RunStats::simulated_time()` exactly.
 //! * [`export`] — JSONL event logs, Chrome trace-event JSON (loadable in
-//!   Perfetto / `chrome://tracing`, timestamps on the simulated timeline),
-//!   and a human-readable per-phase summary table.
+//!   Perfetto / `chrome://tracing`, timestamps on the simulated timeline,
+//!   flow arrows from the causal stamps), and a human-readable per-phase
+//!   summary table.
 //!
 //! Everything here is *passive*: recording is driven by the `mpc`/`vfl`
 //! layers behind `trace: bool` config flags, and the experiment binaries
 //! gate exports behind `--trace` / `SQM_TRACE=1`.
 
+pub mod causal;
 pub mod export;
 pub mod ledger;
 pub mod metrics;
 pub mod trace;
 
+pub use causal::{CriticalPath, FlowEdge, MessageDag, PartyBreakdown, PathSegment};
 pub use export::{
     chrome_trace_json, html_report, write_chrome_trace, write_html_report, write_jsonl,
 };
 pub use ledger::{LedgerEntry, LedgerReport, PrivacyLedger};
 pub use trace::{
-    NetEvent, PartyRecorder, PartyTrace, PhaseTotal, RoundRecord, SpanRecord, Trace, TraceSummary,
+    CausalRound, MsgStamp, NetEvent, PartyRecorder, PartyTrace, PhaseTotal, RoundRecord,
+    SpanRecord, Trace, TraceSummary,
 };

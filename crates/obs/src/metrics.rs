@@ -12,7 +12,7 @@
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Mutex, OnceLock};
+use std::sync::{Mutex, MutexGuard, OnceLock};
 
 use serde::Serialize;
 
@@ -43,6 +43,27 @@ fn registry() -> &'static Mutex<Registry> {
     REGISTRY.get_or_init(|| Mutex::new(Registry::default()))
 }
 
+/// Lock the registry, recovering from poisoning instead of propagating the
+/// panic: a producer thread that died mid-record leaves data that is at
+/// worst missing one observation, which is strictly better for an
+/// observability registry than taking every later recorder down with it.
+/// Each recovery is counted under `obs.metrics.poisoned` (incremented
+/// directly on the recovered guard — re-entering the lock here would
+/// recurse).
+fn lock_registry() -> MutexGuard<'static, Registry> {
+    match registry().lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => {
+            let mut guard = poisoned.into_inner();
+            *guard
+                .counters
+                .entry("obs.metrics.poisoned".to_string())
+                .or_insert(0) += 1;
+            guard
+        }
+    }
+}
+
 /// Turn recording on or off (off by default).
 pub fn set_enabled(on: bool) {
     ENABLED.store(on, Ordering::Relaxed);
@@ -58,7 +79,7 @@ pub fn counter_add(name: &str, delta: u64) {
     if !is_enabled() {
         return;
     }
-    let mut reg = registry().lock().unwrap();
+    let mut reg = lock_registry();
     match reg.counters.get_mut(name) {
         Some(v) => *v += delta,
         None => {
@@ -72,11 +93,7 @@ pub fn gauge_set(name: &str, value: f64) {
     if !is_enabled() {
         return;
     }
-    registry()
-        .lock()
-        .unwrap()
-        .gauges
-        .insert(name.to_string(), value);
+    lock_registry().gauges.insert(name.to_string(), value);
 }
 
 /// Record one observation into the histogram `name`. Non-finite values
@@ -91,7 +108,7 @@ pub fn histogram_record(name: &str, value: f64) {
         counter_add("obs.metrics.non_finite_dropped", 1);
         return;
     }
-    let mut reg = registry().lock().unwrap();
+    let mut reg = lock_registry();
     let h = reg.histograms.entry(name.to_string()).or_default();
     if h.count == 0 {
         h.min = value;
@@ -109,7 +126,7 @@ pub fn histogram_record(name: &str, value: f64) {
 
 /// Drop every recorded value (the enabled flag is left unchanged).
 pub fn reset() {
-    let mut reg = registry().lock().unwrap();
+    let mut reg = lock_registry();
     *reg = Registry::default();
 }
 
@@ -177,7 +194,7 @@ pub struct MetricsSnapshot {
 
 /// Snapshot the registry (whether or not it is enabled).
 pub fn snapshot() -> MetricsSnapshot {
-    let reg = registry().lock().unwrap();
+    let reg = lock_registry();
     let histograms = reg
         .histograms
         .iter()
@@ -281,6 +298,23 @@ mod tests {
 
         set_enabled(false);
         reset();
+
+        // --- poisoning recovery (keep last: the mutex stays poisoned) ---
+        set_enabled(true);
+        let prev_hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = registry().lock().unwrap();
+            panic!("poison the registry mutex");
+        }));
+        std::panic::set_hook(prev_hook);
+        // Every later lock recovers the inner state instead of panicking,
+        // and each recovery is visible in the poison counter.
+        counter_add("t.after_poison", 1);
+        let snap = snapshot();
+        assert_eq!(snap.counters["t.after_poison"], 1);
+        assert!(snap.counters["obs.metrics.poisoned"] >= 1);
+        set_enabled(false);
     }
 
     #[test]

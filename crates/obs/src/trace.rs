@@ -61,6 +61,53 @@ pub struct RoundRecord {
     pub bytes: u64,
 }
 
+/// One stamped message as seen from one side of an exchange.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+pub struct MsgStamp {
+    /// The peer on the directed link: the destination for sends, the
+    /// source for receives.
+    pub peer: usize,
+    /// Per-directed-link sequence number (matches a send to its receive).
+    pub link_seq: u64,
+    /// The sender's Lamport clock stamped on the message.
+    pub lamport: u64,
+    /// The sender's round index at send time.
+    pub round: u64,
+}
+
+/// One synchronous exchange with its full causal context: where on the
+/// party's simulated timeline the send and receive happened, the party's
+/// Lamport clock on both sides, and the per-link stamps of every real
+/// message sent and received. Recorded only when tracing is on; the
+/// reconstruction lives in [`crate::causal`].
+#[derive(Clone, Debug, Serialize)]
+pub struct CausalRound {
+    pub party: usize,
+    /// Phase the round was charged to.
+    pub phase: String,
+    /// Party-global round index (matches [`RoundRecord::index`]).
+    pub index: u64,
+    /// Simulated-clock position of the send side of the exchange
+    /// (span start + wall measured before the exchange + one latency per
+    /// earlier round in the phase).
+    pub t_send: Duration,
+    /// Simulated-clock position of the receive side (span start + wall
+    /// measured after the exchange + one latency per round completed in
+    /// the phase, including this one). Always `>= t_send`.
+    pub t_recv: Duration,
+    /// Measured wall time spent inside the exchange call (receive wait).
+    pub wall_wait: Duration,
+    /// The party's Lamport clock stamped on this round's outgoing messages.
+    pub lamport_send: u64,
+    /// The party's Lamport clock after merging the received stamps.
+    pub lamport_recv: u64,
+    /// Real messages sent this round (non-empty, non-loopback), one stamp
+    /// per destination.
+    pub sends: Vec<MsgStamp>,
+    /// Stamped messages received this round, one per stamping sender.
+    pub recvs: Vec<MsgStamp>,
+}
+
 /// One transport-level incident (injected fault, retransmit, reconnect,
 /// timeout) as observed by one party's transport endpoint. Emitted by the
 /// `sqm-net` backends and drained into the trace by the engine.
@@ -123,6 +170,7 @@ pub struct PartyRecorder {
     spans: Vec<SpanRecord>,
     rounds: Vec<RoundRecord>,
     net_events: Vec<NetEvent>,
+    causal: Vec<CausalRound>,
     phase_totals: BTreeMap<String, PhaseTotal>,
 }
 
@@ -144,6 +192,7 @@ impl PartyRecorder {
             spans: Vec::new(),
             rounds: Vec::new(),
             net_events: Vec::new(),
+            causal: Vec::new(),
             phase_totals: BTreeMap::new(),
         }
     }
@@ -159,7 +208,7 @@ impl PartyRecorder {
     }
 
     fn stored_events(&self) -> usize {
-        self.spans.len() + self.rounds.len() + self.net_events.len()
+        self.spans.len() + self.rounds.len() + self.net_events.len() + self.causal.len()
     }
 
     /// Record one exchange charged to the current phase.
@@ -224,6 +273,44 @@ impl PartyRecorder {
         self.phase = name.to_string();
     }
 
+    /// Record the causal context of an exchange. Must be called *before*
+    /// [`record_round`](Self::record_round) for the same exchange: the
+    /// event's position on the simulated timeline is anchored at the
+    /// current span start plus one configured latency per round already
+    /// completed in the open phase, mirroring `wall + latency * rounds`.
+    ///
+    /// `wall_send` / `wall_recv` are elapsed-since-phase-start
+    /// measurements taken immediately before and after the transport
+    /// call — the same `Instant` basis as the `flush_phase` wall.
+    #[allow(clippy::too_many_arguments)]
+    pub fn record_causal_round(
+        &mut self,
+        wall_send: Duration,
+        wall_recv: Duration,
+        lamport_send: u64,
+        lamport_recv: u64,
+        sends: Vec<MsgStamp>,
+        recvs: Vec<MsgStamp>,
+    ) {
+        if self.stored_events() < self.event_cap {
+            let k = self.open_rounds as u32;
+            self.causal.push(CausalRound {
+                party: self.party,
+                phase: self.phase.clone(),
+                index: self.round_index,
+                t_send: self.clock + wall_send + self.latency * k,
+                t_recv: self.clock + wall_recv + self.latency * (k + 1),
+                wall_wait: wall_recv.saturating_sub(wall_send),
+                lamport_send,
+                lamport_recv,
+                sends,
+                recvs,
+            });
+        } else {
+            self.dropped_events += 1;
+        }
+    }
+
     /// Record a transport-level event (drained from the transport by the
     /// engine after each exchange). Events do not affect the simulated
     /// clock — injected delays already show up in the measured wall time.
@@ -246,6 +333,7 @@ impl PartyRecorder {
             spans: self.spans,
             rounds: self.rounds,
             net_events: self.net_events,
+            causal: self.causal,
             phase_totals: self.phase_totals.into_values().collect(),
             dropped_events: self.dropped_events,
         }
@@ -260,6 +348,9 @@ pub struct PartyTrace {
     pub rounds: Vec<RoundRecord>,
     /// Transport incidents (faults, retransmits, reconnects), in order.
     pub net_events: Vec<NetEvent>,
+    /// Per-exchange causal context (empty unless the run was traced with
+    /// a causal-stamping engine). Feeds [`crate::causal`].
+    pub causal: Vec<CausalRound>,
     /// Exact per-phase aggregates (sorted by phase name). These feed
     /// [`Trace::summary`] and are complete even when detail records were
     /// dropped under the event cap.
