@@ -11,15 +11,22 @@
 //! Rényi order.
 
 /// Lemma 9 for a single order.
+///
+/// Clamped at 0: for tiny `tau` and large `alpha` the raw formula can dip
+/// below zero, and `(eps, delta)`-DP is only meaningful for `eps >= 0`
+/// (any mechanism satisfying the raw negative value satisfies `(0,
+/// delta)`-DP a fortiori).
 pub fn rdp_to_dp(alpha: f64, tau: f64, delta: f64) -> f64 {
     assert!(alpha > 1.0, "RDP order must exceed 1, got {alpha}");
     assert!(
         delta > 0.0 && delta < 1.0,
         "delta must be in (0,1), got {delta}"
     );
-    assert!(tau >= 0.0, "tau must be non-negative");
-    tau + ((1.0 / delta).ln() + (alpha - 1.0) * (1.0 - 1.0 / alpha).ln() - alpha.ln())
-        / (alpha - 1.0)
+    assert!(tau >= 0.0 && !tau.is_nan(), "tau must be non-negative");
+    let eps = tau
+        + ((1.0 / delta).ln() + (alpha - 1.0) * (1.0 - 1.0 / alpha).ln() - alpha.ln())
+            / (alpha - 1.0);
+    eps.max(0.0)
 }
 
 /// Minimize Lemma 9 over a grid of integer orders given an RDP curve
@@ -89,5 +96,100 @@ mod tests {
     #[should_panic(expected = "delta")]
     fn rejects_bad_delta() {
         rdp_to_dp(2.0, 1.0, 0.0);
+    }
+
+    #[test]
+    fn never_negative_even_where_raw_formula_dips_below_zero() {
+        // delta = 0.5, alpha = 10^4, tau = 0: the raw Lemma 9 value is
+        // negative (log(alpha) dominates); the conversion must clamp to 0.
+        let raw = ((1.0f64 / 0.5).ln() + 9_999.0 * (1.0 - 1e-4f64).ln() - (1e4f64).ln()) / 9_999.0;
+        assert!(
+            raw < 0.0,
+            "test premise: raw formula is negative, got {raw}"
+        );
+        assert_eq!(rdp_to_dp(1e4, 0.0, 0.5), 0.0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::skellam::{skellam_rdp, Sensitivity};
+    use proptest::prelude::*;
+
+    proptest! {
+        /// The conversion never produces a negative epsilon or NaN, for any
+        /// valid (alpha, tau, delta).
+        #[test]
+        fn prop_never_negative_or_nan(
+            alpha in 2u64..100_000,
+            tau in 0.0f64..1e6,
+            delta_exp in 1.0f64..30.0,
+        ) {
+            let eps = rdp_to_dp(alpha as f64, tau, 10f64.powf(-delta_exp));
+            prop_assert!(eps >= 0.0);
+            prop_assert!(!eps.is_nan());
+        }
+
+        /// Monotone in tau: a looser RDP bound never converts to a tighter
+        /// (eps, delta) guarantee.
+        #[test]
+        fn prop_monotone_in_tau(
+            alpha in 2u64..1000,
+            tau in 0.0f64..100.0,
+            bump in 0.0f64..10.0,
+        ) {
+            let a = alpha as f64;
+            prop_assert!(rdp_to_dp(a, tau + bump, 1e-5) >= rdp_to_dp(a, tau, 1e-5));
+        }
+
+        /// Antitone in delta: demanding a smaller delta can only increase
+        /// the converted epsilon.
+        #[test]
+        fn prop_antitone_in_delta(
+            alpha in 2u64..1000,
+            tau in 0.0f64..100.0,
+            d1_exp in 1.0f64..20.0,
+            extra in 0.0f64..10.0,
+        ) {
+            let a = alpha as f64;
+            let d_big = 10f64.powf(-d1_exp);
+            let d_small = 10f64.powf(-(d1_exp + extra));
+            prop_assert!(rdp_to_dp(a, tau, d_small) >= rdp_to_dp(a, tau, d_big));
+        }
+
+        /// Composed with the Skellam curve, the best epsilon is antitone in
+        /// mu (more noise never means less privacy) and monotone in the
+        /// sensitivity; the returned alpha stays inside the grid.
+        #[test]
+        fn prop_best_epsilon_antitone_in_mu_over_skellam_curve(
+            d in 0.5f64..100.0,
+            mu in 10.0f64..1e9,
+            factor in 1.1f64..100.0,
+        ) {
+            let alphas: Vec<u64> = (2..=128).collect();
+            let s = Sensitivity::new(d, d);
+            let (e1, a1) = best_epsilon(|a| skellam_rdp(a, s, mu), 1e-5, &alphas);
+            let (e2, a2) = best_epsilon(|a| skellam_rdp(a, s, mu * factor), 1e-5, &alphas);
+            prop_assert!(e1 >= 0.0 && e2 >= 0.0);
+            prop_assert!(!e1.is_nan() && !e2.is_nan());
+            prop_assert!(e2 <= e1 + 1e-12, "mu up, eps up: {e1} -> {e2}");
+            prop_assert!(alphas.contains(&a1) && alphas.contains(&a2));
+        }
+
+        /// Round-trip through the curve machinery: converting any Skellam
+        /// RDP curve at any delta yields a finite, non-negative epsilon.
+        #[test]
+        fn prop_skellam_conversion_always_finite(
+            d in 0.1f64..1e4,
+            mu in 1.0f64..1e12,
+            delta_exp in 1.0f64..20.0,
+        ) {
+            let alphas: Vec<u64> = (2..=256).collect();
+            let s = Sensitivity::new(d, d);
+            let (eps, _) = best_epsilon(|a| skellam_rdp(a, s, mu), 10f64.powf(-delta_exp), &alphas);
+            prop_assert!(eps.is_finite());
+            prop_assert!(eps >= 0.0);
+        }
     }
 }

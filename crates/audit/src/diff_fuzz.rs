@@ -1,0 +1,266 @@
+//! Differential backend fuzzing: one release, every execution path,
+//! bit-identical or a typed error.
+//!
+//! The MPC party threads derive **all** their randomness from documented
+//! per-party streams of `VflConfig::seed`, which makes the secure
+//! protocols exactly replayable in plaintext:
+//! [`sqm_vfl::covariance_quantized_oracle`] predicts the opened integer
+//! covariance of [`sqm_vfl::try_covariance_skellam`] bit-for-bit. The
+//! fuzzer sweeps a seeded grid of `(seed, P, m, n, gamma, mu)` workloads
+//! across the execution axes —
+//!
+//! * **in-process channels** vs **loopback TCP** (`NetBackend`),
+//! * fault-free vs **delay** / **drop-with-retransmit** / **crash**
+//!   injection (`FaultSpec`),
+//! * BGW vs the **additive-sharing** engine on the linear column-sum
+//!   release (whose shared seed streams make the two backends
+//!   bit-identical by construction),
+//!
+//! and asserts the invariant from the network layer's design: faults
+//! perturb *timing*, never *payloads*. Every completing run must equal
+//! the oracle exactly (integer outputs — no tolerance), every crashed
+//! run must surface a typed [`TransportError`], and nothing may panic.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::Serialize;
+use sqm_linalg::Matrix;
+use sqm_mpc::{FaultSpec, NetBackend};
+use sqm_vfl::{
+    column_sums_skellam, column_sums_skellam_additive, covariance_quantized_oracle,
+    try_covariance_skellam, ColumnPartition, VflConfig,
+};
+
+use crate::AuditConfig;
+
+/// One fuzzed execution.
+#[derive(Clone, Debug, Serialize)]
+pub struct FuzzCase {
+    pub id: u64,
+    pub seed: u64,
+    pub workload: String,
+    pub n_clients: usize,
+    pub records: usize,
+    pub cols: usize,
+    pub gamma: f64,
+    pub mu: f64,
+    /// `"in_process"` or `"tcp"`.
+    pub backend: String,
+    /// `"none"`, `"delay"`, `"drop"` or `"crash"`.
+    pub fault: String,
+    /// `"match"`, `"typed_error"`, `"divergence"` or `"panic"`.
+    pub outcome: String,
+    /// `TransportError::kind()` when a typed error surfaced.
+    pub error_kind: Option<String>,
+}
+
+/// Aggregate fuzzing outcome.
+#[derive(Clone, Debug, Serialize)]
+pub struct FuzzSummary {
+    pub cases: usize,
+    pub matches: usize,
+    pub typed_errors: usize,
+    pub divergences: usize,
+    pub panics: usize,
+    pub results: Vec<FuzzCase>,
+}
+
+impl FuzzSummary {
+    /// Every completing run matched the oracle, every crash surfaced as a
+    /// typed error, and nothing panicked.
+    pub fn passed(&self) -> bool {
+        self.divergences == 0 && self.panics == 0
+    }
+}
+
+fn random_data(rng: &mut StdRng, m: usize, n: usize) -> Matrix {
+    let rows: Vec<Vec<f64>> = (0..m)
+        .map(|_| (0..n).map(|_| rng.gen::<f64>() * 2.0 - 1.0).collect())
+        .collect();
+    Matrix::from_rows(&rows)
+}
+
+/// Run one covariance case and classify its outcome.
+fn run_covariance_case(case: &mut FuzzCase, data: &Matrix, cfg: &VflConfig) {
+    let partition = ColumnPartition::even(case.cols, case.n_clients);
+    let oracle = covariance_quantized_oracle(data, &partition, case.gamma, case.mu, cfg);
+    let crash_expected = case.fault == "crash";
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        try_covariance_skellam(data, &partition, case.gamma, case.mu, cfg)
+    }));
+    match result {
+        Err(_) => case.outcome = "panic".to_string(),
+        Ok(Ok(out)) => {
+            if crash_expected {
+                // A crash at round 1 must never complete.
+                case.outcome = "divergence".to_string();
+            } else if out.c_hat == oracle {
+                case.outcome = "match".to_string();
+            } else {
+                case.outcome = "divergence".to_string();
+            }
+        }
+        Ok(Err(e)) => {
+            case.error_kind = Some(e.kind().to_string());
+            case.outcome = if crash_expected {
+                "typed_error".to_string()
+            } else {
+                "divergence".to_string()
+            };
+        }
+    }
+}
+
+/// Cross-engine case: the linear column-sum release on BGW vs the
+/// additive-sharing engine. The two engines draw quantization and noise
+/// from the same per-party seed streams, so their opened outputs must be
+/// bit-identical.
+fn run_cross_engine_case(case: &mut FuzzCase, data: &Matrix, cfg: &VflConfig) {
+    let partition = ColumnPartition::even(case.cols, case.n_clients);
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        let bgw = column_sums_skellam(data, &partition, case.gamma, case.mu, cfg);
+        let additive = column_sums_skellam_additive(data, &partition, case.gamma, case.mu, cfg);
+        bgw.sums_hat == additive.sums_hat
+    }));
+    case.outcome = match result {
+        Err(_) => "panic".to_string(),
+        Ok(true) => "match".to_string(),
+        Ok(false) => "divergence".to_string(),
+    };
+}
+
+/// Sweep the seeded configuration grid for the configured tier.
+pub fn run_diff_fuzz(cfg: &AuditConfig) -> FuzzSummary {
+    let n_cases = cfg.fuzz_cases();
+    let mut gen = StdRng::seed_from_u64(cfg.seed ^ 0xF0_22_2E_11);
+    let mut results = Vec::with_capacity(n_cases);
+
+    for id in 0..n_cases as u64 {
+        let n_clients = gen.gen_range(2usize..=4);
+        let cols = n_clients + gen.gen_range(0usize..=2);
+        let records = gen.gen_range(3usize..=6);
+        let gamma = [16.0, 64.0, 256.0][gen.gen_range(0usize..3)];
+        let mu = [0.0, 4.0, 100.0][gen.gen_range(0usize..3)];
+        let seed = gen.gen::<u64>();
+        // Cross-engine cases only make sense fault-free and in-process
+        // (the additive engine shares the same transport stack, exercised
+        // by the covariance cases).
+        let workload = if id % 5 == 4 {
+            "column_sums"
+        } else {
+            "covariance"
+        };
+        let (backend_name, backend) = if workload == "covariance" && id % 2 == 1 {
+            ("tcp", NetBackend::tcp())
+        } else {
+            ("in_process", NetBackend::InProcess)
+        };
+        let fault = if workload == "covariance" {
+            ["none", "delay", "drop", "crash"][(id % 4) as usize]
+        } else {
+            "none"
+        };
+
+        let mut vfl_cfg = VflConfig::fast(n_clients)
+            .with_seed(seed)
+            .with_backend(backend);
+        vfl_cfg = match fault {
+            "delay" => vfl_cfg.with_faults(
+                FaultSpec::seeded(seed ^ 0xFA)
+                    .with_delay(Duration::ZERO, Duration::from_micros(500)),
+            ),
+            "drop" => vfl_cfg.with_faults(
+                FaultSpec::seeded(seed ^ 0xFB)
+                    .with_drop(0.25)
+                    .with_retransmit(Duration::from_micros(200), 10),
+            ),
+            "crash" => vfl_cfg.with_faults(
+                FaultSpec::seeded(seed ^ 0xFC).with_crash((id % n_clients as u64) as usize, 1),
+            ),
+            _ => vfl_cfg,
+        };
+
+        let mut case = FuzzCase {
+            id,
+            seed,
+            workload: workload.to_string(),
+            n_clients,
+            records,
+            cols,
+            gamma,
+            mu,
+            backend: backend_name.to_string(),
+            fault: fault.to_string(),
+            outcome: String::new(),
+            error_kind: None,
+        };
+        let data = random_data(&mut gen, records, cols);
+        match workload {
+            "covariance" => run_covariance_case(&mut case, &data, &vfl_cfg),
+            _ => run_cross_engine_case(&mut case, &data, &vfl_cfg),
+        }
+        results.push(case);
+    }
+
+    let count = |outcome: &str| results.iter().filter(|c| c.outcome == outcome).count();
+    FuzzSummary {
+        cases: results.len(),
+        matches: count("match"),
+        typed_errors: count("typed_error"),
+        divergences: count("divergence"),
+        panics: count("panic"),
+        results,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Tier;
+
+    /// The fast-tier sweep, run once and shared between tests (each case
+    /// is a real MPC run; no need to pay for the sweep twice).
+    fn small_sweep() -> &'static FuzzSummary {
+        use std::sync::OnceLock;
+        static SWEEP: OnceLock<FuzzSummary> = OnceLock::new();
+        SWEEP.get_or_init(|| run_diff_fuzz(&AuditConfig::new(0xA0D1_7003, Tier::Fast)))
+    }
+
+    #[test]
+    fn sweep_has_zero_divergences_and_panics() {
+        let summary = small_sweep();
+        assert!(summary.cases >= 50, "acceptance floor: >= 50 configs");
+        let bad: Vec<&FuzzCase> = summary
+            .results
+            .iter()
+            .filter(|c| c.outcome == "divergence" || c.outcome == "panic")
+            .collect();
+        assert!(bad.is_empty(), "divergent cases: {bad:?}");
+        assert!(summary.passed());
+        assert_eq!(
+            summary.matches + summary.typed_errors,
+            summary.cases,
+            "every case must be accounted for"
+        );
+    }
+
+    #[test]
+    fn sweep_covers_every_axis() {
+        let summary = small_sweep();
+        let has = |f: &dyn Fn(&&FuzzCase) -> bool| summary.results.iter().any(|c| f(&c));
+        assert!(has(&|c| c.backend == "tcp"));
+        assert!(has(&|c| c.backend == "in_process"));
+        for fault in ["none", "delay", "drop", "crash"] {
+            assert!(has(&|c| c.fault == fault), "no {fault} case");
+        }
+        assert!(has(&|c| c.workload == "column_sums"));
+        // Every crash case surfaced the root-cause error.
+        for c in summary.results.iter().filter(|c| c.fault == "crash") {
+            assert_eq!(c.outcome, "typed_error", "{c:?}");
+            assert_eq!(c.error_kind.as_deref(), Some("crashed"), "{c:?}");
+        }
+    }
+}

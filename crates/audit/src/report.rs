@@ -1,0 +1,162 @@
+//! The aggregate audit report, serialized to `results/audit_report.json`.
+
+use serde::Serialize;
+
+use crate::diff_fuzz::FuzzSummary;
+use crate::dp_audit::DpAuditResult;
+use crate::gof::GofCheck;
+use crate::AuditConfig;
+
+/// Everything one audit run established, in one serializable object.
+/// With a pinned seed the report is byte-deterministic, so CI can diff
+/// two runs of the same commit.
+#[derive(Clone, Debug, Serialize)]
+pub struct AuditReport {
+    /// Bump when the report layout changes (consumers key on this).
+    pub schema_version: u32,
+    pub seed: u64,
+    /// `"fast"` or `"deep"`.
+    pub tier: String,
+    /// GOF significance level the checks were judged at.
+    pub alpha: f64,
+    pub gof_passed: bool,
+    pub dp_passed: bool,
+    pub fuzz_passed: bool,
+    /// Conjunction of the three sections.
+    pub passed: bool,
+    pub gof: Vec<GofCheck>,
+    pub dp: Vec<DpAuditResult>,
+    pub fuzz: FuzzSummary,
+}
+
+impl AuditReport {
+    pub fn assemble(
+        cfg: &AuditConfig,
+        gof: Vec<GofCheck>,
+        dp: Vec<DpAuditResult>,
+        fuzz: FuzzSummary,
+    ) -> Self {
+        let gof_passed = gof.iter().all(|c| c.passed);
+        let dp_passed = dp.iter().all(|r| r.passed);
+        let fuzz_passed = fuzz.passed();
+        AuditReport {
+            schema_version: 1,
+            seed: cfg.seed,
+            tier: cfg.tier.name().to_string(),
+            alpha: cfg.alpha,
+            gof_passed,
+            dp_passed,
+            fuzz_passed,
+            passed: gof_passed && dp_passed && fuzz_passed,
+            gof,
+            dp,
+            fuzz,
+        }
+    }
+
+    /// A terminal-friendly summary (the full detail is in the JSON).
+    pub fn summary_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("audit [{} tier, seed {}]\n", self.tier, self.seed));
+        out.push_str(&format!(
+            "  gof:  {:>4} checks, {} failed -> {}\n",
+            self.gof.len(),
+            self.gof.iter().filter(|c| !c.passed).count(),
+            verdict(self.gof_passed),
+        ));
+        let worst = self
+            .dp
+            .iter()
+            .map(|r| r.empirical_epsilon / r.analytic_epsilon)
+            .fold(0.0f64, f64::max);
+        out.push_str(&format!(
+            "  dp:   {:>4} configs, worst empirical/analytic = {:.3} -> {}\n",
+            self.dp.len(),
+            worst,
+            verdict(self.dp_passed),
+        ));
+        out.push_str(&format!(
+            "  fuzz: {:>4} cases, {} matches, {} typed errors, {} divergences, {} panics -> {}\n",
+            self.fuzz.cases,
+            self.fuzz.matches,
+            self.fuzz.typed_errors,
+            self.fuzz.divergences,
+            self.fuzz.panics,
+            verdict(self.fuzz_passed),
+        ));
+        out.push_str(&format!("  overall: {}\n", verdict(self.passed)));
+        out
+    }
+}
+
+fn verdict(ok: bool) -> &'static str {
+    if ok {
+        "PASS"
+    } else {
+        "FAIL"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AuditConfig, Tier};
+
+    fn tiny_report(passed: bool) -> AuditReport {
+        let cfg = AuditConfig::new(9, Tier::Fast);
+        let gof = vec![GofCheck {
+            name: "skellam(mu=1)".into(),
+            kind: "chi_square".into(),
+            n_samples: 10,
+            statistic: 1.0,
+            p_value: if passed { 0.5 } else { 1e-9 },
+            alpha: cfg.alpha,
+            passed,
+        }];
+        let fuzz = FuzzSummary {
+            cases: 1,
+            matches: 1,
+            typed_errors: 0,
+            divergences: 0,
+            panics: 0,
+            results: vec![],
+        };
+        AuditReport::assemble(&cfg, gof, vec![], fuzz)
+    }
+
+    #[test]
+    fn verdict_is_the_conjunction() {
+        assert!(tiny_report(true).passed);
+        let bad = tiny_report(false);
+        assert!(!bad.gof_passed && !bad.passed);
+        assert!(bad.dp_passed && bad.fuzz_passed);
+    }
+
+    #[test]
+    fn report_serializes_with_pinned_top_level_schema() {
+        let json = tiny_report(true).to_json();
+        for key in [
+            "\"schema_version\":1",
+            "\"seed\":9",
+            "\"tier\":\"fast\"",
+            "\"gof_passed\":true",
+            "\"dp_passed\":true",
+            "\"fuzz_passed\":true",
+            "\"passed\":true",
+            "\"gof\":[",
+            "\"dp\":[",
+            "\"fuzz\":{",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+    }
+
+    #[test]
+    fn summary_text_names_all_sections() {
+        let text = tiny_report(false).summary_text();
+        assert!(text.contains("gof:"));
+        assert!(text.contains("dp:"));
+        assert!(text.contains("fuzz:"));
+        assert!(text.contains("FAIL"));
+    }
+}

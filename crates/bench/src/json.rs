@@ -191,12 +191,22 @@ impl<'a> Parser<'a> {
         }
         loop {
             self.skip_ws();
+            let key_offset = self.pos;
             let key = self.string()?;
             self.skip_ws();
             self.expect(b':')?;
             self.skip_ws();
             let value = self.value()?;
-            map.insert(key, value);
+            if map.insert(key.clone(), value).is_some() {
+                // A baseline or artifact with two entries for the same key
+                // has been hand-edited badly or corrupted; silently keeping
+                // the later one would let the gate diff against the wrong
+                // number.
+                return Err(JsonError {
+                    offset: key_offset,
+                    message: format!("duplicate object key {key:?}"),
+                });
+            }
             self.skip_ws();
             match self.peek() {
                 Some(b',') => self.pos += 1,
@@ -261,15 +271,32 @@ impl<'a> Parser<'a> {
     }
 
     fn number(&mut self) -> Result<JsonValue, JsonError> {
+        // Strict RFC 8259 grammar: `-?(0|[1-9][0-9]*)(.[0-9]+)?([eE][+-]?[0-9]+)?`.
+        // Rust's `f64::from_str` is laxer (it accepts "1.", ".5", "inf"),
+        // so the shape is validated here rather than delegated.
         let start = self.pos;
         if self.peek() == Some(b'-') {
             self.pos += 1;
         }
-        while matches!(self.peek(), Some(b'0'..=b'9')) {
-            self.pos += 1;
+        match self.peek() {
+            Some(b'0') => {
+                self.pos += 1;
+                if matches!(self.peek(), Some(b'0'..=b'9')) {
+                    return Err(self.err("leading zero in number"));
+                }
+            }
+            Some(b'1'..=b'9') => {
+                while matches!(self.peek(), Some(b'0'..=b'9')) {
+                    self.pos += 1;
+                }
+            }
+            _ => return Err(self.err("expected a digit")),
         }
         if self.peek() == Some(b'.') {
             self.pos += 1;
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.err("expected a digit after decimal point"));
+            }
             while matches!(self.peek(), Some(b'0'..=b'9')) {
                 self.pos += 1;
             }
@@ -278,6 +305,9 @@ impl<'a> Parser<'a> {
             self.pos += 1;
             if matches!(self.peek(), Some(b'+' | b'-')) {
                 self.pos += 1;
+            }
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.err("expected a digit in exponent"));
             }
             while matches!(self.peek(), Some(b'0'..=b'9')) {
                 self.pos += 1;
@@ -342,6 +372,57 @@ mod tests {
         }
         let err = parse("[1, oops]").unwrap_err();
         assert!(err.offset > 0 && err.to_string().contains("byte"));
+    }
+
+    #[test]
+    fn rejects_duplicate_object_keys() {
+        let err = parse(r#"{"median_ns":1,"median_ns":2}"#).unwrap_err();
+        assert!(
+            err.message.contains("duplicate object key \"median_ns\""),
+            "wrong message: {err}"
+        );
+        // The offset points at the second occurrence, not the document end.
+        assert_eq!(err.offset, 15);
+        // Nested objects are checked too.
+        assert!(parse(r#"{"a":{"x":1,"x":1}}"#).is_err());
+        // Same key at different nesting levels stays legal.
+        assert!(parse(r#"{"a":{"a":1},"b":{"a":2}}"#).is_ok());
+    }
+
+    #[test]
+    fn rejects_trailing_garbage_after_document() {
+        for bad in [
+            "{} {}",
+            "[1,2]]",
+            "null null",
+            "42 //comment",
+            "{\"a\":1}x",
+            "\"s\"\"t\"",
+        ] {
+            let err = parse(bad).unwrap_err();
+            assert!(
+                err.message.contains("trailing"),
+                "{bad:?} gave wrong error: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_nonstandard_numbers() {
+        // `f64::from_str` would happily accept several of these; the JSON
+        // grammar does not, and neither must the gate's reader.
+        for bad in [
+            "1.", "01", "-01", ".5", "-.5", "1e", "1e+", "+1", "0x10", "1.2.3", "inf", "-", "--1",
+            "1_000",
+        ] {
+            assert!(parse(bad).is_err(), "accepted {bad:?}");
+        }
+        // Valid edge cases stay accepted.
+        assert_eq!(parse("0").unwrap(), JsonValue::Num(0.0));
+        assert_eq!(parse("-0").unwrap(), JsonValue::Num(0.0));
+        assert_eq!(parse("0.5").unwrap(), JsonValue::Num(0.5));
+        assert_eq!(parse("1e3").unwrap(), JsonValue::Num(1000.0));
+        assert_eq!(parse("-1.5E-2").unwrap(), JsonValue::Num(-0.015));
     }
 
     #[test]

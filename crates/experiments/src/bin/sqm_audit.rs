@@ -1,0 +1,112 @@
+//! `sqm-audit` — the statistical correctness and privacy-auditing harness.
+//!
+//! ```text
+//! sqm-audit                       # fast tier: CI smoke budget
+//! sqm-audit --deep                # nightly tier: 10x sample budgets
+//! sqm-audit --seed 42             # re-pin the master seed
+//! sqm-audit --out results/audit_report.json
+//! ```
+//!
+//! Runs three audits (see `sqm_audit`'s crate docs): exact-distribution
+//! goodness-of-fit on every integer sampler, an empirical-epsilon DP
+//! audit against the accountant's analytic bound, and the differential
+//! backend fuzzer. Writes the full deterministic report as JSON and
+//! exits non-zero if any section fails, so CI can gate on it directly.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use serde::Serialize as _;
+use sqm::obs::metrics;
+use sqm_audit::{run_all, AuditConfig, Tier};
+
+struct Options {
+    seed: u64,
+    tier: Tier,
+    alpha: Option<f64>,
+    out: PathBuf,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            seed: 0xA0D1_7000,
+            tier: Tier::Fast,
+            alpha: None,
+            out: PathBuf::from("results/audit_report.json"),
+        }
+    }
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options::default();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--deep" => opts.tier = Tier::Deep,
+            "--seed" => {
+                i += 1;
+                opts.seed = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .expect("--seed needs a u64");
+            }
+            "--alpha" => {
+                i += 1;
+                let a: f64 = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .expect("--alpha needs a float in (0,1)");
+                assert!(a > 0.0 && a < 1.0, "--alpha out of range: {a}");
+                opts.alpha = Some(a);
+            }
+            "--out" => {
+                i += 1;
+                opts.out = PathBuf::from(args.get(i).expect("--out needs a path"));
+            }
+            other => {
+                panic!("unknown flag {other} (expected --deep, --seed N, --alpha A, --out PATH)")
+            }
+        }
+        i += 1;
+    }
+    opts
+}
+
+fn main() -> ExitCode {
+    let opts = parse_args();
+    let mut cfg = AuditConfig::new(opts.seed, opts.tier);
+    if let Some(a) = opts.alpha {
+        cfg.alpha = a;
+    }
+
+    metrics::set_enabled(true);
+    metrics::reset();
+    let report = run_all(&cfg);
+    metrics::set_enabled(false);
+
+    if let Some(dir) = opts.out.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).expect("create output directory");
+        }
+    }
+    std::fs::write(&opts.out, report.to_json()).expect("write audit report");
+
+    print!("{}", report.summary_text());
+    let snap = metrics::snapshot();
+    for (name, value) in snap
+        .counters
+        .iter()
+        .filter(|(n, _)| n.starts_with("audit."))
+    {
+        println!("  {name} = {value}");
+    }
+    println!("report written to {}", opts.out.display());
+
+    if report.passed {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

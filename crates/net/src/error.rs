@@ -140,6 +140,20 @@ impl TransportError {
         }
     }
 
+    /// A stable machine-readable classification of the failure, for
+    /// structured reports (the audit harness buckets fuzz outcomes by it).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TransportError::Disconnected { .. } => "disconnected",
+            TransportError::Timeout { .. } => "timeout",
+            TransportError::Crashed { .. } => "crashed",
+            TransportError::RetransmitExhausted { .. } => "retransmit_exhausted",
+            TransportError::ConnectFailed { .. } => "connect_failed",
+            TransportError::Wire { .. } => "wire",
+            TransportError::Io { .. } => "io",
+        }
+    }
+
     /// The synchronous round the failure was observed in, if the error
     /// occurred after the mesh was up (`None` for connect-time failures).
     pub fn round(&self) -> Option<u64> {
@@ -229,6 +243,19 @@ mod tests {
         let shown = e.to_string();
         assert!(shown.contains("party 2"), "{shown}");
         assert!(shown.contains("round 3"), "{shown}");
+    }
+
+    #[test]
+    fn kind_is_stable_and_distinct() {
+        let crashed = TransportError::Crashed { party: 0, round: 0 };
+        let dropped = TransportError::RetransmitExhausted {
+            party: 0,
+            round: 0,
+            attempts: 11,
+        };
+        assert_eq!(crashed.kind(), "crashed");
+        assert_eq!(dropped.kind(), "retransmit_exhausted");
+        assert_ne!(crashed.kind(), dropped.kind());
     }
 
     #[test]

@@ -117,6 +117,36 @@ pub fn write_jsonl<W: Write>(trace: &Trace, w: &mut W) -> io::Result<()> {
     Ok(())
 }
 
+/// Write a privacy-ledger report as JSONL: one self-describing object per
+/// line — a `"ledger_meta"` header carrying the deployment parameters and
+/// composed totals, then one `"release"` line per recorded entry, in
+/// release order.
+///
+/// This is the machine-readable export of the privacy account (the HTML
+/// report renders the same data for humans); its schema is pinned by a
+/// golden-file test, so field additions are deliberate, reviewed events.
+pub fn write_ledger_jsonl<W: Write>(report: &LedgerReport, w: &mut W) -> io::Result<()> {
+    use serde::Serialize as _;
+    let mut line = String::from("{\"type\":\"ledger_meta\",\"n_clients\":");
+    line.push_str(&report.n_clients.to_string());
+    line.push_str(",\"delta\":");
+    json::write_f64(&mut line, report.delta);
+    line.push_str(&format!(",\"releases\":{}", report.releases));
+    line.push_str(",\"server_epsilon_total\":");
+    json::write_f64(&mut line, report.server_epsilon_total);
+    line.push_str(",\"client_epsilon_total\":");
+    json::write_f64(&mut line, report.client_epsilon_total);
+    line.push('}');
+    writeln!(w, "{line}")?;
+    for entry in &report.entries {
+        // The derived serializer emits fields in declaration order; splice
+        // the discriminator in front so each line is self-describing.
+        let body = entry.to_json();
+        writeln!(w, "{{\"type\":\"release\",{}", &body[1..])?;
+    }
+    Ok(())
+}
+
 /// Render a trace in the Chrome trace-event JSON format (simulated-clock
 /// microsecond timestamps; one thread track per party).
 pub fn chrome_trace_json(trace: &Trace) -> String {
@@ -611,6 +641,39 @@ mod tests {
         assert!(net_line.contains("\"kind\":\"retransmit\""), "{net_line}");
         assert!(net_line.contains("\"peer\":1"), "{net_line}");
         assert!(net_line.ends_with('}'), "{net_line}");
+    }
+
+    #[test]
+    fn ledger_jsonl_is_one_object_per_line() {
+        use crate::ledger::PrivacyLedger;
+        let mut ledger = PrivacyLedger::new(3, 1e-5);
+        ledger.record(
+            "covariance",
+            16,
+            18.0,
+            1e6,
+            sqm_accounting::skellam::Sensitivity::from_l2_for_dim(330.0, 16),
+        );
+        ledger.record(
+            "column_sums",
+            4,
+            32.0,
+            1e4,
+            sqm_accounting::skellam::Sensitivity::from_l2_for_dim(40.0, 4),
+        );
+        let mut buf = Vec::new();
+        write_ledger_jsonl(&ledger.report(), &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3, "meta + 2 releases");
+        assert!(lines[0].contains("\"type\":\"ledger_meta\""));
+        assert!(lines[0].contains("\"n_clients\":3"));
+        assert!(lines[1].contains("\"type\":\"release\""));
+        assert!(lines[1].contains("\"kind\":\"covariance\""));
+        assert!(lines[2].contains("\"index\":1"));
+        for line in lines {
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+        }
     }
 
     #[test]

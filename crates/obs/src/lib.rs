@@ -46,6 +46,7 @@ pub mod trace;
 pub use causal::{CriticalPath, FlowEdge, MessageDag, PartyBreakdown, PathSegment};
 pub use export::{
     chrome_trace_json, html_report, write_chrome_trace, write_html_report, write_jsonl,
+    write_ledger_jsonl,
 };
 pub use ledger::{LedgerEntry, LedgerReport, PrivacyLedger};
 pub use trace::{

@@ -53,6 +53,40 @@ pub fn sample_discrete_gaussian<R: Rng + ?Sized>(rng: &mut R, sigma: f64) -> i64
     }
 }
 
+/// Exact log-pmf of the discrete Laplace with scale `t`:
+/// `P[K = k] = (1 - q) / (1 + q) * q^{|k|}` with `q = e^{-1/t}`.
+pub fn discrete_laplace_log_pmf(k: i64, t: f64) -> f64 {
+    assert!(t > 0.0 && t.is_finite(), "scale must be positive, got {t}");
+    let q = (-1.0 / t).exp();
+    ((1.0 - q) / (1.0 + q)).ln() - k.unsigned_abs() as f64 / t
+}
+
+/// Exact log-pmf of the discrete Gaussian `N_Z(0, sigma^2)`:
+/// `P[K = k] = e^{-k^2 / (2 sigma^2)} / Z` with
+/// `Z = sum_j e^{-j^2 / (2 sigma^2)}`.
+///
+/// The normalizer sum is truncated when terms drop below `1e-18 * Z`, far
+/// below `f64` round-off. The reference law the statistical audit harness
+/// tests [`sample_discrete_gaussian`] against.
+pub fn discrete_gaussian_log_pmf(k: i64, sigma: f64) -> f64 {
+    assert!(
+        sigma > 0.0 && sigma.is_finite(),
+        "sigma must be positive and finite"
+    );
+    let two_var = 2.0 * sigma * sigma;
+    let mut z = 1.0f64;
+    let mut j = 1.0f64;
+    loop {
+        let term = (-j * j / two_var).exp();
+        if term < 1e-18 {
+            break;
+        }
+        z += 2.0 * term;
+        j += 1.0;
+    }
+    -(k as f64) * (k as f64) / two_var - z.ln()
+}
+
 /// Sample a vector of i.i.d. discrete Gaussians.
 pub fn sample_discrete_gaussian_vec<R: Rng + ?Sized>(
     rng: &mut R,
@@ -158,5 +192,38 @@ mod tests {
     fn rejects_zero_sigma() {
         let mut rng = StdRng::seed_from_u64(0);
         sample_discrete_gaussian(&mut rng, 0.0);
+    }
+
+    #[test]
+    fn log_pmfs_normalize() {
+        for sigma in [0.8, 2.0, 10.0] {
+            let kmax = (20.0 * sigma + 20.0) as i64;
+            let total: f64 = (-kmax..=kmax)
+                .map(|k| discrete_gaussian_log_pmf(k, sigma).exp())
+                .sum();
+            assert!((total - 1.0).abs() < 1e-12, "sigma={sigma}: {total}");
+        }
+        for t in [0.7, 3.0, 12.0] {
+            let kmax = (40.0 * t + 20.0) as i64;
+            let total: f64 = (-kmax..=kmax)
+                .map(|k| discrete_laplace_log_pmf(k, t).exp())
+                .sum();
+            assert!((total - 1.0).abs() < 1e-12, "t={t}: {total}");
+        }
+    }
+
+    #[test]
+    fn log_pmf_ratios_match_definitions() {
+        // Discrete Gaussian: P(0)/P(k) = exp(k^2 / (2 sigma^2)).
+        let sigma = 3.0;
+        for k in [1i64, 2, 5] {
+            let ratio = discrete_gaussian_log_pmf(0, sigma) - discrete_gaussian_log_pmf(k, sigma);
+            let expect = (k * k) as f64 / (2.0 * sigma * sigma);
+            assert!((ratio - expect).abs() < 1e-12);
+        }
+        // Discrete Laplace: P(k)/P(k+1) = e^{1/t} for k >= 0.
+        let t = 2.5;
+        let ratio = discrete_laplace_log_pmf(1, t) - discrete_laplace_log_pmf(2, t);
+        assert!((ratio - 1.0 / t).abs() < 1e-12);
     }
 }

@@ -23,8 +23,11 @@ pub mod rounding;
 pub mod skellam;
 pub mod special;
 
-pub use discrete_gaussian::{sample_discrete_gaussian, sample_discrete_laplace};
+pub use discrete_gaussian::{
+    discrete_gaussian_log_pmf, discrete_laplace_log_pmf, sample_discrete_gaussian,
+    sample_discrete_laplace,
+};
 pub use gaussian::sample_standard_normal;
-pub use poisson::sample_poisson;
+pub use poisson::{poisson_log_pmf, sample_poisson};
 pub use rounding::stochastic_round;
-pub use skellam::{sample_skellam, sample_skellam_vec};
+pub use skellam::{sample_skellam, sample_skellam_vec, skellam_log_pmf};

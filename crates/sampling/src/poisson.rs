@@ -118,6 +118,21 @@ fn poisson_ptrd<R: Rng + ?Sized>(rng: &mut R, mu: f64) -> i64 {
     }
 }
 
+/// Exact log-pmf of `Pois(mu)`: `ln P[K = k] = k ln(mu) - mu - ln(k!)`.
+///
+/// The reference law the statistical audit harness tests the sampler
+/// against. `mu = 0` is the point mass at 0.
+pub fn poisson_log_pmf(k: u64, mu: f64) -> f64 {
+    assert!(
+        mu.is_finite() && mu >= 0.0,
+        "Poisson mean must be finite and >= 0, got {mu}"
+    );
+    if mu == 0.0 {
+        return if k == 0 { 0.0 } else { f64::NEG_INFINITY };
+    }
+    k as f64 * mu.ln() - mu - ln_factorial(k)
+}
+
 /// Stirling series correction `1/(12k) - 1/(360k^3)`.
 fn stirling_log_correction(k: f64) -> f64 {
     let inv = 1.0 / k;
@@ -228,5 +243,19 @@ mod tests {
     fn rejects_negative() {
         let mut rng = StdRng::seed_from_u64(0);
         sample_poisson(&mut rng, -1.0);
+    }
+
+    #[test]
+    fn log_pmf_normalizes_and_matches_point_values() {
+        // P(0) = e^{-mu}; P(1) = mu e^{-mu}; the pmf sums to 1.
+        for mu in [0.5, 3.0, 25.0] {
+            assert!((poisson_log_pmf(0, mu) - (-mu)).abs() < 1e-12);
+            assert!((poisson_log_pmf(1, mu) - (mu.ln() - mu)).abs() < 1e-12);
+            let kmax = (mu + 20.0 * mu.sqrt() + 30.0) as u64;
+            let total: f64 = (0..=kmax).map(|k| poisson_log_pmf(k, mu).exp()).sum();
+            assert!((total - 1.0).abs() < 1e-10, "mu={mu}: total {total}");
+        }
+        assert_eq!(poisson_log_pmf(0, 0.0), 0.0);
+        assert_eq!(poisson_log_pmf(3, 0.0), f64::NEG_INFINITY);
     }
 }

@@ -60,6 +60,47 @@ pub fn skellam_std(mu: f64) -> f64 {
     (2.0 * mu).sqrt()
 }
 
+/// Exact log-pmf of `Sk(mu)`:
+/// `P[K = k] = e^{-2 mu} I_{|k|}(2 mu)`, evaluated as the convolution sum
+/// `sum_j Pois(j + |k|; mu) * Pois(j; mu)` in log space.
+///
+/// The summation window is centered on the dominating term and padded by
+/// many standard deviations, so the truncation error is far below `f64`
+/// round-off for every `mu <= 1e8` (asserted; the audit suites stay well
+/// under that). The reference law the statistical audit harness tests
+/// [`sample_skellam`] against.
+pub fn skellam_log_pmf(k: i64, mu: f64) -> f64 {
+    assert!(
+        mu.is_finite() && mu >= 0.0,
+        "Skellam parameter must be finite and >= 0, got {mu}"
+    );
+    assert!(
+        mu <= 1e8,
+        "exact Skellam pmf evaluation supports mu <= 1e8, got {mu}"
+    );
+    if mu == 0.0 {
+        return if k == 0 { 0.0 } else { f64::NEG_INFINITY };
+    }
+    let a = k.unsigned_abs();
+    // Term j: -2 mu + (2j + a) ln(mu) - ln(j!) - ln((j+a)!), maximized near
+    // j* = (-a + sqrt(a^2 + 4 mu^2)) / 2 (where the term ratio crosses 1).
+    let af = a as f64;
+    let j_star = 0.5 * (-af + (af * af + 4.0 * mu * mu).sqrt());
+    let width = 12.0 * (j_star + 1.0).sqrt() + 40.0;
+    let j_lo = (j_star - width).max(0.0) as u64;
+    let j_hi = (j_star + width) as u64;
+    let ln_mu = mu.ln();
+    let terms: Vec<f64> = (j_lo..=j_hi)
+        .map(|j| {
+            (2 * j + a) as f64 * ln_mu
+                - 2.0 * mu
+                - crate::special::ln_factorial(j)
+                - crate::special::ln_factorial(j + a)
+        })
+        .collect();
+    crate::special::log_sum_exp(&terms)
+}
+
 /// A symmetric `n x n` matrix of Skellam noise: entries on and above the
 /// diagonal are i.i.d. `Sk(mu)`, mirrored below. Used to perturb covariance
 /// matrices for PCA (the matrix must stay symmetric so that eigenvectors are
@@ -172,5 +213,49 @@ mod tests {
         for _ in 0..100 {
             assert_eq!(sample_skellam(&mut rng, 0.0), 0);
         }
+    }
+
+    #[test]
+    fn log_pmf_is_symmetric_and_normalizes() {
+        for mu in [0.3, 2.0, 40.0, 400.0] {
+            // Symmetry: Sk(mu) = Pois - Pois of equal means.
+            for k in [0i64, 1, 3, 17] {
+                let p = skellam_log_pmf(k, mu);
+                let m = skellam_log_pmf(-k, mu);
+                assert!((p - m).abs() < 1e-12, "mu={mu} k={k}: {p} vs {m}");
+            }
+            let kmax = (20.0 * (2.0 * mu).sqrt() + 40.0) as i64;
+            let total: f64 = (-kmax..=kmax).map(|k| skellam_log_pmf(k, mu).exp()).sum();
+            assert!((total - 1.0).abs() < 1e-9, "mu={mu}: total {total}");
+        }
+    }
+
+    #[test]
+    fn log_pmf_matches_direct_convolution() {
+        // Brute-force convolution of two Poisson pmfs at small mu.
+        let mu = 4.0;
+        for k in -6i64..=6 {
+            let mut acc = 0.0f64;
+            for j in 0..200u64 {
+                let jk = j as i64 + k;
+                if jk < 0 {
+                    continue;
+                }
+                acc += (crate::poisson::poisson_log_pmf(jk as u64, mu)
+                    + crate::poisson::poisson_log_pmf(j, mu))
+                .exp();
+            }
+            let exact = skellam_log_pmf(k, mu).exp();
+            assert!(
+                (acc - exact).abs() / exact < 1e-10,
+                "k={k}: {acc} vs {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn log_pmf_zero_mu_is_point_mass() {
+        assert_eq!(skellam_log_pmf(0, 0.0), 0.0);
+        assert_eq!(skellam_log_pmf(2, 0.0), f64::NEG_INFINITY);
     }
 }

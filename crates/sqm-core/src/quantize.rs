@@ -318,4 +318,40 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(0);
         quantize_polynomial(&mut rng, &p, 0.5);
     }
+
+    /// Algorithm 2 pin: `E[Q(gamma x)] = gamma x` exactly — the empirical
+    /// mean of the quantized value must converge to the amplified input,
+    /// not merely land within the +/-1 deviation band.
+    #[test]
+    fn quantize_value_is_unbiased_at_the_amplified_scale() {
+        let mut rng = StdRng::seed_from_u64(31);
+        let gamma = 37.0;
+        for &x in &[0.0, 0.017, -0.49, 0.731, -1.0, 0.999] {
+            let n = 400_000;
+            let sum: i64 = (0..n).map(|_| quantize_value(&mut rng, x, gamma)).sum();
+            let mean = sum as f64 / n as f64;
+            let target = gamma * x;
+            // Fractional part p has std sqrt(p(1-p)) <= 1/2 per draw; allow
+            // 5 standard errors.
+            let tol = 5.0 * 0.5 / (n as f64).sqrt();
+            assert!(
+                (mean - target).abs() < tol.max(1e-9),
+                "x={x}: mean {mean} target {target}"
+            );
+        }
+    }
+
+    /// Algorithm 2 pin: worst-case per-coordinate quantization deviation is
+    /// strictly below 1 — the unit the sensitivity lemmas (2-4) charge per
+    /// coordinate.
+    #[test]
+    fn quantize_deviation_strictly_below_one_everywhere() {
+        let mut rng = StdRng::seed_from_u64(32);
+        let gamma = 1021.0;
+        for i in 0..20_000 {
+            let x = (i as f64 / 20_000.0) * 4.0 - 2.0;
+            let q = quantize_value(&mut rng, x, gamma) as f64;
+            assert!((q - gamma * x).abs() < 1.0, "x={x} q={q}");
+        }
+    }
 }

@@ -218,4 +218,73 @@ mod tests {
         let b3 = magnitude_bound(s, 100, 1e8);
         assert!(b2 > b1 && b3 > b1);
     }
+
+    /// Pins the exact worst-case constants the privacy ledger charges
+    /// (Algorithm 2's per-coordinate rounding deviation of 1, folded into
+    /// Lemmas 5 and 7). Any change to these formulas silently reprices
+    /// every epsilon in the ledger, so they are asserted digit-for-digit.
+    #[test]
+    fn ledger_sensitivity_constants_are_pinned() {
+        // Lemma 5 (covariance): Delta_2 = gamma^2 c^2 + n. The `+ n` term
+        // is exactly one worst-case rounding unit per output coordinate
+        // touched by the replaced record's row/column.
+        for (gamma, c, n) in [(18.0, 1.0, 16), (512.0, 2.0, 4), (4096.0, 0.5, 100)] {
+            let s = pca_sensitivity(gamma, c, n);
+            assert_eq!(s.l2, gamma * gamma * c * c + n as f64);
+            // Lemma 4 packaging: Delta_1 = min(Delta_2^2, sqrt(d) Delta_2)
+            // with d = n^2.
+            assert_eq!(s.l1, (s.l2 * s.l2).min(n as f64 * s.l2));
+        }
+        // Lemma 7 (LR gradient): Delta_2 =
+        // sqrt((3/4 gamma^3)^2 + 9 gamma^5 d + 36 gamma^4).
+        for (gamma, d) in [(32.0, 8), (128.0, 100)] {
+            let s = lr_sensitivity(gamma, d);
+            let expect = ((0.75 * gamma.powi(3)).powi(2)
+                + 9.0 * gamma.powi(5) * d as f64
+                + 36.0 * gamma.powi(4))
+            .sqrt();
+            assert_eq!(s.l2, expect);
+        }
+    }
+
+    /// Worst-case aggregation of Algorithm 2's deviation: a quantized
+    /// record deviates from its amplified original by strictly less than
+    /// `sqrt(n)` in L2 (per-coordinate deviation < 1), so its norm is
+    /// strictly below `gamma c + sqrt(n)` — the constants the lemmas'
+    /// sensitivity proofs charge.
+    #[test]
+    fn quantized_record_deviation_obeys_worst_case_aggregation() {
+        use rand::Rng as _;
+        use rand::SeedableRng as _;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(77);
+        let gamma = 24.0;
+        let c = 1.0;
+        let n = 6;
+        let sqrt_n = (n as f64).sqrt();
+        for _ in 0..500 {
+            // A record on the radius-c sphere.
+            let mut x: Vec<f64> = (0..n).map(|_| rng.gen::<f64>() * 2.0 - 1.0).collect();
+            let norm = x.iter().map(|v| v * v).sum::<f64>().sqrt().max(1e-9);
+            for v in &mut x {
+                *v *= c / norm;
+            }
+            let q: Vec<f64> = x
+                .iter()
+                .map(|&v| crate::quantize::quantize_value(&mut rng, v, gamma) as f64)
+                .collect();
+            let dev = x
+                .iter()
+                .zip(&q)
+                .map(|(&xi, &qi)| (qi - gamma * xi).powi(2))
+                .sum::<f64>()
+                .sqrt();
+            assert!(dev < sqrt_n, "deviation {dev} >= sqrt(n) {sqrt_n}");
+            let qnorm = q.iter().map(|v| v * v).sum::<f64>().sqrt();
+            assert!(
+                qnorm < gamma * c + sqrt_n,
+                "norm {qnorm} >= {}",
+                gamma * c + sqrt_n
+            );
+        }
+    }
 }

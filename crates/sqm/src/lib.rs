@@ -47,6 +47,9 @@
 /// DP accounting: RDP curves, Skellam/Gaussian bounds, subsampling,
 /// conversion, calibration.
 pub use sqm_accounting as accounting;
+/// Statistical correctness and privacy auditing: goodness-of-fit,
+/// empirical-epsilon lower bounds, differential backend fuzzing.
+pub use sqm_audit as audit;
 /// The SQM mechanism: polynomials, quantization, sensitivity, baselines.
 pub use sqm_core as core;
 /// Dataset generators shaped like the paper's evaluation data, plus CSV.
@@ -84,5 +87,6 @@ mod tests {
         let _ = crate::tasks::NonPrivatePca::new(1);
         let _ = crate::datasets::Scale::Laptop;
         let _ = crate::obs::PrivacyLedger::new(2, 1e-5);
+        let _ = crate::audit::AuditConfig::new(0, crate::audit::Tier::Fast);
     }
 }

@@ -114,6 +114,72 @@ pub fn covariance_skellam_plaintext<R: rand::Rng + ?Sized>(
     out
 }
 
+/// Bit-exact plaintext replay of [`covariance_skellam`].
+///
+/// Unlike [`covariance_skellam_plaintext`] (output-*equivalent* law, its own
+/// RNG), this replays the exact per-party randomness streams the MPC party
+/// threads derive from `cfg.seed` — quantization stream
+/// `seed ^ (0xA11C_E000 + p)` consumed column-by-column in partition order,
+/// then `n(n+1)/2` Skellam(mu/P) draws from `seed ^ (0x5E11_A000 + p)` per
+/// party — and therefore predicts the *opened integer output* of the secure
+/// protocol exactly, for any backend. It is the differential-fuzzing oracle:
+/// any bit of divergence from the MPC run is a correctness bug in
+/// secret-sharing, degree reduction, or transport.
+pub fn covariance_quantized_oracle(
+    data: &Matrix,
+    partition: &ColumnPartition,
+    gamma: f64,
+    mu: f64,
+    cfg: &VflConfig,
+) -> Matrix {
+    validate(data, partition, cfg);
+    let n = data.cols();
+    let m = data.rows();
+    let upper_len = n * (n + 1) / 2;
+
+    // Replay each party's quantization stream over its own columns.
+    let mut qcols: Vec<Vec<i64>> = vec![Vec::new(); n];
+    for p in 0..cfg.n_clients {
+        let mut qrng = StdRng::seed_from_u64(cfg.seed ^ (0xA11C_E000 + p as u64));
+        for j in partition.columns_of(p) {
+            qcols[j] = quantize_vec(&mut qrng, &data.col(j), gamma);
+        }
+    }
+
+    // Upper-triangular Gram of the quantized columns, in opened order.
+    let mut opened = vec![0i128; upper_len];
+    let mut idx = 0;
+    for j in 0..n {
+        for k in j..n {
+            let acc: i128 = (0..m)
+                .map(|i| qcols[j][i] as i128 * qcols[k][i] as i128)
+                .sum();
+            opened[idx] = acc;
+            idx += 1;
+        }
+    }
+
+    // Replay each party's noise stream.
+    let local_mu = mu / cfg.n_clients as f64;
+    for p in 0..cfg.n_clients {
+        let mut nrng = StdRng::seed_from_u64(cfg.seed ^ (0x5E11_A000 + p as u64));
+        for slot in opened.iter_mut() {
+            *slot += sample_skellam(&mut nrng, local_mu) as i128;
+        }
+    }
+
+    let mut c_hat = Matrix::zeros(n, n);
+    let mut idx = 0;
+    for j in 0..n {
+        for k in j..n {
+            c_hat[(j, k)] = opened[idx] as f64;
+            c_hat[(k, j)] = c_hat[(j, k)];
+            idx += 1;
+        }
+    }
+    c_hat
+}
+
 fn validate(data: &Matrix, partition: &ColumnPartition, cfg: &VflConfig) {
     assert_eq!(
         partition.n_cols(),
@@ -457,6 +523,22 @@ mod tests {
         let mean = vals.iter().sum::<f64>() / vals.len() as f64;
         let var = vals.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / vals.len() as f64;
         assert!((var - 2.0 * mu).abs() / (2.0 * mu) < 0.15, "var {var}");
+    }
+
+    #[test]
+    fn quantized_oracle_matches_mpc_bit_exactly() {
+        let data = small_data();
+        for (n_clients, seed, mu) in [(2usize, 7u64, 0.0), (3, 41, 25.0), (4, 1234, 400.0)] {
+            let partition = ColumnPartition::even(4, n_clients);
+            let gamma = 512.0;
+            let cfg = VflConfig::fast(n_clients).with_seed(seed);
+            let mpc = covariance_skellam(&data, &partition, gamma, mu, &cfg);
+            let oracle = covariance_quantized_oracle(&data, &partition, gamma, mu, &cfg);
+            assert_eq!(
+                mpc.c_hat, oracle,
+                "oracle diverged at P={n_clients} seed={seed} mu={mu}"
+            );
+        }
     }
 
     #[test]

@@ -41,7 +41,8 @@ pub mod partition;
 pub mod session;
 
 pub use covariance::{
-    covariance_skellam, covariance_skellam_chunked, try_covariance_skellam, CovarianceOutput,
+    covariance_quantized_oracle, covariance_skellam, covariance_skellam_chunked,
+    try_covariance_skellam, CovarianceOutput,
 };
 pub use generic::eval_polynomial_skellam;
 pub use gradient::{gradient_sum_skellam, GradientOutput};
