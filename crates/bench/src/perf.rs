@@ -21,7 +21,6 @@
 //! regression gate ([`crate::gate`]) to diff against `bench/baseline.json`.
 
 use std::hint::black_box;
-use std::io::Write;
 use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant, SystemTime};
 
@@ -36,7 +35,9 @@ use sqm::mpc::{MpcConfig, MpcEngine, RunStats};
 use sqm::obs::trace::Trace;
 use sqm::obs::{metrics, MessageDag};
 use sqm::sampling::skellam::sample_skellam_vec;
-use sqm::vfl::{covariance_skellam, gradient_sum_skellam, ColumnPartition, NetBackend, VflConfig};
+use sqm::vfl::{
+    covariance_skellam, gradient_sum_skellam, ColumnPartition, LiveConfig, NetBackend, VflConfig,
+};
 
 use crate::json::JsonValue;
 
@@ -248,13 +249,14 @@ impl BenchArtifact {
         })
     }
 
-    /// Write this artifact as `BENCH_<suite>.json` under `dir`.
+    /// Write this artifact as `BENCH_<suite>.json` under `dir`
+    /// (atomically: temp file + rename, so a crashed run never leaves a
+    /// truncated artifact for the gate to choke on).
     pub fn write_to(&self, dir: &Path) -> std::io::Result<PathBuf> {
-        std::fs::create_dir_all(dir)?;
         let path = dir.join(format!("BENCH_{}.json", self.suite));
-        let mut file = std::fs::File::create(&path)?;
-        file.write_all(self.to_json().as_bytes())?;
-        file.write_all(b"\n")?;
+        let mut body = self.to_json();
+        body.push('\n');
+        sqm::obs::atomic_write_str(&path, &body)?;
         Ok(path)
     }
 }
@@ -469,6 +471,25 @@ pub fn run_vfl(tier: Tier) -> BenchArtifact {
             RunCost::from_stats_and_trace(&out.stats, out.trace.as_ref())
         }));
     }
+
+    // Same covariance workload with live telemetry streaming (aggregator
+    // only, no HTTP endpoint): the gate's median-ratio rule on this entry
+    // is the standing bound on publish-path overhead. Note the first
+    // iteration installs the process-global collector, which stays active
+    // for the rest of the process — deterministic counters are unaffected
+    // by design (asserted in the vfl crate's bit-identity tests).
+    let live_name = format!("live_overhead_covariance_m{m}_n{n}_p{p}");
+    entries.push(measure(&live_name, tier, || {
+        let data = SpectralSpec::new(m, n).with_seed(31).generate();
+        let partition = ColumnPartition::even(n, p);
+        let cfg = VflConfig::new(p)
+            .with_seed(32)
+            .with_trace(true)
+            .with_live(Some(LiveConfig::default()));
+        let out = covariance_skellam(&data, &partition, 18.0, 100.0, &cfg);
+        black_box(&out.c_hat);
+        RunCost::from_stats_and_trace(&out.stats, out.trace.as_ref())
+    }));
 
     BenchArtifact::new("vfl", tier, entries)
 }

@@ -21,7 +21,6 @@
 //!
 //! `cargo run -p sqm-experiments --release --bin netcheck_timing [--paper] [--seed S]`
 
-use std::fs;
 use std::time::{Duration, Instant};
 
 use sqm::datasets::{Scale, SpectralSpec};
@@ -44,7 +43,10 @@ struct Row {
 }
 
 fn cfg(p: usize, seed: u64) -> VflConfig {
-    VflConfig::new(p).with_latency(HOP_LATENCY).with_seed(seed)
+    VflConfig::new(p)
+        .with_latency(HOP_LATENCY)
+        .with_seed(seed)
+        .with_live(sqm_experiments::live_config())
 }
 
 fn run_pca(m: usize, n: usize, p: usize, seed: u64) -> Row {
@@ -154,7 +156,7 @@ fn main() {
     }
 
     let path = obsout::results_dir().join("netcheck_timing.csv");
-    fs::write(&path, csv).expect("writing results/netcheck_timing.csv");
+    sqm::obs::atomic_write_str(&path, &csv).expect("writing results/netcheck_timing.csv");
     println!("\nwrote {}", path.display());
     obsout::dump_metrics("netcheck_timing").expect("writing metrics snapshot");
     println!(

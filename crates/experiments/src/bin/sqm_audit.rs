@@ -25,6 +25,7 @@ struct Options {
     tier: Tier,
     alpha: Option<f64>,
     out: PathBuf,
+    live: Option<String>,
 }
 
 impl Default for Options {
@@ -34,6 +35,7 @@ impl Default for Options {
             tier: Tier::Fast,
             alpha: None,
             out: PathBuf::from("results/audit_report.json"),
+            live: sqm_experiments::live_addr_from_env(),
         }
     }
 }
@@ -65,12 +67,26 @@ fn parse_args() -> Options {
                 i += 1;
                 opts.out = PathBuf::from(args.get(i).expect("--out needs a path"));
             }
+            "--live" => {
+                // Optional value: bare `--live` uses the default address.
+                match args.get(i + 1) {
+                    Some(v) if !v.starts_with("--") => {
+                        opts.live = Some(v.clone());
+                        i += 1;
+                    }
+                    _ => opts.live = Some(sqm_experiments::DEFAULT_LIVE_ADDR.to_string()),
+                }
+            }
             other => {
-                panic!("unknown flag {other} (expected --deep, --seed N, --alpha A, --out PATH)")
+                panic!(
+                    "unknown flag {other} (expected --deep, --seed N, --alpha A, --out PATH, \
+                     --live [addr])"
+                )
             }
         }
         i += 1;
     }
+    sqm_experiments::install_live(opts.live.as_deref());
     opts
 }
 
@@ -86,12 +102,7 @@ fn main() -> ExitCode {
     let report = run_all(&cfg);
     metrics::set_enabled(false);
 
-    if let Some(dir) = opts.out.parent() {
-        if !dir.as_os_str().is_empty() {
-            std::fs::create_dir_all(dir).expect("create output directory");
-        }
-    }
-    std::fs::write(&opts.out, report.to_json()).expect("write audit report");
+    sqm::obs::atomic_write_str(&opts.out, &report.to_json()).expect("write audit report");
 
     print!("{}", report.summary_text());
     let snap = metrics::snapshot();

@@ -27,7 +27,6 @@
 //!
 //! `cargo run -p sqm-experiments --release --bin sqm_cpath [--paper] [--seed S]`
 
-use std::fs;
 use std::time::Duration;
 
 use sqm::datasets::{Scale, SpectralSpec};
@@ -67,6 +66,7 @@ fn cfg(p: usize, seed: u64, backend: &NetBackend) -> VflConfig {
         .with_seed(seed)
         .with_trace(true)
         .with_backend(backend.clone())
+        .with_live(sqm_experiments::live_config())
 }
 
 fn analyze(
@@ -206,7 +206,7 @@ fn main() {
     }
 
     let path = obsout::results_dir().join("cpath_divergence.csv");
-    fs::write(&path, csv).expect("writing results/cpath_divergence.csv");
+    sqm::obs::atomic_write_str(&path, &csv).expect("writing results/cpath_divergence.csv");
     println!("\nwrote {}", path.display());
     println!(
         "Divergence is the critical-path share the uniform model leaves out: compute\n\

@@ -35,6 +35,7 @@ struct PerfOptions {
     write_baseline: bool,
     gate_self_test: bool,
     report: bool,
+    live: Option<String>,
 }
 
 impl Default for PerfOptions {
@@ -48,6 +49,7 @@ impl Default for PerfOptions {
             write_baseline: false,
             gate_self_test: false,
             report: false,
+            live: sqm_experiments::live_addr_from_env(),
         }
     }
 }
@@ -77,13 +79,25 @@ fn parse_args() -> PerfOptions {
             "--write-baseline" => opts.write_baseline = true,
             "--gate-self-test" => opts.gate_self_test = true,
             "--report" => opts.report = true,
+            "--live" => {
+                // Optional value: bare `--live` uses the default address.
+                match args.get(i + 1) {
+                    Some(v) if !v.starts_with("--") => {
+                        opts.live = Some(v.clone());
+                        i += 1;
+                    }
+                    _ => opts.live = Some(sqm_experiments::DEFAULT_LIVE_ADDR.to_string()),
+                }
+            }
             other => panic!(
                 "unknown flag {other} (expected --suite small|full, --out DIR, --baseline PATH, \
-                 --gate, --warn-only, --write-baseline, --gate-self-test, --report)"
+                 --gate, --warn-only, --write-baseline, --gate-self-test, --report, \
+                 --live [addr])"
             ),
         }
         i += 1;
     }
+    sqm_experiments::install_live(opts.live.as_deref());
     opts
 }
 
@@ -100,7 +114,8 @@ fn write_covariance_report(opts: &PerfOptions) -> std::io::Result<PathBuf> {
     let cfg = VflConfig::new(p)
         .with_latency(Duration::from_millis(100))
         .with_seed(42)
-        .with_trace(true);
+        .with_trace(true)
+        .with_live(sqm_experiments::live_config());
     let out = covariance_skellam(&data, &partition, gamma, mu, &cfg);
     metrics::set_enabled(false);
     let trace = out.trace.expect("trace requested");
@@ -125,9 +140,8 @@ fn write_covariance_report(opts: &PerfOptions) -> std::io::Result<PathBuf> {
         Some(&ledger.report()),
         Some(&snapshot),
     );
-    std::fs::create_dir_all(&opts.out_dir)?;
     let path = opts.out_dir.join("covariance.report.html");
-    std::fs::write(&path, html)?;
+    sqm::obs::atomic_write_str(&path, &html)?;
     Ok(path)
 }
 
@@ -181,13 +195,8 @@ fn main() -> ExitCode {
         let baseline = Baseline {
             suites: artifacts.clone(),
         };
-        if let Some(parent) = opts.baseline_path.parent() {
-            if let Err(e) = std::fs::create_dir_all(parent) {
-                eprintln!("error: cannot create baseline directory: {e}");
-                return ExitCode::FAILURE;
-            }
-        }
-        if let Err(e) = std::fs::write(&opts.baseline_path, baseline.to_json_string()) {
+        if let Err(e) = sqm::obs::atomic_write_str(&opts.baseline_path, &baseline.to_json_string())
+        {
             eprintln!("error: cannot write baseline: {e}");
             return ExitCode::FAILURE;
         }

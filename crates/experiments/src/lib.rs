@@ -9,9 +9,20 @@
 //! * `--seed S` — base RNG seed;
 //! * `--trace` (or `SQM_TRACE=1`) — enable the observability layer:
 //!   metrics recording plus, for the timing tables, per-phase trace
-//!   exports into `results/` (JSONL + Chrome trace-event JSON).
+//!   exports into `results/` (JSONL + Chrome trace-event JSON);
+//! * `--live [addr]` (or `SQM_LIVE=1` / `SQM_LIVE=addr`) — stream live
+//!   telemetry while the run executes: Prometheus text at
+//!   `http://<addr>/metrics`, a JSON snapshot at `/snapshot`, a stall
+//!   watchdog, and a crash flight recorder (default addr
+//!   `127.0.0.1:9184`).
+
+use std::sync::OnceLock;
 
 use sqm::datasets::Scale;
+use sqm::obs::live::LiveConfig;
+
+/// Default bind address for `--live` without an explicit value.
+pub const DEFAULT_LIVE_ADDR: &str = "127.0.0.1:9184";
 
 /// Parsed common CLI options.
 #[derive(Clone, Debug)]
@@ -24,6 +35,8 @@ pub struct ExpOptions {
     pub full: bool,
     /// Observability on: record metrics and export traces.
     pub trace: bool,
+    /// Live-telemetry bind address (`--live [addr]` / `SQM_LIVE`).
+    pub live: Option<String>,
 }
 
 impl Default for ExpOptions {
@@ -34,14 +47,39 @@ impl Default for ExpOptions {
             seed: 0,
             full: false,
             trace: std::env::var("SQM_TRACE").ok().as_deref() == Some("1"),
+            live: live_addr_from_env(),
         }
     }
+}
+
+/// The live-telemetry bind address requested through `SQM_LIVE`:
+/// unset/empty/`0` means off, `1` means the default loopback address,
+/// anything else is taken as the address itself.
+pub fn live_addr_from_env() -> Option<String> {
+    match std::env::var("SQM_LIVE").ok().as_deref() {
+        None | Some("") | Some("0") => None,
+        Some("1") => Some(DEFAULT_LIVE_ADDR.to_string()),
+        Some(addr) => Some(addr.to_string()),
+    }
+}
+
+static LIVE_CONFIG: OnceLock<Option<LiveConfig>> = OnceLock::new();
+
+/// The live-telemetry config selected by [`parse_options`] (`None` when
+/// `--live` was not requested). The timing harness attaches this to every
+/// `VflConfig` it builds, so watchdog run-bracketing and flight-recorder
+/// dumps follow the workload without each binary threading the flag
+/// through by hand.
+pub fn live_config() -> Option<LiveConfig> {
+    LIVE_CONFIG.get().cloned().flatten()
 }
 
 /// Parse the common flags from `std::env::args`.
 ///
 /// When tracing is requested (via `--trace` or `SQM_TRACE=1`) this also
-/// switches the global metrics registry on.
+/// switches the global metrics registry on. When live telemetry is
+/// requested (`--live [addr]` / `SQM_LIVE`), the process-global collector
+/// is installed and its HTTP endpoint bound before any workload starts.
 pub fn parse_options() -> ExpOptions {
     let mut opts = ExpOptions::default();
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -51,6 +89,17 @@ pub fn parse_options() -> ExpOptions {
             "--paper" => opts.scale = Scale::Paper,
             "--full" => opts.full = true,
             "--trace" => opts.trace = true,
+            "--live" => {
+                // Optional value: `--live 0.0.0.0:9200` binds there,
+                // bare `--live` uses the default loopback address.
+                match args.get(i + 1) {
+                    Some(v) if !v.starts_with("--") => {
+                        opts.live = Some(v.clone());
+                        i += 1;
+                    }
+                    _ => opts.live = Some(DEFAULT_LIVE_ADDR.to_string()),
+                }
+            }
             "--runs" => {
                 i += 1;
                 opts.runs = args
@@ -66,7 +115,8 @@ pub fn parse_options() -> ExpOptions {
                     .expect("--seed needs an integer");
             }
             other => panic!(
-                "unknown flag {other} (expected --paper, --full, --trace, --runs N, --seed S)"
+                "unknown flag {other} (expected --paper, --full, --trace, --live [addr], \
+                 --runs N, --seed S)"
             ),
         }
         i += 1;
@@ -74,7 +124,30 @@ pub fn parse_options() -> ExpOptions {
     if opts.trace {
         sqm::obs::metrics::set_enabled(true);
     }
+    install_live(opts.live.as_deref());
     opts
+}
+
+/// Install the process-global live collector (and bind its HTTP endpoint)
+/// for the given `--live` address, remembering the resulting `LiveConfig`
+/// for [`live_config`]. A `None` address records "live off" so later
+/// calls to [`live_config`] stay `None`. Idempotent per process: the
+/// first call wins, matching `sqm_obs::live::install`.
+pub fn install_live(addr: Option<&str>) {
+    let live_cfg = addr.map(|addr| LiveConfig::default().with_addr(addr.to_string()));
+    if let Some(cfg) = &live_cfg {
+        match sqm::obs::live::install(cfg) {
+            Ok(Some(bound)) => {
+                eprintln!("[live] serving http://{bound}/metrics and http://{bound}/snapshot")
+            }
+            Ok(None) => {}
+            Err(e) => eprintln!(
+                "[live] bind {} failed ({e}); telemetry aggregates without serving",
+                cfg.addr.as_deref().unwrap_or("?")
+            ),
+        }
+    }
+    let _ = LIVE_CONFIG.set(live_cfg);
 }
 
 /// Mean and sample standard deviation.
@@ -131,6 +204,7 @@ pub mod timing {
             .with_latency(Duration::from_millis(100))
             .with_seed(seed)
             .with_trace(trace)
+            .with_live(crate::live_config())
     }
 
     fn timing(stats: RunStats, trace: Option<Trace>) -> Timing {
@@ -183,13 +257,16 @@ pub mod timing {
 /// `RunStats::simulated_time()` exactly.
 pub mod obsout {
     use std::fs;
-    use std::io::{self, BufWriter};
+    use std::io;
     use std::path::PathBuf;
 
     use serde::Serialize as _;
     use sqm::mpc::RunStats;
     use sqm::obs::trace::Trace;
-    use sqm::obs::{chrome_trace_json, html_report, metrics, write_jsonl, MessageDag};
+    use sqm::obs::{
+        atomic_write, atomic_write_str, chrome_trace_json, html_report, metrics, write_jsonl,
+        MessageDag,
+    };
 
     /// The `results/` directory, created on first use.
     pub fn results_dir() -> PathBuf {
@@ -220,7 +297,7 @@ pub mod obsout {
             stats_json.push_str(&cp.to_json());
             stats_json.push('}');
         }
-        fs::write(&stats_path, stats_json)?;
+        atomic_write_str(&stats_path, &stats_json)?;
         written.push(stats_path);
         if let Some(trace) = trace {
             let summary = trace.summary();
@@ -230,17 +307,18 @@ pub mod obsout {
                 "trace summary must reproduce the virtual clock exactly ({name})"
             );
             let jsonl_path = dir.join(format!("{name}.trace.jsonl"));
-            let mut w = BufWriter::new(fs::File::create(&jsonl_path)?);
-            write_jsonl(trace, &mut w)?;
+            let mut buf = Vec::new();
+            write_jsonl(trace, &mut buf)?;
+            atomic_write(&jsonl_path, &buf)?;
             written.push(jsonl_path);
             let chrome_path = dir.join(format!("{name}.chrome.json"));
-            fs::write(&chrome_path, chrome_trace_json(trace))?;
+            atomic_write_str(&chrome_path, &chrome_trace_json(trace))?;
             written.push(chrome_path);
             let html_path = dir.join(format!("{name}.report.html"));
             let snapshot = metrics::is_enabled().then(metrics::snapshot);
-            fs::write(
+            atomic_write_str(
                 &html_path,
-                html_report(name, trace, None, snapshot.as_ref()),
+                &html_report(name, trace, None, snapshot.as_ref()),
             )?;
             written.push(html_path);
             println!("[trace {name}]");
@@ -256,7 +334,7 @@ pub mod obsout {
             return Ok(None);
         }
         let path = results_dir().join(format!("{name}.metrics.json"));
-        fs::write(&path, metrics::snapshot().to_json())?;
+        atomic_write_str(&path, &metrics::snapshot().to_json())?;
         println!("[metrics] wrote {}", path.display());
         Ok(Some(path))
     }

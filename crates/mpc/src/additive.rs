@@ -24,6 +24,7 @@ use rand::SeedableRng;
 use sqm_field::PrimeField;
 use sqm_net::transport::{build_mesh, Transport};
 use sqm_net::{TraceHeader, TransportError};
+use sqm_obs::live;
 use sqm_obs::metrics;
 use sqm_obs::trace::{MsgStamp, PartyRecorder, Trace};
 
@@ -83,6 +84,13 @@ impl AdditiveEngine {
         install_quiet_abort_hook();
         let endpoints = build_mesh::<F>(n, &self.config.backend, self.config.faults.as_ref())?;
         let program = &program;
+        // Same live-telemetry bracketing as the BGW engine: the guard's
+        // Drop covers party-thread panics unwinding past the join.
+        let live_run = self
+            .config
+            .live
+            .as_ref()
+            .map(|lc| live::begin_run(lc, n, self.config.seed));
         type PartyResult<T> = (T, PartyStats, Option<sqm_obs::trace::PartyTrace>);
         let results: Vec<Result<PartyResult<T>, TransportError>> = std::thread::scope(|s| {
             let handles: Vec<_> = endpoints
@@ -140,7 +148,18 @@ impl AdditiveEngine {
             }
         }
         if !errors.is_empty() {
-            return Err(select_error(errors));
+            let err = select_error(errors);
+            if let Some(guard) = live_run {
+                guard.fail(live::RunError::new(
+                    err.kind(),
+                    Some(err.party()),
+                    err.round(),
+                ));
+            }
+            return Err(err);
+        }
+        if let Some(guard) = live_run {
+            guard.finish();
         }
         let trace = (party_traces.len() == n)
             .then(|| Trace::from_parties(self.config.latency, party_traces));
@@ -197,6 +216,9 @@ impl<F: PrimeField> AdditiveCtx<F> {
 
     fn exchange(&mut self, outgoing: Vec<Vec<F>>) -> Vec<Vec<F>> {
         let round_started = metrics::is_enabled().then(Instant::now);
+        // Live telemetry (collector installed) — same out-of-band publish
+        // path as the BGW engine; accounting is untouched either way.
+        let live_round = live::is_active().then(|| (Instant::now(), self.endpoint.round()));
         // Causal stamping (traced runs only) — same protocol as the BGW
         // engine: every real outgoing payload carries this party's Lamport
         // clock and a per-link sequence number, out-of-band of the byte
@@ -244,6 +266,22 @@ impl<F: PrimeField> AdditiveCtx<F> {
         let (messages, bytes) = (outcome.messages, outcome.bytes);
         self.stats.record_round(&self.phase, messages, bytes);
         let events = self.endpoint.drain_events();
+        if let Some((t0, round)) = live_round {
+            for e in &events {
+                if let Some(ev) = live::LiveEvent::fault(e.party, e.round, e.peer, &e.kind, e.value)
+                {
+                    live::publish(ev);
+                }
+            }
+            live::publish(live::LiveEvent::round(
+                self.id,
+                round,
+                &self.phase,
+                t0.elapsed(),
+                messages,
+                bytes,
+            ));
+        }
         if let Some((_, sends, lamport_send, wall_send)) = stamping {
             let wall_recv = self.phase_started.elapsed();
             let recvs: Vec<MsgStamp> = outcome

@@ -24,6 +24,7 @@ use sqm_field::PrimeField;
 use sqm_net::fault::FaultSpec;
 use sqm_net::transport::{build_mesh, NetBackend, Transport};
 use sqm_net::{TraceHeader, TransportError};
+use sqm_obs::live::{self, LiveConfig};
 use sqm_obs::metrics;
 use sqm_obs::trace::{MsgStamp, PartyRecorder, Trace};
 
@@ -55,6 +56,13 @@ pub struct MpcConfig {
     pub backend: NetBackend,
     /// Optional deterministic fault plan injected over the backend.
     pub faults: Option<FaultSpec>,
+    /// Stream live telemetry for this run (see [`sqm_obs::live`]): the
+    /// engines publish per-round events into the process-global collector,
+    /// the stall watchdog brackets the run, and failures dump a flight
+    /// recorder. `None` (the default) publishes nothing and costs one
+    /// relaxed atomic load per round. Accounting (`RunStats`, traces) is
+    /// bit-identical either way.
+    pub live: Option<LiveConfig>,
 }
 
 impl MpcConfig {
@@ -81,6 +89,7 @@ impl MpcConfig {
             trace_event_cap: None,
             backend: NetBackend::InProcess,
             faults: None,
+            live: None,
         }
     }
 
@@ -118,6 +127,13 @@ impl MpcConfig {
     /// Inject a deterministic fault plan over the backend.
     pub fn with_faults(mut self, faults: Option<FaultSpec>) -> Self {
         self.faults = faults;
+        self
+    }
+
+    /// Stream live telemetry for runs under this config (see
+    /// [`sqm_obs::live`]).
+    pub fn with_live(mut self, live: Option<LiveConfig>) -> Self {
+        self.live = live;
         self
     }
 
@@ -259,6 +275,15 @@ impl MpcEngine {
         let lagrange_all = lagrange_at_zero::<F>(&(0..n).collect::<Vec<_>>());
         let program = &program;
 
+        // Bracket the run for live telemetry. The guard's Drop path covers
+        // a party-thread panic unwinding past the join below: the run is
+        // then recorded as failed and the flight recorder still dumps.
+        let live_run = self
+            .config
+            .live
+            .as_ref()
+            .map(|lc| live::begin_run(lc, n, self.config.seed));
+
         type PartyResult<T> = (T, PartyStats, Option<sqm_obs::trace::PartyTrace>);
         let results: Vec<Result<PartyResult<T>, TransportError>> = std::thread::scope(|s| {
             let handles: Vec<_> = endpoints
@@ -339,7 +364,18 @@ impl MpcEngine {
             }
         }
         if !errors.is_empty() {
-            return Err(select_error(errors));
+            let err = select_error(errors);
+            if let Some(guard) = live_run {
+                guard.fail(live::RunError::new(
+                    err.kind(),
+                    Some(err.party()),
+                    err.round(),
+                ));
+            }
+            return Err(err);
+        }
+        if let Some(guard) = live_run {
+            guard.finish();
         }
         let trace = (party_traces.len() == n)
             .then(|| Trace::from_parties(self.config.latency, party_traces));
@@ -411,6 +447,11 @@ impl<F: PrimeField> PartyCtx<F> {
         // (the per-round half of the virtual-clock model; the latency half
         // is `rounds * latency` by construction).
         let round_started = metrics::is_enabled().then(Instant::now);
+        // Live telemetry (collector installed): capture the round index
+        // before the exchange bumps it. Publishing happens after the
+        // exchange and rides entirely outside `PartyStats` and the trace,
+        // so accounting is bit-identical with telemetry on or off.
+        let live_round = live::is_active().then(|| (Instant::now(), self.endpoint.round()));
         // Causal stamping (traced runs only): every real outgoing payload
         // carries this party's Lamport clock and a per-link sequence
         // number; the header travels out-of-band of the byte accounting.
@@ -459,6 +500,25 @@ impl<F: PrimeField> PartyCtx<F> {
         let (messages, bytes) = (outcome.messages, outcome.bytes);
         self.stats.record_round(&self.phase, messages, bytes);
         let events = self.endpoint.drain_events();
+        if let Some((t0, round)) = live_round {
+            // Injected fault events first: they carry the deterministic
+            // per-link costs the stall watchdog uses to attribute a slow
+            // round to the party that actually slept.
+            for e in &events {
+                if let Some(ev) = live::LiveEvent::fault(e.party, e.round, e.peer, &e.kind, e.value)
+                {
+                    live::publish(ev);
+                }
+            }
+            live::publish(live::LiveEvent::round(
+                self.id,
+                round,
+                &self.phase,
+                t0.elapsed(),
+                messages,
+                bytes,
+            ));
+        }
         if let Some((_, sends, lamport_send, wall_send)) = stamping {
             let wall_recv = self.phase_started.elapsed();
             let recvs: Vec<MsgStamp> = outcome
@@ -1077,6 +1137,7 @@ mod tests {
             trace_event_cap: None,
             backend: NetBackend::InProcess,
             faults: None,
+            live: None,
         });
     }
 

@@ -44,4 +44,5 @@ pub use shamir::{reconstruct, share_secret, ShamirShare};
 pub use sqm_net::fault::{CrashPoint, FaultSpec};
 pub use sqm_net::transport::NetBackend;
 pub use sqm_net::{TcpOptions, TransportError};
+pub use sqm_obs::live::LiveConfig;
 pub use stats::{PhaseStats, RunStats};

@@ -40,6 +40,7 @@ use std::time::{Duration, Instant};
 
 use bytes::{BufMut, Bytes, BytesMut};
 use sqm_field::PrimeField;
+use sqm_obs::live;
 use sqm_obs::metrics;
 use sqm_obs::trace::NetEvent;
 
@@ -359,20 +360,29 @@ impl<F: PrimeField> Transport<F> for TcpEndpoint<F> {
         let readers = &mut self.readers;
         // Per-link latency histograms are priced at one `is_enabled` load
         // per exchange, not per frame; the timing itself only runs when the
-        // registry is on.
+        // registry is on. Live telemetry shares the same measurements and
+        // publishes per-link send/recv events out-of-band of the byte
+        // accounting.
         let timing = metrics::is_enabled();
+        let live_on = live::is_active();
         let (write_result, read_result) = std::thread::scope(|s| {
             let writer = s.spawn(move || -> Result<(), TransportError> {
                 for (j, frame) in frames.iter().enumerate() {
                     let Some(frame) = frame else { continue };
                     let stream = writers[j].as_mut().expect("writer socket present");
-                    let t0 = timing.then(Instant::now);
+                    let t0 = (timing || live_on).then(Instant::now);
                     write_frame(stream, frame.as_ref(), j, round)?;
                     if let Some(t0) = t0 {
-                        metrics::histogram_record(
-                            &format!("net.tcp.send_ns.p{id}_to_p{j}"),
-                            t0.elapsed().as_nanos() as f64,
-                        );
+                        let elapsed = t0.elapsed();
+                        if timing {
+                            metrics::histogram_record(
+                                &format!("net.tcp.send_ns.p{id}_to_p{j}"),
+                                elapsed.as_nanos() as f64,
+                            );
+                        }
+                        if live_on {
+                            live::publish(live::LiveEvent::link(id, round, j, true, elapsed));
+                        }
                     }
                 }
                 Ok(())
@@ -384,13 +394,19 @@ impl<F: PrimeField> Transport<F> for TcpEndpoint<F> {
                     let Some(stream) = reader.as_mut() else {
                         continue;
                     };
-                    let t0 = timing.then(Instant::now);
+                    let t0 = (timing || live_on).then(Instant::now);
                     let mut frame = read_frame(stream, i, round, read_timeout)?;
                     if let Some(t0) = t0 {
-                        metrics::histogram_record(
-                            &format!("net.tcp.recv_ns.p{i}_to_p{id}"),
-                            t0.elapsed().as_nanos() as f64,
-                        );
+                        let elapsed = t0.elapsed();
+                        if timing {
+                            metrics::histogram_record(
+                                &format!("net.tcp.recv_ns.p{i}_to_p{id}"),
+                                elapsed.as_nanos() as f64,
+                            );
+                        }
+                        if live_on {
+                            live::publish(live::LiveEvent::link(id, round, i, false, elapsed));
+                        }
                     }
                     let wire_err = |source| TransportError::Wire {
                         party: i,

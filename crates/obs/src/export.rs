@@ -19,6 +19,8 @@
 //! [trace-event format]: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
 
 use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
 use serde::json;
@@ -27,6 +29,45 @@ use crate::causal::MessageDag;
 use crate::ledger::LedgerReport;
 use crate::metrics::MetricsSnapshot;
 use crate::trace::Trace;
+
+/// Write `contents` to `path` atomically: the bytes land in a sibling
+/// temporary file first and are renamed into place only once fully written,
+/// so a reader (or a later run) never observes a truncated artifact — an
+/// interrupted writer leaves at worst a stale previous version plus an
+/// orphaned `*.tmp.*` sibling, never a half-written file under the real
+/// name. Parent directories are created as needed. The temporary name
+/// carries the pid and a process-wide counter so concurrent writers (test
+/// processes, parallel threads) cannot collide on it.
+pub fn atomic_write(path: impl AsRef<Path>, contents: &[u8]) -> io::Result<()> {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let path = path.as_ref();
+    if let Some(dir) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+        std::fs::create_dir_all(dir)?;
+    }
+    let mut tmp_name = path.as_os_str().to_owned();
+    tmp_name.push(format!(
+        ".tmp.{}.{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let tmp = PathBuf::from(tmp_name);
+    let result = (|| {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(contents)?;
+        f.flush()?;
+        drop(f);
+        std::fs::rename(&tmp, path)
+    })();
+    if result.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    result
+}
+
+/// [`atomic_write`] for string artifacts (JSON, JSONL, HTML, CSV).
+pub fn atomic_write_str(path: impl AsRef<Path>, contents: &str) -> io::Result<()> {
+    atomic_write(path, contents.as_bytes())
+}
 
 fn secs(d: Duration) -> f64 {
     d.as_secs_f64()
@@ -823,6 +864,27 @@ mod tests {
         assert!(html.contains("covariance"));
         assert!(html.contains("Counters"));
         assert!(html.contains("mpc.rounds"));
+    }
+
+    #[test]
+    fn atomic_write_creates_dirs_and_replaces_whole_files() {
+        let dir = std::env::temp_dir().join(format!("sqm_atomic_write_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("nested/deep/artifact.jsonl");
+        atomic_write_str(&path, "{\"a\":1}\n").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "{\"a\":1}\n");
+        // Overwrite is whole-file: a shorter second write leaves no tail of
+        // the first behind.
+        atomic_write_str(&path, "{}\n").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "{}\n");
+        // No temporary siblings survive a successful write.
+        let leftovers: Vec<_> = std::fs::read_dir(path.parent().unwrap())
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp."))
+            .collect();
+        assert!(leftovers.is_empty(), "{leftovers:?}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -31,7 +31,17 @@
 //! * [`export`] — JSONL event logs, Chrome trace-event JSON (loadable in
 //!   Perfetto / `chrome://tracing`, timestamps on the simulated timeline,
 //!   flow arrows from the causal stamps), and a human-readable per-phase
-//!   summary table.
+//!   summary table. File-writing goes through [`export::atomic_write`]
+//!   (temp file + rename), so interrupted runs never leave truncated
+//!   artifacts.
+//! * [`live`] — streaming telemetry for runs *in flight*: a bounded
+//!   lock-free event ring the engines and the TCP transport publish
+//!   per-round events into, a background aggregator with rolling per-party
+//!   / per-phase counters and latency quantiles, a stall watchdog emitting
+//!   typed [`live::StallEvent`]s, a crash flight recorder dumping
+//!   `results/flightrec_<seed>.jsonl` on failure, and a std-only HTTP
+//!   endpoint serving Prometheus text at `/metrics` and JSON at
+//!   `/snapshot`.
 //!
 //! Everything here is *passive*: recording is driven by the `mpc`/`vfl`
 //! layers behind `trace: bool` config flags, and the experiment binaries
@@ -40,15 +50,17 @@
 pub mod causal;
 pub mod export;
 pub mod ledger;
+pub mod live;
 pub mod metrics;
 pub mod trace;
 
 pub use causal::{CriticalPath, FlowEdge, MessageDag, PartyBreakdown, PathSegment};
 pub use export::{
-    chrome_trace_json, html_report, write_chrome_trace, write_html_report, write_jsonl,
-    write_ledger_jsonl,
+    atomic_write, atomic_write_str, chrome_trace_json, html_report, write_chrome_trace,
+    write_html_report, write_jsonl, write_ledger_jsonl,
 };
 pub use ledger::{LedgerEntry, LedgerReport, PrivacyLedger};
+pub use live::{LiveConfig, LiveEvent, LiveSnapshot, StallEvent};
 pub use trace::{
     CausalRound, MsgStamp, NetEvent, PartyRecorder, PartyTrace, PhaseTotal, RoundRecord,
     SpanRecord, Trace, TraceSummary,

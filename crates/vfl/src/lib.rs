@@ -51,7 +51,7 @@ pub use partition::ColumnPartition;
 pub use session::{ServerView, VflSession};
 
 pub use sqm_mpc::net;
-pub use sqm_mpc::{CrashPoint, FaultSpec, NetBackend, TcpOptions, TransportError};
+pub use sqm_mpc::{CrashPoint, FaultSpec, LiveConfig, NetBackend, TcpOptions, TransportError};
 
 use std::time::Duration;
 
@@ -78,6 +78,11 @@ pub struct VflConfig {
     pub backend: NetBackend,
     /// Optional deterministic fault injection layered over the backend.
     pub faults: Option<FaultSpec>,
+    /// Stream live telemetry for the MPC runs this config drives (see
+    /// `sqm_obs::live`): per-round events, stall watchdog, `/metrics` +
+    /// `/snapshot` HTTP endpoint, crash flight recorder. `None` (the
+    /// default) publishes nothing; `RunStats` are bit-identical either way.
+    pub live: Option<sqm_mpc::LiveConfig>,
 }
 
 impl VflConfig {
@@ -90,6 +95,7 @@ impl VflConfig {
             trace_event_cap: None,
             backend: NetBackend::InProcess,
             faults: None,
+            live: None,
         }
     }
 
@@ -133,6 +139,12 @@ impl VflConfig {
         self
     }
 
+    /// Stream live telemetry for the MPC runs this config drives.
+    pub fn with_live(mut self, live: Option<sqm_mpc::LiveConfig>) -> Self {
+        self.live = live;
+        self
+    }
+
     /// The `MpcConfig` every VFL protocol derives from this configuration.
     pub fn mpc_config(&self) -> MpcConfig {
         let config = MpcConfig::semi_honest(self.n_clients)
@@ -140,7 +152,8 @@ impl VflConfig {
             .with_seed(self.seed)
             .with_trace(self.trace)
             .with_backend(self.backend.clone())
-            .with_faults(self.faults.clone());
+            .with_faults(self.faults.clone())
+            .with_live(self.live.clone());
         match self.trace_event_cap {
             Some(cap) => config.with_trace_event_cap(cap),
             None => config,
