@@ -13,4 +13,4 @@ pub mod json;
 pub mod perf;
 
 pub use gate::{compare, gate_artifacts, Baseline, GateConfig, GateReport, Verdict};
-pub use perf::{run_all, run_micro, run_mpc, run_vfl, BenchArtifact, BenchEntry, Tier};
+pub use perf::{run_all, run_micro, run_mpc, run_serve, run_vfl, BenchArtifact, BenchEntry, Tier};

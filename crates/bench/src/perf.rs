@@ -13,6 +13,9 @@
 //! * `vfl` — one covariance release and one logistic-regression
 //!   gradient-sum epoch, each on both the in-process and the loopback-TCP
 //!   backend.
+//! * `serve` — the multi-tenant serving layer: a full seeded load run
+//!   (sessions/sec) and the steady-state per-release latency through the
+//!   scheduler.
 //!
 //! Every workload is seeded, so byte/message/round counts are exactly
 //! reproducible run to run; only wall-clock varies. Each suite run is
@@ -35,6 +38,7 @@ use sqm::mpc::{MpcConfig, MpcEngine, RunStats};
 use sqm::obs::trace::Trace;
 use sqm::obs::{metrics, MessageDag};
 use sqm::sampling::skellam::sample_skellam_vec;
+use sqm::serve::{load_tenant_config, run_load, LoadSpec, Reply, Request, Server, ServerConfig};
 use sqm::vfl::{
     covariance_skellam, gradient_sum_skellam, ColumnPartition, LiveConfig, NetBackend, VflConfig,
 };
@@ -494,9 +498,110 @@ pub fn run_vfl(tier: Tier) -> BenchArtifact {
     BenchArtifact::new("vfl", tier, entries)
 }
 
+/// The `serve` suite: the multi-tenant serving layer end to end.
+///
+/// * `serve_load_*` — a full seeded closed-loop load run (tenant
+///   creation, concurrent drivers, budget refusals, drain shutdown) per
+///   repeat; the entry's `median_ns / (tenants * rounds)` is the
+///   sessions/sec figure, and the exact-diffed counters pin the admitted
+///   release count (`rounds`), the admitted+refused total (`messages`)
+///   and the released bytes — so a scheduler or odometer regression that
+///   changes *what* was served fails the gate even if wall-clock is fine.
+/// * `serve_release_*` — one ingest+release round against a long-lived
+///   server, so the median/p95 percentiles are per-release latency
+///   through the scheduler (queueing included); counters come from the
+///   release's own MPC `RunStats`.
+pub fn run_serve(tier: Tier) -> BenchArtifact {
+    let mut spec = LoadSpec::smoke();
+    if tier == Tier::Full {
+        spec.tenants = 6;
+        spec.rounds = 8;
+        spec.rows_per_batch = 8;
+    }
+    let mut entries = Vec::new();
+
+    let load_name = format!(
+        "serve_load_t{}_r{}_p{}",
+        spec.tenants, spec.rounds, spec.n_clients
+    );
+    let load_spec = spec.clone();
+    entries.push(measure(&load_name, tier, || {
+        let server = Server::start(ServerConfig {
+            queue_bound: 64,
+            workers: 4,
+        });
+        let report = run_load(&server, &load_spec);
+        server.shutdown();
+        black_box(report.digest());
+        RunCost {
+            rounds: report.releases_admitted() as u64,
+            messages: (report.releases_admitted() + report.budget_refusals()) as u64,
+            bytes: report
+                .per_tenant
+                .iter()
+                .map(|t| t.checksums.len() * load_spec.n_cols * load_spec.n_cols * 8)
+                .sum::<usize>() as u64,
+            simulated: Duration::ZERO,
+            critical_path: Duration::ZERO,
+        }
+    }));
+
+    // Long-lived server: warmup + repeats all hit the same session, so
+    // this measures the steady-state release path (amortized streaming
+    // statistics, reused mesh), not session setup.
+    let server = Server::start(ServerConfig {
+        queue_bound: 64,
+        workers: 2,
+    });
+    let mut tenant = load_tenant_config(&spec, 0);
+    tenant.name = "bench-release".to_string();
+    tenant.budget_eps = f64::INFINITY; // latency entry never hits the budget
+    tenant.max_rows = 10_000;
+    server.add_tenant(tenant).expect("bench tenant");
+    let rel_name = format!("serve_release_n{}_p{}", spec.n_cols, spec.n_clients);
+    let mut round = 0u64;
+    entries.push(measure(&rel_name, tier, || {
+        // Fresh deterministic rows each round (seeded by the round index).
+        let mut rng = StdRng::seed_from_u64(0x5E54_0000 + round);
+        round += 1;
+        let records: Vec<Vec<f64>> = (0..spec.rows_per_batch)
+            .map(|_| {
+                (0..spec.n_cols)
+                    .map(|_| rand::Rng::gen_range(&mut rng, -0.5..0.5))
+                    .collect()
+            })
+            .collect();
+        match server.call("bench-release", Request::Ingest { records }) {
+            Ok(_) => {}
+            Err(e) => panic!("bench ingest failed: {e}"),
+        }
+        match server.call("bench-release", Request::Release) {
+            Ok(Reply::Released(rel)) => {
+                black_box(&rel.covariance);
+                let mut cost = RunCost::from_stats(&rel.stats);
+                // The serving config runs at zero simulated latency, so
+                // `simulated_time` degenerates to measured party wall
+                // clock — not deterministic, not diffable. The wall-clock
+                // percentiles above already carry the timing signal.
+                cost.simulated = Duration::ZERO;
+                cost
+            }
+            other => panic!("bench release failed: {other:?}"),
+        }
+    }));
+    server.shutdown();
+
+    BenchArtifact::new("serve", tier, entries)
+}
+
 /// Run every suite at `tier`, in a fixed order.
 pub fn run_all(tier: Tier) -> Vec<BenchArtifact> {
-    vec![run_micro(tier), run_mpc(tier), run_vfl(tier)]
+    vec![
+        run_micro(tier),
+        run_mpc(tier),
+        run_vfl(tier),
+        run_serve(tier),
+    ]
 }
 
 #[cfg(test)]

@@ -150,7 +150,7 @@ fn main() -> ExitCode {
     let cfg = GateConfig::default();
 
     println!(
-        "sqm-perf: running micro/mpc/vfl suites at tier '{}'",
+        "sqm-perf: running micro/mpc/vfl/serve suites at tier '{}'",
         opts.tier.name()
     );
     let artifacts = run_all(opts.tier);

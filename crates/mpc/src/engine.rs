@@ -160,6 +160,10 @@ pub struct MpcRun<T> {
     pub trace: Option<Trace>,
 }
 
+/// What [`MpcEngine::try_run_on`] returns on success: the run itself plus
+/// the party mesh, handed back so the next run can reuse it.
+pub type RunOnMesh<F, T> = (MpcRun<T>, Vec<Box<dyn Transport<F>>>);
+
 /// The BGW engine. Construct once, run protocol programs.
 pub struct MpcEngine {
     config: MpcConfig,
@@ -269,9 +273,41 @@ impl MpcEngine {
         T: Send,
         P: Fn(&mut PartyCtx<F>) -> T + Sync,
     {
+        let endpoints = build_mesh::<F>(
+            self.config.n_parties,
+            &self.config.backend,
+            self.config.faults.as_ref(),
+        )?;
+        self.try_run_on(endpoints, program).map(|(run, _)| run)
+    }
+
+    /// Like [`MpcEngine::try_run`], but over a caller-supplied mesh of party
+    /// endpoints instead of building (and tearing down) a fresh one. On
+    /// success the endpoints are handed back so the *next* run can reuse
+    /// them — this is how a long-lived server amortizes meshing across many
+    /// releases in one session. On error the endpoints are consumed: a
+    /// transport failure leaves the mesh in an undefined round state, so the
+    /// caller must re-mesh (via [`crate::net::build_mesh`]) before retrying.
+    ///
+    /// Party round counters continue across runs on a reused mesh; nothing
+    /// in the protocol layer depends on absolute round numbers.
+    pub fn try_run_on<F, T, P>(
+        &self,
+        endpoints: Vec<Box<dyn Transport<F>>>,
+        program: P,
+    ) -> Result<RunOnMesh<F, T>, TransportError>
+    where
+        F: PrimeField,
+        T: Send,
+        P: Fn(&mut PartyCtx<F>) -> T + Sync,
+    {
         let n = self.config.n_parties;
+        assert_eq!(
+            endpoints.len(),
+            n,
+            "endpoint mesh size must match config.n_parties"
+        );
         install_quiet_abort_hook();
-        let endpoints = build_mesh::<F>(n, &self.config.backend, self.config.faults.as_ref())?;
         let lagrange_all = lagrange_at_zero::<F>(&(0..n).collect::<Vec<_>>());
         let program = &program;
 
@@ -284,64 +320,73 @@ impl MpcEngine {
             .as_ref()
             .map(|lc| live::begin_run(lc, n, self.config.seed));
 
-        type PartyResult<T> = (T, PartyStats, Option<sqm_obs::trace::PartyTrace>);
-        let results: Vec<Result<PartyResult<T>, TransportError>> = std::thread::scope(|s| {
-            let handles: Vec<_> = endpoints
-                .into_iter()
-                .map(|endpoint| {
-                    let id = endpoint.id();
-                    let config = self.config.clone();
-                    let lagrange = lagrange_all.clone();
-                    s.spawn(move || {
-                        let mut ctx = PartyCtx {
-                            id,
-                            n,
-                            t: config.threshold,
-                            rng: StdRng::seed_from_u64(
-                                config.seed
-                                    ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(id as u64 + 1)),
-                            ),
-                            endpoint,
-                            stats: PartyStats::default(),
-                            recorder: make_recorder(&config, id),
-                            lagrange_all: lagrange,
-                            phase: "default".to_string(),
-                            phase_started: Instant::now(),
-                            run_id: config.seed,
-                            lamport: 0,
-                            link_seq: vec![0; n],
-                        };
-                        // A transport failure aborts the program mid-round via
-                        // a PartyAbort unwind; catch it here and surface the
-                        // typed error. Returning (rather than unwinding past
-                        // the closure) drops `ctx` and with it this party's
-                        // endpoint, which unblocks any peer waiting on it.
-                        match catch_unwind(AssertUnwindSafe(|| program(&mut ctx))) {
-                            Ok(out) => {
-                                ctx.flush_phase();
-                                Ok((out, ctx.stats, ctx.recorder.map(PartyRecorder::finish)))
+        type PartyResult<T, E> = (T, PartyStats, Option<sqm_obs::trace::PartyTrace>, E);
+        type Endpoint<F> = Box<dyn Transport<F>>;
+        let results: Vec<Result<PartyResult<T, Endpoint<F>>, TransportError>> =
+            std::thread::scope(|s| {
+                let handles: Vec<_> = endpoints
+                    .into_iter()
+                    .map(|endpoint| {
+                        let id = endpoint.id();
+                        let config = self.config.clone();
+                        let lagrange = lagrange_all.clone();
+                        s.spawn(move || {
+                            let mut ctx = PartyCtx {
+                                id,
+                                n,
+                                t: config.threshold,
+                                rng: StdRng::seed_from_u64(
+                                    config.seed
+                                        ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(id as u64 + 1)),
+                                ),
+                                endpoint,
+                                stats: PartyStats::default(),
+                                recorder: make_recorder(&config, id),
+                                lagrange_all: lagrange,
+                                phase: "default".to_string(),
+                                phase_started: Instant::now(),
+                                run_id: config.seed,
+                                lamport: 0,
+                                link_seq: vec![0; n],
+                            };
+                            // A transport failure aborts the program mid-round via
+                            // a PartyAbort unwind; catch it here and surface the
+                            // typed error. Returning (rather than unwinding past
+                            // the closure) drops `ctx` and with it this party's
+                            // endpoint, which unblocks any peer waiting on it.
+                            match catch_unwind(AssertUnwindSafe(|| program(&mut ctx))) {
+                                Ok(out) => {
+                                    ctx.flush_phase();
+                                    let PartyCtx {
+                                        endpoint,
+                                        stats,
+                                        recorder,
+                                        ..
+                                    } = ctx;
+                                    Ok((out, stats, recorder.map(PartyRecorder::finish), endpoint))
+                                }
+                                Err(payload) => match payload.downcast::<PartyAbort>() {
+                                    Ok(abort) => Err(abort.0),
+                                    Err(other) => resume_unwind(other),
+                                },
                             }
-                            Err(payload) => match payload.downcast::<PartyAbort>() {
-                                Ok(abort) => Err(abort.0),
-                                Err(other) => resume_unwind(other),
-                            },
-                        }
+                        })
                     })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("party thread panicked"))
-                .collect()
-        });
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("party thread panicked"))
+                    .collect()
+            });
 
         let mut outputs = Vec::with_capacity(n);
         let mut stats = Vec::with_capacity(n);
         let mut party_traces = Vec::with_capacity(n);
+        let mut mesh = Vec::with_capacity(n);
         let mut errors = Vec::new();
         for (party, result) in results.into_iter().enumerate() {
             match result {
-                Ok((out, ps, pt)) => {
+                Ok((out, ps, pt, endpoint)) => {
                     if metrics::is_enabled() {
                         metrics::histogram_record("mpc.bytes_per_party", ps.total.bytes as f64);
                         // Last-run-wins per-party gauges: the traffic each
@@ -359,6 +404,7 @@ impl MpcEngine {
                     outputs.push(out);
                     stats.push(ps);
                     party_traces.extend(pt);
+                    mesh.push(endpoint);
                 }
                 Err(e) => errors.push(e),
             }
@@ -379,11 +425,14 @@ impl MpcEngine {
         }
         let trace = (party_traces.len() == n)
             .then(|| Trace::from_parties(self.config.latency, party_traces));
-        Ok(MpcRun {
-            outputs,
-            stats: merge(stats, self.config.latency),
-            trace,
-        })
+        Ok((
+            MpcRun {
+                outputs,
+                stats: merge(stats, self.config.latency),
+                trace,
+            },
+            mesh,
+        ))
     }
 }
 
@@ -1168,6 +1217,38 @@ mod tests {
         assert_eq!(inproc.stats.total.rounds, tcp.stats.total.rounds);
         assert_eq!(inproc.stats.total.messages, tcp.stats.total.messages);
         assert_eq!(inproc.stats.total.bytes, tcp.stats.total.bytes);
+    }
+
+    #[test]
+    fn try_run_on_reuses_a_mesh_across_runs_and_matches_fresh_meshes() {
+        let program = |ctx: &mut PartyCtx<M61>| {
+            let a = ctx.share_input(
+                0,
+                (ctx.id == 0).then(|| vec![M61::from_u64(6)]).as_deref(),
+                1,
+            );
+            let b = ctx.share_input(
+                1,
+                (ctx.id == 1).then(|| vec![M61::from_u64(7)]).as_deref(),
+                1,
+            );
+            let p = ctx.mul(&a, &b);
+            ctx.open(&p)[0]
+        };
+        let cfg = MpcConfig::semi_honest(3).with_latency(Duration::ZERO);
+        let engine = MpcEngine::new(cfg.clone());
+        let mesh = build_mesh::<M61>(3, &cfg.backend, None).unwrap();
+        let (first, mesh) = engine.try_run_on(mesh, program).unwrap();
+        // Second run on the SAME mesh: round counters continue, outputs and
+        // per-run accounting match a fresh-mesh run exactly.
+        let (second, _mesh) = engine.try_run_on(mesh, program).unwrap();
+        let fresh = engine.try_run::<M61, _, _>(program).unwrap();
+        for run in [&first, &second, &fresh] {
+            assert!(run.outputs.iter().all(|v| v.to_canonical() == 42));
+        }
+        assert_eq!(first.stats.total.rounds, second.stats.total.rounds);
+        assert_eq!(second.stats.total.messages, fresh.stats.total.messages);
+        assert_eq!(second.stats.total.bytes, fresh.stats.total.bytes);
     }
 
     #[test]

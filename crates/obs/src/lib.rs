@@ -34,6 +34,12 @@
 //!   summary table. File-writing goes through [`export::atomic_write`]
 //!   (temp file + rename), so interrupted runs never leave truncated
 //!   artifacts.
+//! * [`httpd`] — the minimal std-only HTTP/1.1 listener shared by every
+//!   in-process endpoint (`live`'s `/metrics`+`/snapshot` and the
+//!   `sqm-serve` protocol), with graceful shutdown/drain.
+//! * [`json`] — a small recursive-descent JSON reader (the offline `serde`
+//!   stand-in only writes), used by the bench gate to read artifacts back
+//!   and by HTTP endpoints to parse request bodies.
 //! * [`live`] — streaming telemetry for runs *in flight*: a bounded
 //!   lock-free event ring the engines and the TCP transport publish
 //!   per-round events into, a background aggregator with rolling per-party
@@ -49,6 +55,8 @@
 
 pub mod causal;
 pub mod export;
+pub mod httpd;
+pub mod json;
 pub mod ledger;
 pub mod live;
 pub mod metrics;

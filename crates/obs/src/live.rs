@@ -44,9 +44,9 @@
 
 use std::cell::UnsafeCell;
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
-use std::io::{self, Read, Write};
+use std::io;
 use std::mem::MaybeUninit;
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::SocketAddr;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
@@ -55,6 +55,7 @@ use std::time::{Duration, Instant};
 use serde::{json, Serialize};
 
 use crate::export::atomic_write_str;
+use crate::httpd::{HttpRequest, HttpResponse, HttpServer};
 use crate::metrics::{self, MetricsSnapshot};
 
 // ---------------------------------------------------------------------------
@@ -773,7 +774,7 @@ pub struct Collector {
     state: Mutex<AggState>,
     stop: AtomicBool,
     threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
-    bound: Mutex<Option<SocketAddr>>,
+    http: Mutex<Option<HttpServer>>,
 }
 
 impl Collector {
@@ -783,7 +784,7 @@ impl Collector {
             state: Mutex::new(AggState::default()),
             stop: AtomicBool::new(false),
             threads: Mutex::new(Vec::new()),
-            bound: Mutex::new(None),
+            http: Mutex::new(None),
         })
     }
 
@@ -947,37 +948,24 @@ impl Collector {
     /// Bind the HTTP endpoint and serve `/metrics` + `/snapshot` until
     /// [`Collector::stop`]. Returns the bound address (useful with port 0).
     pub fn start_server(self: &Arc<Self>, addr: &str) -> io::Result<SocketAddr> {
-        if let Some(bound) = *self.bound.lock().unwrap() {
-            return Ok(bound);
+        let mut slot = self.http.lock().unwrap();
+        if let Some(server) = slot.as_ref() {
+            return Ok(server.local_addr());
         }
-        let listener = TcpListener::bind(addr)?;
-        listener.set_nonblocking(true)?;
-        let bound = listener.local_addr()?;
-        *self.bound.lock().unwrap() = Some(bound);
         let collector = Arc::clone(self);
-        let handle = std::thread::Builder::new()
-            .name("sqm-live-http".to_string())
-            .spawn(move || {
-                while !collector.stop.load(Ordering::Relaxed) {
-                    match listener.accept() {
-                        Ok((stream, _)) => {
-                            let _ = handle_request(stream, &collector);
-                        }
-                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                            std::thread::sleep(Duration::from_millis(10));
-                        }
-                        Err(_) => std::thread::sleep(Duration::from_millis(10)),
-                    }
-                }
-            })
-            .expect("spawn live http server");
-        self.threads.lock().unwrap().push(handle);
+        let server = HttpServer::bind(
+            addr,
+            "sqm-live-http",
+            Arc::new(move |req: &HttpRequest| handle_live_request(req, &collector)),
+        )?;
+        let bound = server.local_addr();
+        *slot = Some(server);
         Ok(bound)
     }
 
     /// Address the HTTP endpoint is bound to, if serving.
     pub fn bound_addr(&self) -> Option<SocketAddr> {
-        *self.bound.lock().unwrap()
+        self.http.lock().unwrap().as_ref().map(|s| s.local_addr())
     }
 
     /// Stop background threads (detached/test collectors; the process-global
@@ -987,6 +975,9 @@ impl Collector {
         let handles: Vec<_> = self.threads.lock().unwrap().drain(..).collect();
         for h in handles {
             let _ = h.join();
+        }
+        if let Some(mut server) = self.http.lock().unwrap().take() {
+            server.shutdown();
         }
     }
 }
@@ -1178,17 +1169,28 @@ pub fn render_prometheus(snap: &LiveSnapshot) -> String {
         out.push('\n');
     }
     // Metrics registry, key-sorted (BTreeMap iteration order).
-    for (name, v) in &snap.metrics.counters {
+    out.push_str(&render_metrics_prometheus(&snap.metrics));
+    out
+}
+
+/// Render the process-wide metrics registry (counters, gauges, histogram
+/// summaries) in Prometheus text exposition format. Shared between the live
+/// `/metrics` endpoint (as the tail of [`render_prometheus`]) and other
+/// endpoints — e.g. the `sqm-serve` scrape route — that expose the registry
+/// without the live ring's per-run aggregates.
+pub fn render_metrics_prometheus(metrics: &MetricsSnapshot) -> String {
+    let mut out = String::with_capacity(1024);
+    for (name, v) in &metrics.counters {
         let name = prom_name(&format!("sqm_{name}"));
         out.push_str(&format!("# TYPE {name} counter\n{name} {v}\n"));
     }
-    for (name, v) in &snap.metrics.gauges {
+    for (name, v) in &metrics.gauges {
         let name = prom_name(&format!("sqm_{name}"));
         out.push_str(&format!("# TYPE {name} gauge\n{name} "));
         json::write_f64(&mut out, *v);
         out.push('\n');
     }
-    for (name, h) in &snap.metrics.histograms {
+    for (name, h) in &metrics.histograms {
         let name = prom_name(&format!("sqm_{name}"));
         out.push_str(&format!("# TYPE {name} summary\n"));
         for (q, v) in [("0.5", h.p50), ("0.9", h.p90), ("0.99", h.p99)] {
@@ -1204,62 +1206,26 @@ pub fn render_prometheus(snap: &LiveSnapshot) -> String {
 }
 
 // ---------------------------------------------------------------------------
-// HTTP/1.1 endpoint (std only)
+// HTTP endpoint (routes over the shared `obs::httpd` listener)
 // ---------------------------------------------------------------------------
 
-fn handle_request(mut stream: TcpStream, collector: &Arc<Collector>) -> io::Result<()> {
-    stream.set_nonblocking(false)?;
-    stream.set_read_timeout(Some(Duration::from_millis(500)))?;
-    let mut buf = Vec::with_capacity(1024);
-    let mut chunk = [0u8; 512];
-    loop {
-        match stream.read(&mut chunk) {
-            Ok(0) => break,
-            Ok(n) => {
-                buf.extend_from_slice(&chunk[..n]);
-                if buf.windows(4).any(|w| w == b"\r\n\r\n") || buf.len() > 8192 {
-                    break;
-                }
-            }
-            Err(_) => break,
-        }
+fn handle_live_request(req: &HttpRequest, collector: &Arc<Collector>) -> HttpResponse {
+    if req.method != "GET" {
+        return HttpResponse::text(405, "only GET is supported\n");
     }
-    let request = String::from_utf8_lossy(&buf);
-    let mut parts = request.lines().next().unwrap_or("").split_whitespace();
-    let (method, path) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
-    let (status, content_type, body) = if method != "GET" {
-        (
-            "405 Method Not Allowed",
-            "text/plain",
-            "only GET is supported\n".to_string(),
-        )
-    } else {
-        match path {
-            "/metrics" => (
-                "200 OK",
-                "text/plain; version=0.0.4; charset=utf-8",
-                render_prometheus(&collector.snapshot()),
-            ),
-            "/snapshot" => ("200 OK", "application/json", {
-                let mut body = collector.snapshot().to_json();
-                body.push('\n');
-                body
-            }),
-            "/" => (
-                "200 OK",
-                "text/plain",
-                "sqm live telemetry\n/metrics  Prometheus text exposition\n/snapshot JSON snapshot\n"
-                    .to_string(),
-            ),
-            _ => ("404 Not Found", "text/plain", "not found\n".to_string()),
+    match req.path.as_str() {
+        "/metrics" => HttpResponse::prometheus(render_prometheus(&collector.snapshot())),
+        "/snapshot" => {
+            let mut body = collector.snapshot().to_json();
+            body.push('\n');
+            HttpResponse::json(200, body)
         }
-    };
-    let response = format!(
-        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
-        body.len()
-    );
-    stream.write_all(response.as_bytes())?;
-    stream.flush()
+        "/" => HttpResponse::text(
+            200,
+            "sqm live telemetry\n/metrics  Prometheus text exposition\n/snapshot JSON snapshot\n",
+        ),
+        _ => HttpResponse::not_found(),
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -1366,6 +1332,8 @@ impl Drop for RunGuard {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::io::{Read, Write};
+    use std::net::TcpStream;
 
     fn test_config() -> LiveConfig {
         LiveConfig {

@@ -1,0 +1,99 @@
+//! Typed serving errors, each with an HTTP status for the wire protocol.
+
+use sqm_mpc::TransportError;
+use std::fmt;
+
+/// Everything that can go wrong serving a request. Every variant is typed
+/// and scoped: an error names the tenant or resource it concerns, and a
+/// failure inside one session never takes the server down.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ServeError {
+    /// The admission queue is at its bound; the request was refused
+    /// *without* being enqueued (backpressure, never unbounded growth).
+    Overloaded {
+        /// Requests queued when the refusal fired.
+        queued: usize,
+        /// The configured bound.
+        bound: usize,
+    },
+    /// The tenant's privacy odometer refused the release: admitting it
+    /// would push the composed server-observed epsilon past the budget.
+    /// Refused before any MPC round runs.
+    BudgetExhausted {
+        tenant: String,
+        /// Epsilon already spent by admitted releases.
+        spent: f64,
+        /// The tenant's overall epsilon budget.
+        budget: f64,
+    },
+    /// No tenant with this name exists.
+    UnknownTenant { tenant: String },
+    /// A tenant with this name already exists.
+    TenantExists { tenant: String },
+    /// The tenant's MPC session died (party crash, transport failure).
+    /// The session is poisoned; other tenants are unaffected.
+    SessionFailed {
+        tenant: String,
+        error: TransportError,
+    },
+    /// The server is draining; no new work is admitted.
+    ShuttingDown,
+    /// Malformed request (bad JSON, wrong record width, bad parameters).
+    BadRequest { detail: String },
+}
+
+impl ServeError {
+    /// The HTTP status the protocol layer maps this error to.
+    pub fn http_status(&self) -> u16 {
+        match self {
+            ServeError::Overloaded { .. } => 429,
+            ServeError::BudgetExhausted { .. } => 403,
+            ServeError::UnknownTenant { .. } => 404,
+            ServeError::TenantExists { .. } => 409,
+            ServeError::SessionFailed { .. } => 500,
+            ServeError::ShuttingDown => 503,
+            ServeError::BadRequest { .. } => 400,
+        }
+    }
+
+    /// Short machine-readable error code for the wire protocol.
+    pub fn code(&self) -> &'static str {
+        match self {
+            ServeError::Overloaded { .. } => "overloaded",
+            ServeError::BudgetExhausted { .. } => "budget_exhausted",
+            ServeError::UnknownTenant { .. } => "unknown_tenant",
+            ServeError::TenantExists { .. } => "tenant_exists",
+            ServeError::SessionFailed { .. } => "session_failed",
+            ServeError::ShuttingDown => "shutting_down",
+            ServeError::BadRequest { .. } => "bad_request",
+        }
+    }
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Overloaded { queued, bound } => {
+                write!(f, "overloaded: {queued} requests queued (bound {bound})")
+            }
+            ServeError::BudgetExhausted {
+                tenant,
+                spent,
+                budget,
+            } => write!(
+                f,
+                "privacy budget exhausted for tenant {tenant:?}: \
+                 spent eps={spent:.4} of budget {budget:.4}"
+            ),
+            ServeError::UnknownTenant { tenant } => write!(f, "unknown tenant {tenant:?}"),
+            ServeError::TenantExists { tenant } => write!(f, "tenant {tenant:?} already exists"),
+            ServeError::SessionFailed { tenant, error } => {
+                write!(f, "session failed for tenant {tenant:?}: {error}")
+            }
+            ServeError::ShuttingDown => write!(f, "server is shutting down"),
+            ServeError::BadRequest { detail } => write!(f, "bad request: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}

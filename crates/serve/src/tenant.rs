@@ -1,0 +1,459 @@
+//! One tenant: a long-lived streaming covariance session with an enforced
+//! privacy budget.
+//!
+//! Every release goes through [`PrivacyOdometer::admit`] *before* any MPC
+//! round runs; a refusal is the typed [`ServeError::BudgetExhausted`] and
+//! costs nothing. Admitted releases are recorded in both the odometer and
+//! the obs [`PrivacyLedger`], and the two accounts are cross-checked after
+//! every release ([`Tenant::budget_consistent_with_ledger`]).
+
+use sqm_accounting::{default_alpha_grid, skellam_rdp, Admission, PrivacyOdometer, RdpCurve};
+use sqm_core::sensitivity::pca_sensitivity;
+use sqm_linalg::Matrix;
+use sqm_mpc::{FaultSpec, RunStats};
+use sqm_obs::ledger::PrivacyLedger;
+use sqm_obs::metrics;
+use sqm_vfl::{ColumnPartition, StreamCov, VflConfig};
+
+use crate::error::ServeError;
+
+/// Static description of a tenant's session, fixed at creation.
+#[derive(Clone, Debug)]
+pub struct TenantConfig {
+    /// Unique tenant name (the protocol's routing key).
+    pub name: String,
+    /// Feature columns, split evenly across the MPC clients.
+    pub n_cols: usize,
+    /// MPC parties (>= 2; >= 3 for actual inter-client secrecy).
+    pub n_clients: usize,
+    /// Quantization scale.
+    pub gamma: f64,
+    /// Skellam parameter per release (mu > 0 for a finite budget).
+    pub mu: f64,
+    /// Overall server-observed epsilon budget for the session's lifetime.
+    pub budget_eps: f64,
+    /// Delta the budget and ledger epsilons are reported at.
+    pub delta: f64,
+    /// Seed for the session's quantization/noise/share streams.
+    pub seed: u64,
+    /// Declared envelope: most records the session may ever ingest.
+    pub max_rows: usize,
+    /// Declared envelope: largest per-record l2 norm.
+    pub max_row_norm: f64,
+    /// Optional deterministic fault injection on the tenant's transports
+    /// (tests use this to crash a party mid-session).
+    pub faults: Option<FaultSpec>,
+}
+
+impl TenantConfig {
+    /// A small default workload shape; callers override fields as needed.
+    pub fn new(name: &str) -> TenantConfig {
+        TenantConfig {
+            name: name.to_string(),
+            n_cols: 3,
+            n_clients: 3,
+            gamma: 256.0,
+            mu: 100.0,
+            budget_eps: 10.0,
+            delta: 1e-5,
+            seed: 7,
+            max_rows: 10_000,
+            max_row_norm: 1.0,
+            faults: None,
+        }
+    }
+
+    fn validate(&self) -> Result<(), ServeError> {
+        let bad = |detail: &str| {
+            Err(ServeError::BadRequest {
+                detail: detail.to_string(),
+            })
+        };
+        if self.name.is_empty() {
+            return bad("tenant name must be non-empty");
+        }
+        if self.n_cols == 0 {
+            return bad("n_cols must be positive");
+        }
+        if self.n_clients < 2 || self.n_clients > self.n_cols.max(2) {
+            return bad("n_clients must be in 2..=n_cols");
+        }
+        if self.gamma <= 0.0 || self.gamma.is_nan() {
+            return bad("gamma must be positive");
+        }
+        if self.mu < 0.0 {
+            return bad("mu must be non-negative");
+        }
+        if self.budget_eps <= 0.0 || self.budget_eps.is_nan() {
+            return bad("budget_eps must be positive");
+        }
+        if !(self.delta > 0.0 && self.delta < 1.0) {
+            return bad("delta must be in (0,1)");
+        }
+        if self.max_rows == 0 {
+            return bad("max_rows must be positive");
+        }
+        Ok(())
+    }
+}
+
+/// One successful release as the server hands it back.
+#[derive(Clone, Debug)]
+pub struct ReleaseReply {
+    /// The down-scaled noisy covariance (row-major `n_cols * n_cols`).
+    pub covariance: Vec<f64>,
+    pub n_cols: usize,
+    /// Rows covered by this release (everything ingested so far).
+    pub rows_covered: usize,
+    /// This tenant's release counter after this release.
+    pub release_index: usize,
+    /// Server-observed epsilon of this release alone.
+    pub release_epsilon: f64,
+    /// Composed epsilon spent after this release.
+    pub spent_epsilon: f64,
+    /// Budget headroom left.
+    pub remaining_epsilon: f64,
+    /// MPC accounting for this release.
+    pub stats: RunStats,
+}
+
+/// Point-in-time budget/session numbers for `/status`.
+#[derive(Clone, Debug)]
+pub struct TenantReport {
+    pub name: String,
+    pub releases: usize,
+    pub refusals: u64,
+    pub rows_ingested: usize,
+    pub pending_rows: usize,
+    pub spent_epsilon: f64,
+    pub budget_eps: f64,
+    pub failed: bool,
+}
+
+/// A live tenant session.
+pub struct Tenant {
+    config: TenantConfig,
+    stream: StreamCov,
+    odometer: PrivacyOdometer,
+    ledger: PrivacyLedger,
+    refusals: u64,
+}
+
+impl Tenant {
+    /// Create the session: build the partition, mesh the parties, open the
+    /// streaming accumulator. Fails fast on invalid config.
+    pub fn create(config: TenantConfig) -> Result<Tenant, ServeError> {
+        config.validate()?;
+        let partition = ColumnPartition::even(config.n_cols, config.n_clients);
+        let mut cfg = VflConfig::fast(config.n_clients).with_seed(config.seed);
+        cfg.faults = config.faults.clone();
+        let stream = StreamCov::new(
+            partition,
+            config.gamma,
+            config.mu,
+            &cfg,
+            config.max_rows,
+            config.max_row_norm,
+        )
+        .map_err(|error| ServeError::SessionFailed {
+            tenant: config.name.clone(),
+            error,
+        })?;
+        let odometer = PrivacyOdometer::new(config.budget_eps, config.delta);
+        let ledger = PrivacyLedger::new(config.n_clients, config.delta);
+        Ok(Tenant {
+            config,
+            stream,
+            odometer,
+            ledger,
+            refusals: 0,
+        })
+    }
+
+    pub fn config(&self) -> &TenantConfig {
+        &self.config
+    }
+
+    /// Queue records for the next release. Cheap (no MPC).
+    pub fn ingest(&mut self, records: &[Vec<f64>]) -> Result<usize, ServeError> {
+        if let Some(error) = self.stream.failure() {
+            return Err(ServeError::SessionFailed {
+                tenant: self.config.name.clone(),
+                error: error.clone(),
+            });
+        }
+        if records.is_empty() {
+            return Err(ServeError::BadRequest {
+                detail: "empty batch".to_string(),
+            });
+        }
+        for r in records {
+            if r.len() != self.config.n_cols {
+                return Err(ServeError::BadRequest {
+                    detail: format!("record width {} != n_cols {}", r.len(), self.config.n_cols),
+                });
+            }
+            let norm = r.iter().map(|v| v * v).sum::<f64>().sqrt();
+            if norm > self.config.max_row_norm * (1.0 + 1e-12) {
+                return Err(ServeError::BadRequest {
+                    detail: format!(
+                        "record norm {norm:.4} exceeds envelope {}",
+                        self.config.max_row_norm
+                    ),
+                });
+            }
+        }
+        let total = self.stream.rows_ingested() + self.stream.pending_rows() + records.len();
+        if total > self.config.max_rows {
+            return Err(ServeError::BadRequest {
+                detail: format!(
+                    "session would exceed {}-record envelope",
+                    self.config.max_rows
+                ),
+            });
+        }
+        let batch = Matrix::from_rows(records);
+        self.stream.ingest(&batch);
+        Ok(self.stream.pending_rows())
+    }
+
+    /// The per-release server-observed RDP curve (pinned by the session's
+    /// gamma/mu/envelope, so every release costs the same).
+    fn release_curve(&self) -> RdpCurve {
+        let sens = pca_sensitivity(
+            self.config.gamma,
+            self.config.max_row_norm.max(1e-9),
+            self.config.n_cols,
+        );
+        let mu = self.config.mu;
+        RdpCurve::from_fn(&default_alpha_grid(), |a| skellam_rdp(a, sens, mu))
+    }
+
+    /// One DP release: odometer admission first, MPC second, ledger third.
+    pub fn release(&mut self) -> Result<ReleaseReply, ServeError> {
+        if let Some(error) = self.stream.failure() {
+            return Err(ServeError::SessionFailed {
+                tenant: self.config.name.clone(),
+                error: error.clone(),
+            });
+        }
+        // --- budget gate, before any MPC round -------------------------
+        if self.config.mu <= 0.0 {
+            // An unperturbed release is infinite epsilon: always refused
+            // on a (necessarily finite) serving budget.
+            self.refusals += 1;
+            metrics::counter_add("serve.budget_refusals", 1);
+            return Err(ServeError::BudgetExhausted {
+                tenant: self.config.name.clone(),
+                spent: self.odometer.spent_epsilon(),
+                budget: self.config.budget_eps,
+            });
+        }
+        let curve = self.release_curve();
+        let release_epsilon = curve.to_epsilon(self.config.delta).0;
+        match self.odometer.admit(&curve) {
+            Admission::Admitted => {}
+            Admission::Rejected => {
+                self.refusals += 1;
+                metrics::counter_add("serve.budget_refusals", 1);
+                return Err(ServeError::BudgetExhausted {
+                    tenant: self.config.name.clone(),
+                    spent: self.odometer.spent_epsilon(),
+                    budget: self.config.budget_eps,
+                });
+            }
+        }
+        // --- MPC over the reused mesh -----------------------------------
+        let out = self.stream.release().map_err(|error| {
+            metrics::counter_add("serve.sessions_failed", 1);
+            ServeError::SessionFailed {
+                tenant: self.config.name.clone(),
+                error,
+            }
+        })?;
+        // --- ledger cross-account ---------------------------------------
+        let sens = pca_sensitivity(
+            self.config.gamma,
+            self.config.max_row_norm.max(1e-9),
+            self.config.n_cols,
+        );
+        self.ledger.record(
+            "covariance",
+            self.config.n_cols * self.config.n_cols,
+            self.config.gamma,
+            self.config.mu,
+            sens,
+        );
+        debug_assert!(
+            self.budget_consistent_with_ledger(),
+            "odometer and ledger disagree for tenant {}",
+            self.config.name
+        );
+        metrics::counter_add("serve.releases_admitted", 1);
+        let gamma2 = self.config.gamma * self.config.gamma;
+        Ok(ReleaseReply {
+            covariance: out.c_hat.as_slice().iter().map(|v| v / gamma2).collect(),
+            n_cols: self.config.n_cols,
+            rows_covered: self.stream.rows_ingested(),
+            release_index: self.stream.releases(),
+            release_epsilon,
+            spent_epsilon: self.odometer.spent_epsilon(),
+            remaining_epsilon: self.odometer.remaining_epsilon(),
+            stats: out.stats,
+        })
+    }
+
+    /// Cross-check: the odometer's recorded spend must agree with the obs
+    /// ledger's composed server curve (both are fed the same per-release
+    /// curves).
+    pub fn budget_consistent_with_ledger(&self) -> bool {
+        if self.ledger.is_empty() {
+            return self.odometer.releases() == 0;
+        }
+        let ledger_eps = self.ledger.server_epsilon();
+        if !ledger_eps.is_finite() {
+            return false; // serving never admits unbounded releases
+        }
+        let spent = self.odometer.spent_epsilon();
+        (spent - ledger_eps).abs() <= 1e-9 * ledger_eps.max(1.0)
+    }
+
+    /// The obs privacy ledger (one entry per admitted release).
+    pub fn ledger(&self) -> &PrivacyLedger {
+        &self.ledger
+    }
+
+    /// The odometer enforcing the budget.
+    pub fn odometer(&self) -> &PrivacyOdometer {
+        &self.odometer
+    }
+
+    pub fn report(&self) -> TenantReport {
+        TenantReport {
+            name: self.config.name.clone(),
+            releases: self.stream.releases(),
+            refusals: self.refusals,
+            rows_ingested: self.stream.rows_ingested(),
+            pending_rows: self.stream.pending_rows(),
+            spent_epsilon: self.odometer.spent_epsilon(),
+            budget_eps: self.config.budget_eps,
+            failed: self.stream.failure().is_some(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn records(n: usize, cols: usize, scale: f64) -> Vec<Vec<f64>> {
+        (0..n)
+            .map(|i| {
+                (0..cols)
+                    .map(|j| scale * ((i * cols + j) as f64 * 0.37).sin() / (cols as f64).sqrt())
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn releases_until_budget_exhausted_then_typed_refusal() {
+        // Measure one release's epsilon on an unlimited probe tenant, then
+        // budget the real tenant for about two and a half of them.
+        let mut cfg = TenantConfig::new("probe");
+        cfg.mu = 1e8;
+        cfg.gamma = 64.0;
+        cfg.budget_eps = f64::INFINITY;
+        let mut probe = Tenant::create(cfg.clone()).unwrap();
+        probe.ingest(&records(4, 3, 0.9)).unwrap();
+        let one = probe.release().unwrap().release_epsilon;
+        assert!(one.is_finite() && one > 0.0);
+
+        cfg.name = "acme".to_string();
+        cfg.budget_eps = 2.5 * one;
+        let budget = cfg.budget_eps;
+        let mut tenant = Tenant::create(cfg).unwrap();
+        tenant.ingest(&records(4, 3, 0.9)).unwrap();
+        let mut admitted = 0;
+        let err = loop {
+            match tenant.release() {
+                Ok(reply) => {
+                    admitted += 1;
+                    assert!(reply.spent_epsilon <= budget * (1.0 + 1e-9));
+                    assert_eq!(reply.rows_covered, 4);
+                }
+                Err(e) => break e,
+            }
+            assert!(admitted < 100, "refusal never fired");
+        };
+        // RDP composition is sublinear in epsilon, so a 2.5x budget admits
+        // at least two releases — and must eventually refuse.
+        assert!(admitted >= 2, "budget admits at least two releases");
+        match &err {
+            ServeError::BudgetExhausted {
+                tenant: name,
+                spent,
+                budget,
+            } => {
+                assert_eq!(name, "acme");
+                assert!(*spent <= *budget);
+            }
+            other => panic!("expected BudgetExhausted, got {other:?}"),
+        }
+        assert_eq!(err.http_status(), 403);
+        // Refusal costs nothing: release count unchanged, accounts agree.
+        let report = tenant.report();
+        assert_eq!(report.releases, admitted);
+        assert_eq!(report.refusals, 1);
+        assert!(tenant.budget_consistent_with_ledger());
+        assert_eq!(tenant.ledger().len(), admitted);
+    }
+
+    #[test]
+    fn mu_zero_release_is_always_refused() {
+        let mut cfg = TenantConfig::new("nonoise");
+        cfg.mu = 0.0;
+        let mut tenant = Tenant::create(cfg).unwrap();
+        tenant.ingest(&records(2, 3, 0.5)).unwrap();
+        let err = tenant.release().unwrap_err();
+        assert!(matches!(err, ServeError::BudgetExhausted { .. }));
+        assert_eq!(tenant.report().releases, 0);
+    }
+
+    #[test]
+    fn ingest_validates_width_norm_and_envelope() {
+        let mut cfg = TenantConfig::new("v");
+        cfg.max_rows = 3;
+        let mut tenant = Tenant::create(cfg).unwrap();
+        assert!(matches!(
+            tenant.ingest(&[vec![0.1, 0.2]]).unwrap_err(),
+            ServeError::BadRequest { .. }
+        ));
+        assert!(matches!(
+            tenant.ingest(&[vec![5.0, 0.0, 0.0]]).unwrap_err(),
+            ServeError::BadRequest { .. }
+        ));
+        tenant.ingest(&records(3, 3, 0.5)).unwrap();
+        assert!(matches!(
+            tenant.ingest(&records(1, 3, 0.5)).unwrap_err(),
+            ServeError::BadRequest { .. }
+        ));
+    }
+
+    #[test]
+    fn replies_are_deterministic_for_a_fixed_seed() {
+        let run = || {
+            let mut cfg = TenantConfig::new("det");
+            cfg.seed = 99;
+            cfg.mu = 400.0;
+            cfg.budget_eps = f64::INFINITY;
+            let mut t = Tenant::create(cfg).unwrap();
+            t.ingest(&records(5, 3, 0.8)).unwrap();
+            let a = t.release().unwrap();
+            t.ingest(&records(2, 3, 0.8)).unwrap();
+            let b = t.release().unwrap();
+            (a.covariance, b.covariance)
+        };
+        assert_eq!(run(), run());
+    }
+}

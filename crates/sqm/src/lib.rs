@@ -68,6 +68,9 @@ pub use sqm_obs as obs;
 /// Samplers (Poisson / Skellam / Gaussian / stochastic rounding) and
 /// special functions.
 pub use sqm_sampling as sampling;
+/// Multi-tenant VFL serving: bounded-admission scheduler, enforced
+/// per-tenant privacy budgets, streaming covariance, HTTP protocol.
+pub use sqm_serve as serve;
 /// PCA and logistic-regression instantiations with all baselines.
 pub use sqm_tasks as tasks;
 /// The VFL runtime binding SQM to the MPC engine.
@@ -88,5 +91,6 @@ mod tests {
         let _ = crate::datasets::Scale::Laptop;
         let _ = crate::obs::PrivacyLedger::new(2, 1e-5);
         let _ = crate::audit::AuditConfig::new(0, crate::audit::Tier::Fast);
+        let _ = crate::serve::TenantConfig::new("facade");
     }
 }

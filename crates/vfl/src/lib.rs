@@ -39,6 +39,7 @@ pub mod gradient;
 pub mod mean;
 pub mod partition;
 pub mod session;
+pub mod stream;
 
 pub use covariance::{
     covariance_quantized_oracle, covariance_skellam, covariance_skellam_chunked,
@@ -48,7 +49,8 @@ pub use generic::eval_polynomial_skellam;
 pub use gradient::{gradient_sum_skellam, GradientOutput};
 pub use mean::{column_sums_skellam, column_sums_skellam_additive, MeanOutput};
 pub use partition::ColumnPartition;
-pub use session::{ServerView, VflSession};
+pub use session::{BudgetRefusal, ServerView, VflSession};
+pub use stream::{covariance_streaming_oracle, StreamCov};
 
 pub use sqm_mpc::net;
 pub use sqm_mpc::{CrashPoint, FaultSpec, LiveConfig, NetBackend, TcpOptions, TransportError};

@@ -1,0 +1,550 @@
+//! Streaming mini-batch covariance over a persistent MPC session.
+//!
+//! The one-shot protocols in [`crate::covariance`] mesh the parties, run,
+//! and tear everything down. A serving deployment (see `sqm::serve`)
+//! instead keeps a session alive across many mini-batch arrivals and many
+//! DP releases. [`StreamCov`] is that session:
+//!
+//! * **Transports are reused.** The party mesh is built once
+//!   (`net::build_mesh`) and threaded through every release via
+//!   `MpcEngine::try_run_on`, so a release costs protocol rounds but never
+//!   re-meshing. Party round counters simply continue across releases.
+//! * **Sufficient statistics accumulate.** Each party keeps its share of
+//!   the degree-2t upper-triangular Gram accumulator between releases.
+//!   A release only quantizes/shares/multiplies the records that arrived
+//!   since the previous release, then degree-reduces a *copy* of the
+//!   accumulator — prior work is amortized, never recomputed.
+//! * **Randomness streams persist.** Quantization and Skellam noise RNGs
+//!   are the same per-party streams the one-shot protocols derive from
+//!   `cfg.seed`, carried across releases. Release 0 is therefore
+//!   bit-identical to [`crate::covariance::covariance_skellam_chunked`]
+//!   with chunk boundaries at the batch boundaries, and release `r` is
+//!   predicted bit-exactly by [`covariance_streaming_oracle`] with
+//!   `noise_skip = r` (each release consumes the next `n(n+1)/2` noise
+//!   draws per party).
+//!
+//! A transport failure poisons the session: the mesh is discarded, the
+//! typed error is kept, and every later call returns it. The caller (one
+//! serve tenant) fails; other sessions are untouched.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sqm_field::{FieldChoice, PrimeField, M127, M61};
+use sqm_linalg::Matrix;
+use sqm_mpc::net::transport::{build_mesh, Transport};
+use sqm_mpc::{MpcEngine, TransportError};
+use sqm_sampling::rounding::stochastic_round;
+use sqm_sampling::skellam::sample_skellam;
+use std::sync::Mutex;
+
+use crate::covariance::CovarianceOutput;
+use crate::partition::ColumnPartition;
+use crate::VflConfig;
+
+/// Per-party state that survives between releases: the private randomness
+/// streams and this party's share of the running Gram accumulator.
+struct PartyStream<F: PrimeField> {
+    qrng: StdRng,
+    nrng: StdRng,
+    acc: Vec<F>,
+}
+
+struct StreamImpl<F: PrimeField> {
+    partition: ColumnPartition,
+    gamma: f64,
+    mu: f64,
+    cfg: VflConfig,
+    mesh: Option<Vec<Box<dyn Transport<F>>>>,
+    party: Vec<PartyStream<F>>,
+    pending: Vec<Matrix>,
+    rows_ingested: usize,
+    releases: usize,
+    failed: Option<TransportError>,
+}
+
+impl<F: PrimeField> StreamImpl<F> {
+    fn new(
+        partition: ColumnPartition,
+        gamma: f64,
+        mu: f64,
+        cfg: VflConfig,
+    ) -> Result<Self, TransportError> {
+        let n_cols = partition.n_cols();
+        let upper_len = n_cols * (n_cols + 1) / 2;
+        let mpc = cfg.mpc_config();
+        let mesh = build_mesh::<F>(mpc.n_parties, &mpc.backend, mpc.faults.as_ref())?;
+        let party = (0..cfg.n_clients)
+            .map(|p| PartyStream {
+                qrng: StdRng::seed_from_u64(cfg.seed ^ (0xA11C_E000 + p as u64)),
+                nrng: StdRng::seed_from_u64(cfg.seed ^ (0x5E11_A000 + p as u64)),
+                acc: vec![F::ZERO; upper_len],
+            })
+            .collect();
+        Ok(StreamImpl {
+            partition,
+            gamma,
+            mu,
+            cfg,
+            mesh: Some(mesh),
+            party,
+            pending: Vec::new(),
+            rows_ingested: 0,
+            releases: 0,
+            failed: None,
+        })
+    }
+
+    fn release(&mut self) -> Result<CovarianceOutput, TransportError> {
+        if let Some(e) = &self.failed {
+            return Err(e.clone());
+        }
+        let mesh = self.mesh.take().expect("mesh present unless failed");
+        let n = self.partition.n_cols();
+        let upper_len = n * (n + 1) / 2;
+        let counts = self.partition.counts();
+        let p_clients = self.cfg.n_clients;
+        let partition = &self.partition;
+        let gamma = self.gamma;
+        let local_mu = self.mu / p_clients as f64;
+        let pending = std::mem::take(&mut self.pending);
+        let pending = &pending;
+
+        // Hand each party thread its persistent state through an indexed
+        // slot; the thread takes it at the start of the program and returns
+        // the updated state as part of its output.
+        let slots: Vec<Mutex<Option<PartyStream<F>>>> =
+            self.party.drain(..).map(|s| Mutex::new(Some(s))).collect();
+
+        let engine = MpcEngine::new(self.cfg.mpc_config());
+        type Out<F> = (Vec<i128>, PartyStream<F>);
+        let result = engine.try_run_on::<F, Out<F>, _>(mesh, |ctx| {
+            let me = ctx.id;
+            let mut st = slots[me].lock().unwrap().take().expect("party state");
+            let my_cols = partition.columns_of(me);
+            for batch in pending {
+                let rows = batch.rows();
+                ctx.set_phase("quantize");
+                let mut my_values: Vec<F> = Vec::with_capacity(my_cols.len() * rows);
+                for &j in &my_cols {
+                    for i in 0..rows {
+                        let q = stochastic_round(&mut st.qrng, gamma * batch[(i, j)]);
+                        my_values.push(F::from_i128(q as i128));
+                    }
+                }
+                ctx.set_phase("input");
+                let expected: Vec<usize> = counts.iter().map(|&c| c * rows).collect();
+                let contributions = ctx.share_all_uneven(&my_values, &expected);
+                let mut col_shares: Vec<Vec<F>> = vec![Vec::new(); n];
+                for (client, contrib) in contributions.into_iter().enumerate() {
+                    for (slot, &j) in partition.columns_of(client).iter().enumerate() {
+                        col_shares[j] = contrib[slot * rows..(slot + 1) * rows].to_vec();
+                    }
+                }
+                ctx.set_phase("compute");
+                let mut idx = 0;
+                for j in 0..n {
+                    for k in j..n {
+                        let mut s = F::ZERO;
+                        for (&xj, &xk) in col_shares[j].iter().zip(&col_shares[k]) {
+                            s += xj * xk;
+                        }
+                        st.acc[idx] += s;
+                        idx += 1;
+                    }
+                }
+            }
+
+            ctx.set_phase("compute");
+            let mut reduced = ctx.reduce_degree(&st.acc);
+
+            ctx.set_phase("dp_noise");
+            let my_noise: Vec<F> = (0..upper_len)
+                .map(|_| F::from_i128(sample_skellam(&mut st.nrng, local_mu) as i128))
+                .collect();
+            for contrib in ctx.share_all(&my_noise) {
+                reduced = ctx.add(&reduced, &contrib);
+            }
+
+            ctx.set_phase("open");
+            let opened = ctx
+                .open(&reduced)
+                .into_iter()
+                .map(|v| v.to_centered_i128())
+                .collect();
+            (opened, st)
+        });
+
+        match result {
+            Ok((run, mesh)) => {
+                self.mesh = Some(mesh);
+                let mut opened_first: Option<Vec<i128>> = None;
+                for (opened, st) in run.outputs {
+                    opened_first.get_or_insert(opened);
+                    self.party.push(st);
+                }
+                self.releases += 1;
+                let opened = opened_first.expect("at least one party");
+                let mut c_hat = Matrix::zeros(n, n);
+                let mut idx = 0;
+                for j in 0..n {
+                    for k in j..n {
+                        c_hat[(j, k)] = opened[idx] as f64;
+                        c_hat[(k, j)] = c_hat[(j, k)];
+                        idx += 1;
+                    }
+                }
+                Ok(CovarianceOutput {
+                    c_hat,
+                    stats: run.stats,
+                    trace: run.trace,
+                })
+            }
+            Err(e) => {
+                // Poisoned: the mesh round state is undefined and some
+                // party states were lost with their threads.
+                self.failed = Some(e.clone());
+                Err(e)
+            }
+        }
+    }
+}
+
+/// Field-width dispatch (mirrors `FieldChoice::for_magnitude` in the
+/// one-shot protocols, but the choice is pinned at session creation from a
+/// declared workload bound — it cannot change once accumulator shares
+/// exist).
+enum Inner {
+    M61(StreamImpl<M61>),
+    M127(StreamImpl<M127>),
+}
+
+/// A long-lived streaming covariance session: ingest mini-batches, release
+/// the running noisy covariance on demand. See the module docs for the
+/// determinism and reuse contract.
+pub struct StreamCov {
+    inner: Inner,
+    max_rows: usize,
+    max_row_norm: f64,
+}
+
+impl StreamCov {
+    /// Open a session. `max_rows` and `max_row_norm` declare the workload
+    /// envelope (total records the session may ingest and the largest
+    /// per-record l2 norm); they pin the field width for the whole session
+    /// and are enforced on ingest.
+    pub fn new(
+        partition: ColumnPartition,
+        gamma: f64,
+        mu: f64,
+        cfg: &VflConfig,
+        max_rows: usize,
+        max_row_norm: f64,
+    ) -> Result<StreamCov, TransportError> {
+        assert_eq!(
+            partition.n_clients(),
+            cfg.n_clients,
+            "partition/config client-count mismatch"
+        );
+        assert!(cfg.n_clients >= 2, "MPC needs at least 2 clients");
+        assert!(max_rows >= 1, "declare a positive record envelope");
+        let c = max_row_norm.max(1e-9);
+        let per_entry = gamma * c + 1.0;
+        let bound = max_rows as f64 * per_entry * per_entry + 12.0 * (2.0 * mu).sqrt() + 1.0;
+        let inner = match FieldChoice::for_magnitude(bound).expect("workload exceeds M127 headroom")
+        {
+            FieldChoice::M61 => Inner::M61(StreamImpl::new(partition, gamma, mu, cfg.clone())?),
+            FieldChoice::M127 => Inner::M127(StreamImpl::new(partition, gamma, mu, cfg.clone())?),
+        };
+        Ok(StreamCov {
+            inner,
+            max_rows,
+            max_row_norm,
+        })
+    }
+
+    /// Queue a mini-batch of records (rows) for the next release. Cheap:
+    /// no MPC work happens until [`StreamCov::release`].
+    pub fn ingest(&mut self, batch: &Matrix) {
+        assert_eq!(
+            batch.cols(),
+            self.n_cols(),
+            "batch/partition column mismatch"
+        );
+        assert!(
+            self.rows_ingested() + self.pending_rows() + batch.rows() <= self.max_rows,
+            "session would exceed its declared {}-record envelope",
+            self.max_rows
+        );
+        assert!(
+            batch.max_row_norm() <= self.max_row_norm * (1.0 + 1e-12),
+            "record norm exceeds the declared envelope {}",
+            self.max_row_norm
+        );
+        match &mut self.inner {
+            Inner::M61(s) => s.pending.push(batch.clone()),
+            Inner::M127(s) => s.pending.push(batch.clone()),
+        }
+    }
+
+    /// Run one DP release over the reused mesh: share and accumulate the
+    /// pending batches, degree-reduce a copy of the running accumulator,
+    /// add fresh distributed Skellam noise, open. Consumes the pending
+    /// queue. A release with nothing pending re-releases the current
+    /// statistics under fresh noise (it still costs privacy budget —
+    /// admission is the caller's job).
+    pub fn release(&mut self) -> Result<CovarianceOutput, TransportError> {
+        let rows = self.pending_rows();
+        let out = match &mut self.inner {
+            Inner::M61(s) => s.release(),
+            Inner::M127(s) => s.release(),
+        };
+        if out.is_ok() {
+            match &mut self.inner {
+                Inner::M61(s) => s.rows_ingested += rows,
+                Inner::M127(s) => s.rows_ingested += rows,
+            }
+        }
+        out
+    }
+
+    /// Records already folded into the accumulator (past releases).
+    pub fn rows_ingested(&self) -> usize {
+        match &self.inner {
+            Inner::M61(s) => s.rows_ingested,
+            Inner::M127(s) => s.rows_ingested,
+        }
+    }
+
+    /// Records queued for the next release.
+    pub fn pending_rows(&self) -> usize {
+        match &self.inner {
+            Inner::M61(s) => s.pending.iter().map(|b| b.rows()).sum(),
+            Inner::M127(s) => s.pending.iter().map(|b| b.rows()).sum(),
+        }
+    }
+
+    /// Releases completed so far.
+    pub fn releases(&self) -> usize {
+        match &self.inner {
+            Inner::M61(s) => s.releases,
+            Inner::M127(s) => s.releases,
+        }
+    }
+
+    /// Number of feature columns.
+    pub fn n_cols(&self) -> usize {
+        match &self.inner {
+            Inner::M61(s) => s.partition.n_cols(),
+            Inner::M127(s) => s.partition.n_cols(),
+        }
+    }
+
+    /// The transport error that poisoned this session, if any.
+    pub fn failure(&self) -> Option<&TransportError> {
+        match &self.inner {
+            Inner::M61(s) => s.failed.as_ref(),
+            Inner::M127(s) => s.failed.as_ref(),
+        }
+    }
+}
+
+/// Bit-exact plaintext predictor of [`StreamCov`] release `noise_skip`
+/// covering the cumulative `batches` ingested so far (the streaming
+/// counterpart of [`crate::covariance::covariance_quantized_oracle`]).
+///
+/// Quantization replays each party's stream batch-by-batch in exactly the
+/// order the session consumed it; the noise streams skip the
+/// `noise_skip * n(n+1)/2` draws earlier releases consumed. Any divergence
+/// from the MPC session is a correctness bug in share persistence,
+/// transport reuse, or degree reduction.
+pub fn covariance_streaming_oracle(
+    batches: &[Matrix],
+    partition: &ColumnPartition,
+    gamma: f64,
+    mu: f64,
+    cfg: &VflConfig,
+    noise_skip: usize,
+) -> Matrix {
+    let n = partition.n_cols();
+    let upper_len = n * (n + 1) / 2;
+
+    // Per-party quantization streams, consumed batch-major / column-major /
+    // record-minor — the session's exact order.
+    let mut qcols: Vec<Vec<i64>> = vec![Vec::new(); n];
+    for p in 0..cfg.n_clients {
+        let mut qrng = StdRng::seed_from_u64(cfg.seed ^ (0xA11C_E000 + p as u64));
+        for batch in batches {
+            for &j in &partition.columns_of(p) {
+                for i in 0..batch.rows() {
+                    qcols[j].push(stochastic_round(&mut qrng, gamma * batch[(i, j)]));
+                }
+            }
+        }
+    }
+
+    let m: usize = batches.iter().map(|b| b.rows()).sum();
+    let mut opened = vec![0i128; upper_len];
+    let mut idx = 0;
+    for j in 0..n {
+        for k in j..n {
+            opened[idx] = (0..m)
+                .map(|i| qcols[j][i] as i128 * qcols[k][i] as i128)
+                .sum();
+            idx += 1;
+        }
+    }
+
+    let local_mu = mu / cfg.n_clients as f64;
+    for p in 0..cfg.n_clients {
+        let mut nrng = StdRng::seed_from_u64(cfg.seed ^ (0x5E11_A000 + p as u64));
+        for _ in 0..noise_skip * upper_len {
+            let _ = sample_skellam(&mut nrng, local_mu);
+        }
+        for slot in opened.iter_mut() {
+            *slot += sample_skellam(&mut nrng, local_mu) as i128;
+        }
+    }
+
+    let mut c_hat = Matrix::zeros(n, n);
+    let mut idx = 0;
+    for j in 0..n {
+        for k in j..n {
+            c_hat[(j, k)] = opened[idx] as f64;
+            c_hat[(k, j)] = c_hat[(j, k)];
+            idx += 1;
+        }
+    }
+    c_hat
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::covariance::covariance_skellam_chunked;
+
+    fn batches() -> Vec<Matrix> {
+        vec![
+            Matrix::from_rows(&[vec![0.5, -0.2, 0.1], vec![-0.4, 0.3, 0.2]]),
+            Matrix::from_rows(&[vec![0.1, 0.1, -0.5], vec![0.6, 0.0, 0.3]]),
+            Matrix::from_rows(&[vec![-0.2, -0.3, 0.1], vec![0.3, 0.2, 0.2]]),
+        ]
+    }
+
+    fn concat(batches: &[Matrix]) -> Matrix {
+        let rows: Vec<Vec<f64>> = batches
+            .iter()
+            .flat_map(|b| (0..b.rows()).map(|i| b.row(i).to_vec()).collect::<Vec<_>>())
+            .collect();
+        Matrix::from_rows(&rows)
+    }
+
+    #[test]
+    fn first_release_is_bit_identical_to_chunked_mpc() {
+        let partition = ColumnPartition::even(3, 3);
+        let cfg = VflConfig::fast(3).with_seed(21);
+        let (gamma, mu) = (512.0, 40.0);
+        let mut stream = StreamCov::new(partition.clone(), gamma, mu, &cfg, 16, 1.0).unwrap();
+        for b in batches() {
+            stream.ingest(&b);
+        }
+        let streamed = stream.release().unwrap();
+        // Batch boundaries == chunk boundaries (2 rows each).
+        let chunked =
+            covariance_skellam_chunked(&concat(&batches()), &partition, gamma, mu, &cfg, 2);
+        assert_eq!(streamed.c_hat, chunked.c_hat);
+    }
+
+    #[test]
+    fn later_releases_match_the_streaming_oracle_bit_exactly() {
+        let partition = ColumnPartition::even(3, 3);
+        let cfg = VflConfig::fast(3).with_seed(4242);
+        let (gamma, mu) = (256.0, 25.0);
+        let all = batches();
+        let mut stream = StreamCov::new(partition.clone(), gamma, mu, &cfg, 16, 1.0).unwrap();
+
+        stream.ingest(&all[0]);
+        let r0 = stream.release().unwrap();
+        assert_eq!(
+            r0.c_hat,
+            covariance_streaming_oracle(&all[..1], &partition, gamma, mu, &cfg, 0)
+        );
+
+        // Second release folds in two more batches and consumes the *next*
+        // noise draws; prior rows are not re-shared (amortization), yet the
+        // result covers all rows so far.
+        stream.ingest(&all[1]);
+        stream.ingest(&all[2]);
+        let r1 = stream.release().unwrap();
+        assert_eq!(
+            r1.c_hat,
+            covariance_streaming_oracle(&all, &partition, gamma, mu, &cfg, 1)
+        );
+        assert_eq!(stream.releases(), 2);
+        assert_eq!(stream.rows_ingested(), 6);
+    }
+
+    #[test]
+    fn empty_release_rereleases_under_fresh_noise() {
+        let partition = ColumnPartition::even(3, 3);
+        let cfg = VflConfig::fast(3).with_seed(9);
+        let (gamma, mu) = (128.0, 100.0);
+        let all = batches();
+        let mut stream = StreamCov::new(partition.clone(), gamma, mu, &cfg, 16, 1.0).unwrap();
+        stream.ingest(&all[0]);
+        let r0 = stream.release().unwrap();
+        let r1 = stream.release().unwrap();
+        assert_ne!(r0.c_hat, r1.c_hat, "fresh noise per release");
+        assert_eq!(
+            r1.c_hat,
+            covariance_streaming_oracle(&all[..1], &partition, gamma, mu, &cfg, 1)
+        );
+    }
+
+    #[test]
+    fn amortized_release_ships_fewer_bytes_than_recompute() {
+        let partition = ColumnPartition::even(3, 3);
+        let cfg = VflConfig::fast(3).with_seed(77);
+        let all = batches();
+        let mut stream = StreamCov::new(partition.clone(), 512.0, 0.0, &cfg, 16, 1.0).unwrap();
+        for b in &all {
+            stream.ingest(b);
+        }
+        let first = stream.release().unwrap();
+        // Nothing pending: the second release reduces/noises/opens only.
+        let second = stream.release().unwrap();
+        assert!(
+            second.stats.total.bytes < first.stats.total.bytes,
+            "second release {} bytes, first {} bytes",
+            second.stats.total.bytes,
+            first.stats.total.bytes
+        );
+        assert_eq!(second.stats.phases.get("input").map(|p| p.rounds), None);
+    }
+
+    #[test]
+    fn transport_failure_poisons_the_session_with_a_typed_error() {
+        let partition = ColumnPartition::even(3, 3);
+        // Crash party 1 at round 2: the first release dies mid-protocol.
+        let cfg = VflConfig::fast(3)
+            .with_seed(5)
+            .with_faults(sqm_mpc::FaultSpec::seeded(5).with_crash(1, 2));
+        let mut stream = StreamCov::new(partition, 64.0, 0.0, &cfg, 16, 1.0).unwrap();
+        stream.ingest(&batches()[0]);
+        let err = stream.release().unwrap_err();
+        assert_eq!(err.party(), 1);
+        assert!(stream.failure().is_some());
+        // Poisoned: later calls return the same typed error, no panic.
+        let again = stream.release().unwrap_err();
+        assert_eq!(err, again);
+    }
+
+    #[test]
+    #[should_panic(expected = "envelope")]
+    fn ingest_beyond_declared_envelope_is_rejected() {
+        let partition = ColumnPartition::even(3, 3);
+        let cfg = VflConfig::fast(3);
+        let mut stream = StreamCov::new(partition, 64.0, 0.0, &cfg, 3, 1.0).unwrap();
+        stream.ingest(&batches()[0]);
+        stream.ingest(&batches()[1]); // 4 rows > 3-row envelope
+    }
+}

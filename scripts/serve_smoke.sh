@@ -1,0 +1,73 @@
+#!/usr/bin/env bash
+# Serving smoke test: start `sqm-serve` (multi-tenant endpoint + seeded
+# closed-loop load + serve bench suite), curl `/metrics` and `/status`
+# *while the server is up*, and assert the run produced at least one
+# enforced budget refusal and a well-formed BENCH_serve.json. Outputs
+# land in results/serve_smoke/ so CI can upload them as artifacts.
+#
+# Usage: scripts/serve_smoke.sh [addr]   (default 127.0.0.1:9190)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+ADDR="${1:-127.0.0.1:9190}"
+OUT=results/serve_smoke
+mkdir -p "$OUT"
+
+# Build up front so the curl-retry window measures the run, not rustc.
+cargo build --release -p sqm-experiments --bin sqm-serve
+
+timeout 420 cargo run --release -p sqm-experiments --bin sqm-serve -- \
+  --addr "$ADDR" --hold-secs 45 --out "$OUT" \
+  --gate --warn-only >"$OUT/run.log" 2>&1 &
+RUN_PID=$!
+trap 'kill "$RUN_PID" 2>/dev/null || true' EXIT
+
+echo "sqm-serve pid $RUN_PID; polling http://$ADDR/metrics"
+for i in $(seq 1 120); do
+  if ! kill -0 "$RUN_PID" 2>/dev/null; then
+    echo "error: sqm-serve exited before the endpoint answered" >&2
+    cat "$OUT/run.log" >&2
+    exit 1
+  fi
+  # The refusal counter appears once the load run inside the binary has
+  # hit a tenant's budget; keep polling until it does.
+  if curl -sf "http://$ADDR/metrics" -o "$OUT/metrics.prom" \
+      && grep -q '^sqm_serve_budget_refusals [1-9]' "$OUT/metrics.prom"; then
+    break
+  fi
+  sleep 1
+done
+
+# The budget gate must have refused at least one release, and the
+# scheduler counters must be present alongside it.
+grep -q '^sqm_serve_budget_refusals [1-9]' "$OUT/metrics.prom" \
+  || { echo "error: no budget refusal in /metrics" >&2; cat "$OUT/run.log" >&2; exit 1; }
+grep -q '^sqm_serve_releases_admitted [1-9]' "$OUT/metrics.prom"
+
+curl -sf "http://$ADDR/status" -o "$OUT/status.json"
+python3 -m json.tool "$OUT/status.json" >/dev/null
+grep -q '"tenants"' "$OUT/status.json"
+
+# The bench artifact is written before the hold window, so it must exist
+# (and parse) while the server is still up.
+for i in $(seq 1 60); do
+  [ -s "$OUT/BENCH_serve.json" ] && break
+  sleep 1
+done
+python3 -m json.tool "$OUT/BENCH_serve.json" >/dev/null
+grep -q '"suite":"serve"' "$OUT/BENCH_serve.json"
+
+echo "mid-run /metrics, /status and BENCH_serve.json OK:"
+grep '^sqm_serve_' "$OUT/metrics.prom" || true
+
+# Done probing; end the hold window early and collect the exit status.
+kill "$RUN_PID" 2>/dev/null || true
+wait "$RUN_PID" && STATUS=$? || STATUS=$?
+trap - EXIT
+# 143 = terminated by our own SIGTERM during the hold window: success.
+if [ "$STATUS" -ne 0 ] && [ "$STATUS" -ne 143 ]; then
+  echo "sqm-serve finished with unexpected status $STATUS" >&2
+  cat "$OUT/run.log" >&2
+  exit "$STATUS"
+fi
+echo "sqm-serve smoke OK (status $STATUS)"
