@@ -36,7 +36,7 @@ use sqm::field::{PrimeField, M127, M61};
 use sqm::mpc::shamir::{reconstruct, share_secret};
 use sqm::mpc::{MpcConfig, MpcEngine, RunStats};
 use sqm::obs::trace::Trace;
-use sqm::obs::{metrics, MessageDag};
+use sqm::obs::{metrics, MessageDag, SpanConfig};
 use sqm::sampling::skellam::sample_skellam_vec;
 use sqm::serve::{load_tenant_config, run_load, LoadSpec, Reply, Request, Server, ServerConfig};
 use sqm::vfl::{
@@ -282,7 +282,7 @@ pub fn measure(name: &str, tier: Tier, mut work: impl FnMut() -> RunCost) -> Ben
         samples_ns.push(t0.elapsed().as_nanos() as u64);
     }
     samples_ns.sort_unstable();
-    let nearest = |p: f64| samples_ns[((samples_ns.len() - 1) as f64 * p).round() as usize];
+    let nearest = |p: f64| samples_ns[metrics::nearest_rank_index(samples_ns.len(), p)];
     BenchEntry {
         name: name.to_string(),
         median_ns: nearest(0.50),
@@ -507,6 +507,10 @@ pub fn run_vfl(tier: Tier) -> BenchArtifact {
 ///   release count (`rounds`), the admitted+refused total (`messages`)
 ///   and the released bytes — so a scheduler or odometer regression that
 ///   changes *what* was served fails the gate even if wall-clock is fine.
+/// * `slo_overhead_*` — the same load workload with request tracing on
+///   (span collector, traced tenants, causal DAG per release); its gate
+///   pins the cost of the observability layer, and its counters must
+///   equal the untraced entry's (tracing is passive).
 /// * `serve_release_*` — one ingest+release round against a long-lived
 ///   server, so the median/p95 percentiles are per-release latency
 ///   through the scheduler (queueing included); counters come from the
@@ -529,6 +533,7 @@ pub fn run_serve(tier: Tier) -> BenchArtifact {
         let server = Server::start(ServerConfig {
             queue_bound: 64,
             workers: 4,
+            tracing: None,
         });
         let report = run_load(&server, &load_spec);
         server.shutdown();
@@ -546,12 +551,51 @@ pub fn run_serve(tier: Tier) -> BenchArtifact {
         }
     }));
 
+    // Tracing overhead: the identical load workload with request tracing
+    // on end to end (span collector, traced tenants, causal DAG builds on
+    // every release). Gated at the same 1.5x median rule, so "span
+    // recording stays cheap" is a pinned property — and the exact-diffed
+    // counters must equal the untraced load entry's, re-asserting that
+    // tracing is passive on every bench run.
+    let slo_name = format!(
+        "slo_overhead_t{}_r{}_p{}",
+        spec.tenants, spec.rounds, spec.n_clients
+    );
+    let slo_spec = LoadSpec {
+        tracing: true,
+        ..spec.clone()
+    };
+    entries.push(measure(&slo_name, tier, || {
+        let server = Server::start(ServerConfig {
+            queue_bound: 64,
+            workers: 4,
+            tracing: Some(SpanConfig::default()),
+        });
+        let report = run_load(&server, &slo_spec);
+        let snap = server.spans().expect("tracing configured").snapshot();
+        server.shutdown();
+        black_box(report.digest());
+        black_box(snap.total_requests);
+        RunCost {
+            rounds: report.releases_admitted() as u64,
+            messages: (report.releases_admitted() + report.budget_refusals()) as u64,
+            bytes: report
+                .per_tenant
+                .iter()
+                .map(|t| t.checksums.len() * slo_spec.n_cols * slo_spec.n_cols * 8)
+                .sum::<usize>() as u64,
+            simulated: Duration::ZERO,
+            critical_path: Duration::ZERO,
+        }
+    }));
+
     // Long-lived server: warmup + repeats all hit the same session, so
     // this measures the steady-state release path (amortized streaming
     // statistics, reused mesh), not session setup.
     let server = Server::start(ServerConfig {
         queue_bound: 64,
         workers: 2,
+        tracing: None,
     });
     let mut tenant = load_tenant_config(&spec, 0);
     tenant.name = "bench-release".to_string();

@@ -14,9 +14,15 @@
 //! 1. **Serve.** Bind the JSON-over-HTTP protocol (`/v1/tenant`,
 //!    `/v1/ingest`, `/v1/release`, `/status`, `/metrics`) on `--addr`.
 //! 2. **Load.** Drive the endpoint's scheduler with the seeded closed-loop
-//!    generator; its finite per-tenant budgets guarantee odometer
-//!    refusals, which land in `/metrics` as `sqm_serve_budget_refusals`
-//!    (the CI smoke test asserts at least one).
+//!    generator — with request tracing on, so every request carries a span
+//!    tree and every release's MPC span links to its causal critical path.
+//!    The finite per-tenant budgets guarantee odometer refusals, which
+//!    land in `/metrics` as `sqm_serve_budget_refusals` (the CI smoke test
+//!    asserts at least one, plus per-tenant `sqm_serve_request_duration_ns`
+//!    samples). Afterwards the span collector dumps the byte-deterministic
+//!    `slowreq_<seed>.jsonl` (the zero threshold is pinned, so it retains
+//!    every request — the full deterministic request log) and a
+//!    `serve_report.html` with the "Serving SLO" section into `--out`.
 //! 3. **Measure.** Run the `serve` bench suite and write
 //!    `BENCH_serve.json` (sessions/sec from `serve_load_*`, p99 release
 //!    latency from `serve_release_*`), optionally gated against
@@ -30,7 +36,9 @@ use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::Duration;
 
-use sqm::obs::metrics;
+use sqm::obs::span::SpanConfig;
+use sqm::obs::trace::Trace;
+use sqm::obs::{html_report_with_slo, metrics};
 use sqm::serve::{run_load, LoadSpec, ServeHttp, Server, ServerConfig};
 use sqm_bench::gate::{self, Baseline, GateConfig};
 use sqm_bench::perf::{run_serve, Tier};
@@ -126,8 +134,15 @@ fn main() -> ExitCode {
     let opts = parse_args();
     metrics::set_enabled(true);
 
-    // Act 1: the endpoint.
-    let server = Server::start(ServerConfig::default());
+    // Act 1: the endpoint, with request tracing on. The zero slow
+    // threshold is pinned (mirroring the live smoke's pinned stall
+    // threshold): every request is retained, so the slowreq dump is the
+    // full deterministic request log rather than a timing-dependent
+    // subset.
+    let server = Server::start(ServerConfig {
+        tracing: Some(SpanConfig::dump_all()),
+        ..ServerConfig::default()
+    });
     let endpoint = match ServeHttp::bind(Arc::clone(&server), &opts.addr) {
         Ok(endpoint) => endpoint,
         Err(e) => {
@@ -140,7 +155,10 @@ fn main() -> ExitCode {
     // Act 2: seeded closed-loop load against the live endpoint's
     // scheduler. The smoke spec's budgets are finite, so the odometer
     // refuses at least one release and `/metrics` proves it.
-    let spec = LoadSpec::smoke();
+    let spec = LoadSpec {
+        tracing: true,
+        ..LoadSpec::smoke()
+    };
     let report = run_load(&server, &spec);
     println!(
         "  load: {} tenants x {} rounds -> {} releases admitted, {} budget refusals, \
@@ -156,6 +174,36 @@ fn main() -> ExitCode {
     if report.budget_refusals() == 0 {
         eprintln!("error: smoke load finished without a single budget refusal");
         return ExitCode::FAILURE;
+    }
+
+    // Span artifacts: the deterministic slow-request dump and the HTML
+    // report with the "Serving SLO" section.
+    let collector = server.spans().expect("tracing configured");
+    match collector.write_slow_dump(&opts.out_dir, spec.seed) {
+        Ok(path) => println!(
+            "  wrote {} ({} requests)",
+            path.display(),
+            collector.snapshot().slow_retained
+        ),
+        Err(e) => {
+            eprintln!("error: cannot write slow-request dump: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    let html = html_report_with_slo(
+        "sqm-serve load run",
+        &Trace::from_parties(Duration::ZERO, Vec::new()),
+        None,
+        Some(&metrics::snapshot()),
+        Some(&collector.snapshot()),
+    );
+    let html_path = opts.out_dir.join("serve_report.html");
+    match sqm::obs::atomic_write_str(&html_path, &html) {
+        Ok(()) => println!("  wrote {}", html_path.display()),
+        Err(e) => {
+            eprintln!("error: cannot write HTML report: {e}");
+            return ExitCode::FAILURE;
+        }
     }
 
     // Act 3: the bench suite and its artifact.

@@ -1452,6 +1452,114 @@ mod tests {
         assert_eq!(dag.edges().len() as u64, run.stats.total.messages);
     }
 
+    /// A traced run for the degraded-DAG tests below.
+    fn traced_run() -> MpcRun<Vec<M61>> {
+        let cfg = MpcConfig::semi_honest(3)
+            .with_latency(Duration::ZERO)
+            .with_trace(true);
+        MpcEngine::new(cfg).run::<M61, _, _>(|ctx| {
+            let x = ctx.share_input(
+                0,
+                (ctx.id == 0).then(|| vec![M61::from_u64(5); 3]).as_deref(),
+                3,
+            );
+            let y = ctx.mul(&x, &x);
+            let y = ctx.mul(&y, &x);
+            ctx.open(&y)
+        })
+    }
+
+    #[test]
+    fn causal_dag_survives_seeded_drop_faults_fully_matched() {
+        // Drops happen below the protocol layer: every retransmitted
+        // message still crosses the causal boundary exactly once, so the
+        // reconstructed DAG must be as clean as a fault-free run's.
+        let cfg = MpcConfig::semi_honest(3)
+            .with_latency(Duration::ZERO)
+            .with_trace(true)
+            .with_faults(Some(
+                sqm_net::FaultSpec::seeded(31)
+                    .with_delay(Duration::ZERO, Duration::from_micros(200))
+                    .with_drop(0.2)
+                    .with_retransmit(Duration::from_micros(100), 32),
+            ));
+        let run = MpcEngine::new(cfg).run::<M61, _, _>(|ctx| {
+            let x = ctx.share_input(
+                0,
+                (ctx.id == 0).then(|| vec![M61::from_u64(9); 4]).as_deref(),
+                4,
+            );
+            let y = ctx.mul(&x, &x);
+            ctx.open(&y)
+        });
+        let trace = run.trace.expect("trace requested");
+        let dag = sqm_obs::MessageDag::build(&trace);
+        assert!(
+            dag.fully_matched(),
+            "retransmits must not duplicate or lose causal stamps"
+        );
+        assert_eq!(dag.lamport_violations(), 0);
+        assert_eq!(dag.edges().len() as u64, run.stats.total.messages);
+    }
+
+    #[test]
+    fn causal_unmatched_counts_are_exact_when_a_party_record_is_truncated() {
+        // Simulate a party crashing before flushing its trace: drop the
+        // tail of party 0's causal record from a real run. Every send
+        // stamp removed leaves one peer recv unmatched, and every recv
+        // stamp removed leaves one peer send unmatched — exactly.
+        let run = traced_run();
+        let trace = run.trace.expect("trace requested");
+        let clean = sqm_obs::MessageDag::build(&trace);
+        assert!(clean.fully_matched());
+
+        let mut parties = trace.parties.clone();
+        let rounds = parties[0].causal.len();
+        assert!(rounds >= 2, "need a multi-round record to truncate");
+        let keep = rounds / 2;
+        let removed: Vec<_> = parties[0].causal.drain(keep..).collect();
+        let removed_sends: usize = removed.iter().map(|r| r.sends.len()).sum();
+        let removed_recvs: usize = removed.iter().map(|r| r.recvs.len()).sum();
+        assert!(removed_sends > 0 && removed_recvs > 0);
+
+        let degraded = sqm_obs::Trace::from_parties(trace.latency, parties);
+        let dag = sqm_obs::MessageDag::build(&degraded);
+        assert!(!dag.fully_matched());
+        assert_eq!(
+            dag.unmatched_recvs(),
+            removed_sends,
+            "each lost send stamp leaves exactly one recv unmatched"
+        );
+        assert_eq!(
+            dag.unmatched_sends(),
+            removed_recvs,
+            "each lost recv stamp leaves exactly one send unmatched"
+        );
+        // Truncation loses data but does not corrupt clocks.
+        assert_eq!(dag.lamport_violations(), 0);
+    }
+
+    #[test]
+    fn causal_lamport_violation_detected_on_corrupted_clock() {
+        // A zeroed receive clock on a late round breaks Lamport
+        // monotonicity; the validator must flag it rather than trusting
+        // the stamps blindly.
+        let run = traced_run();
+        let trace = run.trace.expect("trace requested");
+        assert_eq!(sqm_obs::MessageDag::build(&trace).lamport_violations(), 0);
+
+        let mut parties = trace.parties.clone();
+        let last = parties[0].causal.len() - 1;
+        assert!(last >= 1, "need at least two rounds to corrupt the last");
+        parties[0].causal[last].lamport_recv = 0;
+        let corrupted = sqm_obs::Trace::from_parties(trace.latency, parties);
+        let dag = sqm_obs::MessageDag::build(&corrupted);
+        assert!(
+            dag.lamport_violations() > 0,
+            "zeroed clock must be reported as a Lamport violation"
+        );
+    }
+
     #[test]
     fn trace_absent_by_default() {
         let run = engine(3).run::<M61, _, _>(|ctx| {

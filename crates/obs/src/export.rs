@@ -329,6 +329,20 @@ pub fn html_report(
     ledger: Option<&LedgerReport>,
     metrics: Option<&MetricsSnapshot>,
 ) -> String {
+    html_report_with_slo(title, trace, ledger, metrics, None)
+}
+
+/// [`html_report`] plus an optional "Serving SLO" section: the serving
+/// layer's time-bucketed request history ring (requests, releases,
+/// refusals, failures, mean/max latency per bucket) and slow-request
+/// recorder totals, from `crate::span::SpanCollector::snapshot`.
+pub fn html_report_with_slo(
+    title: &str,
+    trace: &Trace,
+    ledger: Option<&LedgerReport>,
+    metrics: Option<&MetricsSnapshot>,
+    slo: Option<&crate::span::SloSnapshot>,
+) -> String {
     let summary = trace.summary();
     let mut out = String::with_capacity(16 * 1024);
     out.push_str("<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\">\n<title>");
@@ -604,6 +618,51 @@ pub fn html_report(
         }
     }
 
+    // --- serving SLO history -------------------------------------------
+    if let Some(slo) = slo {
+        out.push_str(&format!(
+            "<h2>Serving SLO</h2>\n<p class=\"meta\">{} request(s) — {} release(s), \
+             {} refusal(s), {} failure(s) · slow threshold {} · {} slow request(s) \
+             retained{}</p>\n",
+            slo.total_requests,
+            slo.total_releases,
+            slo.total_refusals,
+            slo.total_failures,
+            fmt_duration(Duration::from_nanos(slo.threshold_ns)),
+            slo.slow_retained,
+            if slo.slow_dropped > 0 {
+                format!(" ({} dropped past the cap)", slo.slow_dropped)
+            } else {
+                String::new()
+            },
+        ));
+        if !slo.buckets.is_empty() {
+            out.push_str(&format!(
+                "<table>\n<tr><th class=\"l\">bucket ({} wide)</th><th>requests</th>\
+                 <th>releases</th><th>refusals</th><th>failures</th><th>mean</th>\
+                 <th>max</th></tr>\n",
+                fmt_duration(slo.bucket_width),
+            ));
+            let origin = slo.buckets[0].index;
+            for b in &slo.buckets {
+                let offset = slo.bucket_width * (b.index - origin) as u32;
+                let mean = Duration::from_nanos(b.total_ns / b.requests.max(1));
+                out.push_str(&format!(
+                    "<tr><td class=\"l\">+{}</td><td>{}</td><td>{}</td><td>{}</td>\
+                     <td>{}</td><td>{}</td><td>{}</td></tr>\n",
+                    fmt_duration(offset),
+                    b.requests,
+                    b.releases,
+                    b.refusals,
+                    b.failures,
+                    fmt_duration(mean),
+                    fmt_duration(Duration::from_nanos(b.max_ns)),
+                ));
+            }
+            out.push_str("</table>\n");
+        }
+    }
+
     out.push_str("</body></html>\n");
     out
 }
@@ -864,6 +923,49 @@ mod tests {
         assert!(html.contains("covariance"));
         assert!(html.contains("Counters"));
         assert!(html.contains("mpc.rounds"));
+    }
+
+    #[test]
+    fn html_report_renders_serving_slo_section_when_given() {
+        use crate::span::{SloBucket, SloSnapshot};
+        let slo = SloSnapshot {
+            buckets: vec![
+                SloBucket {
+                    index: 3,
+                    requests: 10,
+                    releases: 4,
+                    refusals: 1,
+                    failures: 0,
+                    total_ns: 5_000_000,
+                    max_ns: 900_000,
+                },
+                SloBucket {
+                    index: 5,
+                    requests: 2,
+                    releases: 1,
+                    refusals: 0,
+                    failures: 1,
+                    total_ns: 4_000_000,
+                    max_ns: 3_000_000,
+                },
+            ],
+            bucket_width: Duration::from_secs(1),
+            total_requests: 12,
+            total_releases: 5,
+            total_refusals: 1,
+            total_failures: 1,
+            slow_retained: 3,
+            slow_dropped: 0,
+            threshold_ns: 1_000_000,
+        };
+        let html = html_report_with_slo("slo run", &sample_trace(), None, None, Some(&slo));
+        assert!(html.contains("Serving SLO"));
+        assert!(html.contains("12 request(s)"));
+        assert!(html.contains("3 slow request(s) retained"));
+        // Bucket offsets are relative to the first occupied bucket.
+        assert!(html.contains("+0ns") || html.contains("+0.0"));
+        // Plain html_report stays SLO-free.
+        assert!(!html_report("plain", &sample_trace(), None, None).contains("Serving SLO"));
     }
 
     #[test]

@@ -40,6 +40,15 @@
 //! * [`json`] — a small recursive-descent JSON reader (the offline `serde`
 //!   stand-in only writes), used by the bench gate to read artifacts back
 //!   and by HTTP endpoints to parse request bodies.
+//! * [`span`] — request-scoped tracing for the serving layer: a
+//!   [`span::RequestContext`] minted at admission carries a span tree
+//!   (queue wait, odometer admit, MPC, encode) through the scheduler, and
+//!   the MPC child span links to the causal run id so the message DAG's
+//!   critical path attaches as its self-time breakdown. A per-server
+//!   [`span::SpanCollector`] keeps a time-bucketed SLO history ring and a
+//!   slow-request recorder whose `slowreq_<seed>.jsonl` dump is
+//!   byte-deterministic (flight-recorder discipline: counters and
+//!   structure only, never measured wall time).
 //! * [`live`] — streaming telemetry for runs *in flight*: a bounded
 //!   lock-free event ring the engines and the TCP transport publish
 //!   per-round events into, a background aggregator with rolling per-party
@@ -60,15 +69,20 @@ pub mod json;
 pub mod ledger;
 pub mod live;
 pub mod metrics;
+pub mod span;
 pub mod trace;
 
 pub use causal::{CriticalPath, FlowEdge, MessageDag, PartyBreakdown, PathSegment};
 pub use export::{
-    atomic_write, atomic_write_str, chrome_trace_json, html_report, write_chrome_trace,
-    write_html_report, write_jsonl, write_ledger_jsonl,
+    atomic_write, atomic_write_str, chrome_trace_json, html_report, html_report_with_slo,
+    write_chrome_trace, write_html_report, write_jsonl, write_ledger_jsonl,
 };
 pub use ledger::{LedgerEntry, LedgerReport, PrivacyLedger};
 pub use live::{LiveConfig, LiveEvent, LiveSnapshot, StallEvent};
+pub use span::{
+    CriticalSummary, FinishedRequest, PartyCost, RequestContext, RequestOutcome, SloBucket,
+    SloSnapshot, Span, SpanCollector, SpanConfig,
+};
 pub use trace::{
     CausalRound, MsgStamp, NetEvent, PartyRecorder, PartyTrace, PhaseTotal, RoundRecord,
     SpanRecord, Trace, TraceSummary,

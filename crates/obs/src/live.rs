@@ -437,7 +437,7 @@ fn quantiles(window: &VecDeque<u64>) -> QuantileSummary {
     }
     let mut sorted: Vec<u64> = window.iter().copied().collect();
     sorted.sort_unstable();
-    let q = |p: f64| sorted[((sorted.len() - 1) as f64 * p).round() as usize];
+    let q = |p: f64| sorted[crate::metrics::nearest_rank_index(sorted.len(), p)];
     QuantileSummary {
         count: sorted.len() as u64,
         p50_ns: q(0.50),

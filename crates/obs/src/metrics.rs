@@ -153,6 +153,18 @@ pub struct HistogramSummary {
     pub samples_dropped: u64,
 }
 
+/// The canonical nearest-rank quantile index used repo-wide (`bench::perf`
+/// sample quantiles, `serve::loadgen` p99, the live aggregator, and this
+/// registry's summaries all agree): `round((len - 1) * p)` into an
+/// ascending-sorted sample slice. Returns 0 for an empty slice so callers
+/// can guard on emptiness themselves.
+pub fn nearest_rank_index(len: usize, p: f64) -> usize {
+    if len == 0 {
+        return 0;
+    }
+    (((len - 1) as f64) * p).round() as usize
+}
+
 /// Summarize one histogram. An empty histogram (possible when a consumer
 /// pre-registers a name, or when every observation was non-finite) yields
 /// an all-zero summary — never NaN, which would serialize as `null` and
@@ -167,8 +179,7 @@ fn summarize(h: &Histogram) -> HistogramSummary {
         if sorted.is_empty() {
             return 0.0;
         }
-        let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
-        sorted[idx]
+        sorted[nearest_rank_index(sorted.len(), p)]
     };
     HistogramSummary {
         count: h.count,

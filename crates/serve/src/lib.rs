@@ -19,6 +19,22 @@
 //! - [`loadgen`] — a seeded closed-loop load generator; the serve bench
 //!   suite and the CI smoke test drive the server with it.
 //! - [`error`] — the typed [`ServeError`] with per-variant HTTP statuses.
+//!
+//! ## Request tracing and SLOs
+//!
+//! With [`ServerConfig::tracing`] set, every admitted request carries an
+//! `sqm_obs::span::RequestContext` through its whole life: the scheduler
+//! records queue-wait and exec spans (defining the root as their exact
+//! sum), the tenant adds admit / MPC / encode children, and — when the
+//! tenant has [`TenantConfig::request_tracing`] on — the MPC span links to
+//! the engine run's causal message DAG, attaching its critical-path
+//! breakdown. The per-server `sqm_obs::span::SpanCollector` keeps a
+//! time-bucketed SLO history and a slow-request recorder whose
+//! `slowreq_<seed>.jsonl` dump is byte-deterministic. Per-tenant SLO
+//! metrics (phase-latency histograms, epsilon burn-rate and
+//! remaining-budget gauges, refusal/overload counters, queue saturation)
+//! land in the global registry and surface on `/metrics`. Tracing is
+//! passive: results are bit-identical with it on or off.
 
 pub mod error;
 pub mod loadgen;

@@ -38,6 +38,9 @@ pub struct LoadSpec {
     /// Master seed; tenant `i` derives its data and session streams from
     /// `seed + i`.
     pub seed: u64,
+    /// Create tenants with [`TenantConfig::request_tracing`] on, so every
+    /// release's MPC span carries its causal critical-path breakdown.
+    pub tracing: bool,
 }
 
 impl LoadSpec {
@@ -53,6 +56,7 @@ impl LoadSpec {
             mu: 6e6,
             budget_eps: 2.0,
             seed: 20_250_808,
+            tracing: false,
         }
     }
 }
@@ -107,8 +111,7 @@ impl LoadReport {
             return 0;
         }
         all.sort_unstable();
-        let rank = ((all.len() as f64 * 0.99).ceil() as usize).clamp(1, all.len());
-        all[rank - 1]
+        all[sqm_obs::metrics::nearest_rank_index(all.len(), 0.99)]
     }
 
     /// Order-independent digest of every tenant's release checksums
@@ -142,6 +145,7 @@ pub fn load_tenant_config(spec: &LoadSpec, i: usize) -> TenantConfig {
     cfg.budget_eps = spec.budget_eps;
     cfg.seed = spec.seed.wrapping_add(i as u64);
     cfg.max_rows = spec.rounds * spec.rows_per_batch + 1;
+    cfg.request_tracing = spec.tracing;
     cfg
 }
 
@@ -268,6 +272,7 @@ mod tests {
             let server = Server::start(ServerConfig {
                 queue_bound: 32,
                 workers: 4,
+                tracing: None,
             });
             let report = run_load(&server, &LoadSpec::smoke());
             server.shutdown();
@@ -299,6 +304,7 @@ mod tests {
             let server = Server::start(ServerConfig {
                 queue_bound: 32,
                 workers: 1,
+                tracing: None,
             });
             let r = run_load(&server, &spec);
             server.shutdown();
@@ -308,6 +314,7 @@ mod tests {
             let server = Server::start(ServerConfig {
                 queue_bound: 32,
                 workers: 4,
+                tracing: None,
             });
             let r = run_load(&server, &spec);
             server.shutdown();
@@ -315,5 +322,28 @@ mod tests {
         };
         assert_eq!(serial.digest(), parallel.digest());
         assert_eq!(serial.budget_refusals(), 0);
+    }
+
+    #[test]
+    fn p99_uses_the_canonical_nearest_rank_method() {
+        let report = LoadReport {
+            per_tenant: vec![TenantLoadReport {
+                tenant: "t".to_string(),
+                checksums: Vec::new(),
+                releases_admitted: 67,
+                budget_refusals: 0,
+                overloaded: 0,
+                release_wall_ns: (0..67).collect(),
+                spent_epsilon: 0.0,
+            }],
+            wall: Duration::from_secs(1),
+            rounds_completed: 67,
+        };
+        // 67 samples 0..=66: round((67 - 1) * 0.99) = 65 — one below the
+        // max, exactly where the old `ceil(len * p)` rank method returned
+        // the max (66). Pinned at a length where the two methods differ,
+        // so loadgen can never drift from `bench::perf`'s quantiles again.
+        assert_eq!(report.p99_release_ns(), 65);
+        assert_eq!(sqm_obs::metrics::nearest_rank_index(67, 0.99), 65);
     }
 }

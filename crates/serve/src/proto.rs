@@ -123,6 +123,9 @@ fn tenant_config_from_json(v: &JsonValue) -> Result<TenantConfig, HttpResponse> 
     }
     uint("max_rows", &mut cfg.max_rows);
     num("max_row_norm", &mut cfg.max_row_norm);
+    if let Some(tracing) = v.get("request_tracing").and_then(JsonValue::as_bool) {
+        cfg.request_tracing = tracing;
+    }
     Ok(cfg)
 }
 
@@ -168,7 +171,7 @@ fn write_release_reply(out: &mut String, rel: &ReleaseReply) {
     out.push_str("]}\n");
 }
 
-fn write_report(out: &mut String, r: &TenantReport) {
+fn write_report(out: &mut String, r: &TenantReport, queue_depth: usize) {
     out.push_str("{\"name\": ");
     write_str(out, &r.name);
     out.push_str(", \"releases\": ");
@@ -179,8 +182,12 @@ fn write_report(out: &mut String, r: &TenantReport) {
     out.push_str(&r.rows_ingested.to_string());
     out.push_str(", \"pending_rows\": ");
     out.push_str(&r.pending_rows.to_string());
+    out.push_str(", \"queue_depth\": ");
+    out.push_str(&queue_depth.to_string());
     out.push_str(", \"spent_epsilon\": ");
     write_f64(out, r.spent_epsilon);
+    out.push_str(", \"remaining_epsilon\": ");
+    write_f64(out, r.remaining_epsilon);
     out.push_str(", \"budget_eps\": ");
     write_f64(out, r.budget_eps);
     out.push_str(", \"failed\": ");
@@ -190,6 +197,7 @@ fn write_report(out: &mut String, r: &TenantReport) {
 
 fn status_json(server: &Server) -> String {
     let reports = server.status();
+    let depths = server.tenant_queue_depths();
     let mut out = String::from("{\"uptime_secs\": ");
     write_f64(&mut out, server.uptime_secs());
     out.push_str(", \"queue_depth\": ");
@@ -201,7 +209,7 @@ fn status_json(server: &Server) -> String {
         if i > 0 {
             out.push_str(", ");
         }
-        write_report(&mut out, r);
+        write_report(&mut out, r, depths.get(&r.name).copied().unwrap_or(0));
     }
     out.push_str("]}\n");
     out
@@ -374,5 +382,52 @@ mod tests {
         assert_eq!(st, 400);
 
         endpoint.shutdown();
+    }
+
+    #[test]
+    fn status_json_reports_per_tenant_depth_and_budget() {
+        use crate::tenant::TenantConfig;
+
+        let server = Server::start(ServerConfig::default());
+        let mut cfg = TenantConfig::new("shape");
+        cfg.mu = 1e8;
+        cfg.gamma = 32.0;
+        cfg.seed = 17;
+        server.add_tenant(cfg).unwrap();
+        server
+            .call(
+                "shape",
+                Request::Ingest {
+                    records: vec![vec![0.2, 0.1, 0.3]],
+                },
+            )
+            .unwrap();
+        server.call("shape", Request::Release).unwrap();
+
+        let body = status_json(&server);
+        let v = json::parse(&body).expect("status must be valid JSON");
+        assert!(v.get("uptime_secs").and_then(JsonValue::as_f64).is_some());
+        assert!(v.get("queue_depth").and_then(JsonValue::as_u64).is_some());
+        assert_eq!(v.get("queue_bound").and_then(JsonValue::as_u64), Some(64));
+        let tenants = v.get("tenants").and_then(JsonValue::as_arr).unwrap();
+        assert_eq!(tenants.len(), 1);
+        let t = &tenants[0];
+        assert_eq!(t.get("name").and_then(JsonValue::as_str), Some("shape"));
+        // Satellite shape: per-tenant queue depth and budget accounting.
+        assert_eq!(t.get("queue_depth").and_then(JsonValue::as_u64), Some(0));
+        let spent = t.get("spent_epsilon").and_then(JsonValue::as_f64).unwrap();
+        let remaining = t
+            .get("remaining_epsilon")
+            .and_then(JsonValue::as_f64)
+            .unwrap();
+        let budget = t.get("budget_eps").and_then(JsonValue::as_f64).unwrap();
+        assert!(spent > 0.0, "one admitted release must have spent epsilon");
+        assert!(remaining > 0.0 && remaining < budget);
+        assert!(
+            (spent + remaining - budget).abs() <= 1e-9 * budget,
+            "spent {spent} + remaining {remaining} must equal budget {budget}"
+        );
+        assert_eq!(t.get("failed").and_then(JsonValue::as_bool), Some(false));
+        server.shutdown();
     }
 }

@@ -26,6 +26,7 @@ use std::thread;
 use std::time::Instant;
 
 use sqm_obs::metrics;
+use sqm_obs::span::{RequestContext, RequestOutcome, SpanCollector, SpanConfig, EXEC, QUEUE, ROOT};
 
 use crate::error::ServeError;
 use crate::tenant::{ReleaseReply, Tenant, TenantConfig, TenantReport};
@@ -93,6 +94,10 @@ pub struct ServerConfig {
     pub queue_bound: usize,
     /// Worker threads executing tenant requests.
     pub workers: usize,
+    /// Request-scoped tracing: `Some` gives the server its own
+    /// [`SpanCollector`] and every admitted request a span tree. `None`
+    /// (the default) records nothing and costs nothing per request.
+    pub tracing: Option<SpanConfig>,
 }
 
 impl Default for ServerConfig {
@@ -100,6 +105,7 @@ impl Default for ServerConfig {
         ServerConfig {
             queue_bound: 64,
             workers: 4,
+            tracing: None,
         }
     }
 }
@@ -107,6 +113,10 @@ impl Default for ServerConfig {
 struct Job {
     request: Request,
     ticket: Ticket,
+    /// Span tree for this request; `Some` iff the server traces.
+    ctx: Option<RequestContext>,
+    /// When `submit` admitted the job (the queue-wait span's start).
+    enqueued: Instant,
 }
 
 #[derive(Clone, Copy, PartialEq)]
@@ -127,6 +137,10 @@ struct TenantSlot {
     /// Report as of the last time the tenant was in the slot, so
     /// `/status` never blocks on a busy tenant.
     last_report: TenantReport,
+    /// Next request sequence number for this tenant. Per-tenant (not
+    /// global) so ids are deterministic under per-tenant FIFO no matter
+    /// how workers interleave tenants.
+    next_seq: u64,
 }
 
 struct State {
@@ -148,6 +162,8 @@ pub struct Server {
     work: Condvar,
     workers: Mutex<Vec<thread::JoinHandle<()>>>,
     started: Instant,
+    /// Per-server span collector; `Some` iff `config.tracing` is set.
+    spans: Option<Arc<SpanCollector>>,
 }
 
 impl Server {
@@ -168,6 +184,10 @@ impl Server {
             work: Condvar::new(),
             workers: Mutex::new(Vec::new()),
             started: Instant::now(),
+            spans: config
+                .tracing
+                .clone()
+                .map(|cfg| Arc::new(SpanCollector::new(cfg))),
         });
         let mut handles = server.workers.lock().unwrap();
         for i in 0..config.workers {
@@ -185,6 +205,11 @@ impl Server {
 
     pub fn config(&self) -> &ServerConfig {
         &self.config
+    }
+
+    /// The span collector, when request tracing is configured.
+    pub fn spans(&self) -> Option<Arc<SpanCollector>> {
+        self.spans.clone()
     }
 
     /// Seconds since the server started (for `/status`).
@@ -222,6 +247,7 @@ impl Server {
                 queue: VecDeque::new(),
                 state: SlotState::Idle,
                 last_report,
+                next_seq: 0,
             },
         );
         Ok(())
@@ -241,6 +267,7 @@ impl Server {
         }
         if state.queued_total >= self.config.queue_bound {
             metrics::counter_add("serve.overloaded_rejections", 1);
+            metrics::counter_add(&format!("serve.overloaded_rejections.{tenant}"), 1);
             return Err(ServeError::Overloaded {
                 queued: state.queued_total,
                 bound: self.config.queue_bound,
@@ -248,10 +275,25 @@ impl Server {
         }
         let (mine, theirs) = Ticket::new();
         let slot = state.tenants.get_mut(tenant).unwrap();
+        let ctx = self.spans.as_ref().map(|_| {
+            let seq = slot.next_seq;
+            slot.next_seq += 1;
+            let kind = match &request {
+                Request::Ingest { .. } => "ingest",
+                Request::Release => "release",
+            };
+            RequestContext::new(tenant, seq, kind)
+        });
         slot.queue.push_back(Job {
             request,
             ticket: theirs,
+            ctx,
+            enqueued: Instant::now(),
         });
+        metrics::gauge_set(
+            &format!("serve.tenant_queue_depth.{tenant}"),
+            slot.queue.len() as f64,
+        );
         if slot.state == SlotState::Idle {
             slot.state = SlotState::Ready;
             state.ready.push_back(tenant.to_string());
@@ -259,6 +301,10 @@ impl Server {
         state.queued_total += 1;
         state.max_queued_observed = state.max_queued_observed.max(state.queued_total);
         metrics::gauge_set("serve.queue_depth", state.queued_total as f64);
+        metrics::gauge_set(
+            "serve.queue_saturation",
+            state.queued_total as f64 / self.config.queue_bound as f64,
+        );
         drop(state);
         self.work.notify_one();
         Ok(mine)
@@ -286,6 +332,16 @@ impl Server {
     /// Current queued-request count across all tenants.
     pub fn queue_depth(&self) -> usize {
         self.state.lock().unwrap().queued_total
+    }
+
+    /// Per-tenant queued-request counts, in name order (for `/status`).
+    pub fn tenant_queue_depths(&self) -> BTreeMap<String, usize> {
+        let state = self.state.lock().unwrap();
+        state
+            .tenants
+            .iter()
+            .map(|(name, slot)| (name.clone(), slot.queue.len()))
+            .collect()
     }
 
     /// High-water mark of the admission queue since start.
@@ -334,25 +390,69 @@ impl Server {
                 }
             };
             let mut tenant = tenant;
+            // Measure the two top-level phases once and define the span
+            // tree from them: root := queue_wait + exec, so the tree's
+            // end-to-end duration equals the scheduler's measurement
+            // *exactly* (assert_eq'd in tests — no epsilon).
+            let queue_wait = job.enqueued.elapsed();
+            let mut ctx = job.ctx;
             let started = Instant::now();
-            let response = Self::execute(&mut tenant, job.request);
+            let response = Self::execute(&mut tenant, job.request, ctx.as_mut());
+            let exec = started.elapsed();
             if matches!(response, Ok(Reply::Released(_))) {
-                metrics::histogram_record(
-                    "serve.release_wall_ns",
-                    started.elapsed().as_nanos() as f64,
-                );
+                metrics::histogram_record("serve.release_wall_ns", exec.as_nanos() as f64);
             }
+            metrics::histogram_record(
+                &format!("serve.request_duration_ns.{name}"),
+                (queue_wait + exec).as_nanos() as f64,
+            );
+            metrics::histogram_record(
+                &format!("serve.request_phase_ns.queue.{name}"),
+                queue_wait.as_nanos() as f64,
+            );
             {
                 let mut state = self.state.lock().unwrap();
                 let slot = state.tenants.get_mut(&name).unwrap();
                 slot.last_report = tenant.report();
                 slot.tenant = Some(tenant);
+                let report = &slot.last_report;
+                metrics::gauge_set(
+                    &format!("serve.tenant_spent_epsilon.{name}"),
+                    report.spent_epsilon,
+                );
+                metrics::gauge_set(
+                    &format!("serve.tenant_remaining_epsilon.{name}"),
+                    report.remaining_epsilon,
+                );
+                let uptime = self.started.elapsed().as_secs_f64();
+                if uptime > 0.0 {
+                    metrics::gauge_set(
+                        &format!("serve.tenant_eps_burn_per_s.{name}"),
+                        report.spent_epsilon / uptime,
+                    );
+                }
+                metrics::gauge_set(
+                    &format!("serve.tenant_queue_depth.{name}"),
+                    slot.queue.len() as f64,
+                );
                 if slot.queue.is_empty() {
                     slot.state = SlotState::Idle;
                 } else {
                     slot.state = SlotState::Ready;
                     state.ready.push_back(name);
                 }
+            }
+            if let (Some(collector), Some(mut ctx)) = (self.spans.as_ref(), ctx) {
+                ctx.set_duration(QUEUE, queue_wait);
+                ctx.set_duration(EXEC, exec);
+                ctx.set_duration(ROOT, queue_wait + exec);
+                let outcome = match &response {
+                    Ok(_) => RequestOutcome::Ok,
+                    Err(ServeError::BudgetExhausted { .. }) => RequestOutcome::Refused,
+                    Err(ServeError::SessionFailed { .. }) => RequestOutcome::Failed,
+                    Err(_) => RequestOutcome::Error,
+                };
+                collector.finish(ctx, outcome);
             }
             // Wake a peer for the re-readied tenant, and — during a drain —
             // let blocked workers re-check the exit condition.
@@ -361,12 +461,16 @@ impl Server {
         }
     }
 
-    fn execute(tenant: &mut Tenant, request: Request) -> Response {
+    fn execute(
+        tenant: &mut Tenant,
+        request: Request,
+        ctx: Option<&mut RequestContext>,
+    ) -> Response {
         match request {
             Request::Ingest { records } => tenant
                 .ingest(&records)
                 .map(|pending_rows| Reply::Ingested { pending_rows }),
-            Request::Release => tenant.release().map(Reply::Released),
+            Request::Release => tenant.release_spanned(ctx).map(Reply::Released),
         }
     }
 }
@@ -435,6 +539,7 @@ mod tests {
             let server = Server::start(ServerConfig {
                 queue_bound: 64,
                 workers: 1,
+                tracing: None,
             });
             let mut out = Vec::new();
             for (i, name) in tenants.iter().enumerate() {
@@ -449,6 +554,7 @@ mod tests {
             let server = Server::start(ServerConfig {
                 queue_bound: 64,
                 workers: 4,
+                tracing: None,
             });
             for (i, name) in tenants.iter().enumerate() {
                 server.add_tenant(tenant_cfg(name, 40 + i as u64)).unwrap();
@@ -474,6 +580,7 @@ mod tests {
         let server = Server::start(ServerConfig {
             queue_bound: 2,
             workers: 1,
+            tracing: None,
         });
         server.add_tenant(tenant_cfg("t", 7)).unwrap();
         // Flood from many threads; some must be refused, none may queue
@@ -560,6 +667,7 @@ mod tests {
         let server = Server::start(ServerConfig {
             queue_bound: 8,
             workers: 2,
+            tracing: None,
         });
         server.add_tenant(tenant_cfg("d", 3)).unwrap();
         let tickets: Vec<_> = (0..4)

@@ -11,9 +11,13 @@ use sqm_accounting::{default_alpha_grid, skellam_rdp, Admission, PrivacyOdometer
 use sqm_core::sensitivity::pca_sensitivity;
 use sqm_linalg::Matrix;
 use sqm_mpc::{FaultSpec, RunStats};
+use sqm_obs::causal::MessageDag;
 use sqm_obs::ledger::PrivacyLedger;
 use sqm_obs::metrics;
+use sqm_obs::span::{CriticalSummary, RequestContext, EXEC};
 use sqm_vfl::{ColumnPartition, StreamCov, VflConfig};
+
+use std::time::Instant;
 
 use crate::error::ServeError;
 
@@ -43,6 +47,10 @@ pub struct TenantConfig {
     /// Optional deterministic fault injection on the tenant's transports
     /// (tests use this to crash a party mid-session).
     pub faults: Option<FaultSpec>,
+    /// Capture engine traces on every release so the request's MPC span
+    /// links to the causal message DAG (critical-path breakdown). Tracing
+    /// is passive — results are bit-identical with it on or off.
+    pub request_tracing: bool,
 }
 
 impl TenantConfig {
@@ -60,6 +68,7 @@ impl TenantConfig {
             max_rows: 10_000,
             max_row_norm: 1.0,
             faults: None,
+            request_tracing: false,
         }
     }
 
@@ -126,6 +135,7 @@ pub struct TenantReport {
     pub rows_ingested: usize,
     pub pending_rows: usize,
     pub spent_epsilon: f64,
+    pub remaining_epsilon: f64,
     pub budget_eps: f64,
     pub failed: bool,
 }
@@ -145,7 +155,9 @@ impl Tenant {
     pub fn create(config: TenantConfig) -> Result<Tenant, ServeError> {
         config.validate()?;
         let partition = ColumnPartition::even(config.n_cols, config.n_clients);
-        let mut cfg = VflConfig::fast(config.n_clients).with_seed(config.seed);
+        let mut cfg = VflConfig::fast(config.n_clients)
+            .with_seed(config.seed)
+            .with_trace(config.request_tracing);
         cfg.faults = config.faults.clone();
         let stream = StreamCov::new(
             partition,
@@ -231,6 +243,46 @@ impl Tenant {
 
     /// One DP release: odometer admission first, MPC second, ledger third.
     pub fn release(&mut self) -> Result<ReleaseReply, ServeError> {
+        self.release_spanned(None)
+    }
+
+    /// The budget gate alone, before any MPC round. Returns the admitted
+    /// release's standalone epsilon.
+    fn admit_release(&mut self) -> Result<f64, ServeError> {
+        if self.config.mu <= 0.0 {
+            // An unperturbed release is infinite epsilon: always refused
+            // on a (necessarily finite) serving budget.
+            return Err(self.refuse());
+        }
+        let curve = self.release_curve();
+        let release_epsilon = curve.to_epsilon(self.config.delta).0;
+        match self.odometer.admit(&curve) {
+            Admission::Admitted => Ok(release_epsilon),
+            Admission::Rejected => Err(self.refuse()),
+        }
+    }
+
+    fn refuse(&mut self) -> ServeError {
+        self.refusals += 1;
+        metrics::counter_add("serve.budget_refusals", 1);
+        metrics::counter_add(&format!("serve.budget_refusals.{}", self.config.name), 1);
+        ServeError::BudgetExhausted {
+            tenant: self.config.name.clone(),
+            spent: self.odometer.spent_epsilon(),
+            budget: self.config.budget_eps,
+        }
+    }
+
+    /// [`Tenant::release`] with request-scoped tracing: the admit / MPC /
+    /// encode phases each record a child span under the request's exec
+    /// span and a per-tenant phase-latency histogram, and the MPC span
+    /// links to the causal run id (the session seed), carrying the
+    /// reconstructed message DAG's critical-path breakdown when the
+    /// session captures engine traces ([`TenantConfig::request_tracing`]).
+    pub fn release_spanned(
+        &mut self,
+        mut ctx: Option<&mut RequestContext>,
+    ) -> Result<ReleaseReply, ServeError> {
         if let Some(error) = self.stream.failure() {
             return Err(ServeError::SessionFailed {
                 tenant: self.config.name.clone(),
@@ -238,40 +290,50 @@ impl Tenant {
             });
         }
         // --- budget gate, before any MPC round -------------------------
-        if self.config.mu <= 0.0 {
-            // An unperturbed release is infinite epsilon: always refused
-            // on a (necessarily finite) serving budget.
-            self.refusals += 1;
-            metrics::counter_add("serve.budget_refusals", 1);
-            return Err(ServeError::BudgetExhausted {
-                tenant: self.config.name.clone(),
-                spent: self.odometer.spent_epsilon(),
-                budget: self.config.budget_eps,
-            });
+        let admit_started = Instant::now();
+        let admitted = self.admit_release();
+        let admit_wall = admit_started.elapsed();
+        metrics::histogram_record(
+            &format!("serve.request_phase_ns.admit.{}", self.config.name),
+            admit_wall.as_nanos() as f64,
+        );
+        if let Some(c) = ctx.as_deref_mut() {
+            c.add_child(EXEC, "admit", admit_wall);
         }
-        let curve = self.release_curve();
-        let release_epsilon = curve.to_epsilon(self.config.delta).0;
-        match self.odometer.admit(&curve) {
-            Admission::Admitted => {}
-            Admission::Rejected => {
-                self.refusals += 1;
-                metrics::counter_add("serve.budget_refusals", 1);
-                return Err(ServeError::BudgetExhausted {
-                    tenant: self.config.name.clone(),
-                    spent: self.odometer.spent_epsilon(),
-                    budget: self.config.budget_eps,
-                });
-            }
-        }
+        let release_epsilon = admitted?;
         // --- MPC over the reused mesh -----------------------------------
+        let mpc_started = Instant::now();
         let out = self.stream.release().map_err(|error| {
             metrics::counter_add("serve.sessions_failed", 1);
             ServeError::SessionFailed {
                 tenant: self.config.name.clone(),
                 error,
             }
-        })?;
-        // --- ledger cross-account ---------------------------------------
+        });
+        let mpc_wall = mpc_started.elapsed();
+        metrics::histogram_record(
+            &format!("serve.request_phase_ns.mpc.{}", self.config.name),
+            mpc_wall.as_nanos() as f64,
+        );
+        if let Some(c) = ctx.as_deref_mut() {
+            let id = c.add_child(EXEC, "mpc", mpc_wall);
+            if let Ok(out) = &out {
+                let span = c.span_mut(id);
+                // The causal run id is the session seed: the engines stamp
+                // it on every message, so this link resolves into the
+                // flight recorder / chrome-trace artifacts of the same run.
+                span.run_id = Some(self.config.seed);
+                span.rounds = out.stats.total.rounds;
+                span.messages = out.stats.total.messages;
+                span.bytes = out.stats.total.bytes;
+                if let Some(trace) = &out.trace {
+                    span.critical = Some(CriticalSummary::build(&MessageDag::build(trace)));
+                }
+            }
+        }
+        let out = out?;
+        // --- ledger cross-account, reply encoding -----------------------
+        let encode_started = Instant::now();
         let sens = pca_sensitivity(
             self.config.gamma,
             self.config.max_row_norm.max(1e-9),
@@ -291,7 +353,7 @@ impl Tenant {
         );
         metrics::counter_add("serve.releases_admitted", 1);
         let gamma2 = self.config.gamma * self.config.gamma;
-        Ok(ReleaseReply {
+        let reply = ReleaseReply {
             covariance: out.c_hat.as_slice().iter().map(|v| v / gamma2).collect(),
             n_cols: self.config.n_cols,
             rows_covered: self.stream.rows_ingested(),
@@ -300,7 +362,16 @@ impl Tenant {
             spent_epsilon: self.odometer.spent_epsilon(),
             remaining_epsilon: self.odometer.remaining_epsilon(),
             stats: out.stats,
-        })
+        };
+        let encode_wall = encode_started.elapsed();
+        metrics::histogram_record(
+            &format!("serve.request_phase_ns.encode.{}", self.config.name),
+            encode_wall.as_nanos() as f64,
+        );
+        if let Some(c) = ctx.as_deref_mut() {
+            c.add_child(EXEC, "encode", encode_wall);
+        }
+        Ok(reply)
     }
 
     /// Cross-check: the odometer's recorded spend must agree with the obs
@@ -336,6 +407,7 @@ impl Tenant {
             rows_ingested: self.stream.rows_ingested(),
             pending_rows: self.stream.pending_rows(),
             spent_epsilon: self.odometer.spent_epsilon(),
+            remaining_epsilon: self.odometer.remaining_epsilon(),
             budget_eps: self.config.budget_eps,
             failed: self.stream.failure().is_some(),
         }

@@ -1,9 +1,12 @@
 #!/usr/bin/env bash
 # Serving smoke test: start `sqm-serve` (multi-tenant endpoint + seeded
-# closed-loop load + serve bench suite), curl `/metrics` and `/status`
-# *while the server is up*, and assert the run produced at least one
-# enforced budget refusal and a well-formed BENCH_serve.json. Outputs
-# land in results/serve_smoke/ so CI can upload them as artifacts.
+# closed-loop load with request tracing on + serve bench suite), curl
+# `/metrics` and `/status` *while the server is up*, and assert the run
+# produced at least one enforced budget refusal, per-tenant
+# request-duration samples, the deterministic slow-request dump, the
+# HTML report with the "Serving SLO" section, and a well-formed
+# BENCH_serve.json. Outputs land in results/serve_smoke/ so CI can
+# upload them as artifacts.
 #
 # Usage: scripts/serve_smoke.sh [addr]   (default 127.0.0.1:9190)
 set -euo pipefail
@@ -57,7 +60,25 @@ done
 python3 -m json.tool "$OUT/BENCH_serve.json" >/dev/null
 grep -q '"suite":"serve"' "$OUT/BENCH_serve.json"
 
-echo "mid-run /metrics, /status and BENCH_serve.json OK:"
+# Request tracing: the load ran with tracing on, so by now (the bench
+# artifact lands *after* the load) every tenant's request-duration
+# summary must carry samples, and the span collector must have written
+# the deterministic request log plus the SLO report.
+curl -sf "http://$ADDR/metrics" -o "$OUT/metrics.prom"
+for t in 0 1 2; do
+  grep -q "^sqm_serve_request_duration_ns_load_${t}_count [1-9]" "$OUT/metrics.prom" \
+    || { echo "error: no request-duration samples for tenant load-$t" >&2
+         grep '^sqm_serve_' "$OUT/metrics.prom" >&2 || true; exit 1; }
+done
+# Smoke seed is 20250808, so the pinned-zero-threshold dump (the full
+# deterministic request log) is slowreq_20250808.jsonl.
+[ -s "$OUT/slowreq_20250808.jsonl" ] \
+  || { echo "error: missing slowreq_20250808.jsonl" >&2; exit 1; }
+python3 -c 'import json,sys; [json.loads(l) for l in open(sys.argv[1])]' \
+  "$OUT/slowreq_20250808.jsonl"
+grep -q 'Serving SLO' "$OUT/serve_report.html"
+
+echo "mid-run /metrics, /status, tracing artifacts and BENCH_serve.json OK:"
 grep '^sqm_serve_' "$OUT/metrics.prom" || true
 
 # Done probing; end the hold window early and collect the exit status.
