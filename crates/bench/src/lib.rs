@@ -5,10 +5,13 @@
 //!   `BENCH_*.json` artifact schema.
 //! * [`gate`] — the regression gate diffing fresh artifacts against the
 //!   committed `bench/baseline.json`, plus its own self-test.
+//! * [`history`] — the append-only `history.jsonl` median trend log and
+//!   its sparkline rendering for the HTML report.
 //! * [`json`] — the minimal JSON reader the gate needs (the offline serde
 //!   stand-in only writes).
 
 pub mod gate;
+pub mod history;
 pub mod json;
 pub mod perf;
 

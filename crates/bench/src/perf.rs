@@ -40,7 +40,8 @@ use sqm::obs::{metrics, MessageDag, SpanConfig};
 use sqm::sampling::skellam::sample_skellam_vec;
 use sqm::serve::{load_tenant_config, run_load, LoadSpec, Reply, Request, Server, ServerConfig};
 use sqm::vfl::{
-    covariance_skellam, gradient_sum_skellam, ColumnPartition, LiveConfig, NetBackend, VflConfig,
+    covariance_skellam, gradient_sum_skellam, ColumnPartition, LiveConfig, NetBackend, ProfConfig,
+    VflConfig,
 };
 
 use crate::json::JsonValue;
@@ -494,6 +495,30 @@ pub fn run_vfl(tier: Tier) -> BenchArtifact {
         black_box(&out.c_hat);
         RunCost::from_stats_and_trace(&out.stats, out.trace.as_ref())
     }));
+
+    // Same covariance workload with the cost profiler attached: the gate's
+    // 1.5x median rule on this entry is the standing bound on attribution
+    // overhead (every exchange, degree reduction and Skellam draw records
+    // into the process-global profile). The profiler is torn down after
+    // the entry unless the process had it on already (`sqm-perf --prof`),
+    // so later suites and the gate see the same world either way.
+    let prof_name = format!("prof_overhead_covariance_m{m}_n{n}_p{p}");
+    let prof_was_active = sqm::obs::prof::is_active();
+    entries.push(measure(&prof_name, tier, || {
+        let data = SpectralSpec::new(m, n).with_seed(31).generate();
+        let partition = ColumnPartition::even(n, p);
+        let cfg = VflConfig::new(p)
+            .with_seed(32)
+            .with_trace(true)
+            .with_prof(Some(ProfConfig::default().with_dir("results/perf")));
+        let out = covariance_skellam(&data, &partition, 18.0, 100.0, &cfg);
+        black_box(&out.c_hat);
+        RunCost::from_stats_and_trace(&out.stats, out.trace.as_ref())
+    }));
+    if !prof_was_active {
+        sqm::obs::prof::deactivate();
+        sqm::obs::prof::reset();
+    }
 
     BenchArtifact::new("vfl", tier, entries)
 }

@@ -14,12 +14,18 @@
 //!   telemetry while the run executes: Prometheus text at
 //!   `http://<addr>/metrics`, a JSON snapshot at `/snapshot`, a stall
 //!   watchdog, and a crash flight recorder (default addr
-//!   `127.0.0.1:9184`).
+//!   `127.0.0.1:9184`);
+//! * `--prof` (or `SQM_PROF=1`) — attach the deterministic cost profiler
+//!   (`sqm_obs::prof`): collapsed-stack attribution of every MPC round,
+//!   degree reduction and Skellam draw, a batching-opportunity report, and
+//!   seed-deterministic `results/prof_<seed>.{folded,json,html}` artifacts
+//!   dumped at exit. Release bits are identical with or without it.
 
 use std::sync::OnceLock;
 
 use sqm::datasets::Scale;
 use sqm::obs::live::LiveConfig;
+use sqm::obs::prof::ProfConfig;
 
 /// Default bind address for `--live` without an explicit value.
 pub const DEFAULT_LIVE_ADDR: &str = "127.0.0.1:9184";
@@ -37,6 +43,8 @@ pub struct ExpOptions {
     pub trace: bool,
     /// Live-telemetry bind address (`--live [addr]` / `SQM_LIVE`).
     pub live: Option<String>,
+    /// Cost profiler on (`--prof` / `SQM_PROF=1`).
+    pub prof: bool,
 }
 
 impl Default for ExpOptions {
@@ -48,6 +56,7 @@ impl Default for ExpOptions {
             full: false,
             trace: std::env::var("SQM_TRACE").ok().as_deref() == Some("1"),
             live: live_addr_from_env(),
+            prof: std::env::var("SQM_PROF").ok().as_deref() == Some("1"),
         }
     }
 }
@@ -74,6 +83,25 @@ pub fn live_config() -> Option<LiveConfig> {
     LIVE_CONFIG.get().cloned().flatten()
 }
 
+static PROF_CONFIG: OnceLock<Option<ProfConfig>> = OnceLock::new();
+
+/// The profiler config selected by [`parse_options`] (`None` when `--prof`
+/// was not requested). The timing harness attaches this to every
+/// `VflConfig` it builds, so attribution follows the workload without each
+/// binary threading the flag through by hand; artifacts land in
+/// `results/prof_<seed>.*` via [`obsout::dump_prof`].
+pub fn prof_config() -> Option<ProfConfig> {
+    PROF_CONFIG.get().cloned().flatten()
+}
+
+/// Remember whether the cost profiler was requested. First call wins,
+/// mirroring [`install_live`]. The profiler itself is installed lazily by
+/// the first MPC engine run that carries the config.
+pub fn install_prof(enabled: bool) {
+    let cfg = enabled.then(|| ProfConfig::default().with_dir("results"));
+    let _ = PROF_CONFIG.set(cfg);
+}
+
 /// Parse the common flags from `std::env::args`.
 ///
 /// When tracing is requested (via `--trace` or `SQM_TRACE=1`) this also
@@ -89,6 +117,7 @@ pub fn parse_options() -> ExpOptions {
             "--paper" => opts.scale = Scale::Paper,
             "--full" => opts.full = true,
             "--trace" => opts.trace = true,
+            "--prof" => opts.prof = true,
             "--live" => {
                 // Optional value: `--live 0.0.0.0:9200` binds there,
                 // bare `--live` uses the default loopback address.
@@ -115,8 +144,8 @@ pub fn parse_options() -> ExpOptions {
                     .expect("--seed needs an integer");
             }
             other => panic!(
-                "unknown flag {other} (expected --paper, --full, --trace, --live [addr], \
-                 --runs N, --seed S)"
+                "unknown flag {other} (expected --paper, --full, --trace, --prof, \
+                 --live [addr], --runs N, --seed S)"
             ),
         }
         i += 1;
@@ -125,6 +154,7 @@ pub fn parse_options() -> ExpOptions {
         sqm::obs::metrics::set_enabled(true);
     }
     install_live(opts.live.as_deref());
+    install_prof(opts.prof);
     opts
 }
 
@@ -205,6 +235,7 @@ pub mod timing {
             .with_seed(seed)
             .with_trace(trace)
             .with_live(crate::live_config())
+            .with_prof(crate::prof_config())
     }
 
     fn timing(stats: RunStats, trace: Option<Trace>) -> Timing {
@@ -329,7 +360,10 @@ pub mod obsout {
 
     /// Snapshot the metrics registry into `results/<name>.metrics.json`
     /// (no-op unless metrics were enabled via `--trace` / `SQM_TRACE=1`).
+    /// Also flushes the cost profiler's artifacts when `--prof` is active,
+    /// so every binary that dumps metrics gets `prof_<seed>.*` for free.
     pub fn dump_metrics(name: &str) -> io::Result<Option<PathBuf>> {
+        dump_prof()?;
         if !metrics::is_enabled() {
             return Ok(None);
         }
@@ -337,6 +371,25 @@ pub mod obsout {
         atomic_write_str(&path, &metrics::snapshot().to_json())?;
         println!("[metrics] wrote {}", path.display());
         Ok(Some(path))
+    }
+
+    /// Flush the cost profiler (no-op when `--prof` / `SQM_PROF=1` was not
+    /// requested): writes the seed-deterministic
+    /// `results/prof_<seed>.{folded,json,html}` triple and prints the
+    /// top-weight attribution summary.
+    pub fn dump_prof() -> io::Result<Vec<PathBuf>> {
+        let written = sqm::obs::prof::dump_if_active()?;
+        if let Some(snap) = (!written.is_empty())
+            .then(sqm::obs::prof::snapshot)
+            .flatten()
+        {
+            println!("[prof]");
+            println!("{}", sqm::obs::prof::render_summary(&snap, 12));
+            for p in &written {
+                println!("[prof] wrote {}", p.display());
+            }
+        }
+        Ok(written)
     }
 }
 

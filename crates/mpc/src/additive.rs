@@ -26,6 +26,7 @@ use sqm_net::transport::{build_mesh, Transport};
 use sqm_net::{TraceHeader, TransportError};
 use sqm_obs::live;
 use sqm_obs::metrics;
+use sqm_obs::prof;
 use sqm_obs::trace::{MsgStamp, PartyRecorder, Trace};
 
 use crate::engine::{install_quiet_abort_hook, make_recorder, select_error, MpcConfig, PartyAbort};
@@ -82,6 +83,9 @@ impl AdditiveEngine {
     {
         let n = self.config.n_parties;
         install_quiet_abort_hook();
+        if let Some(pc) = &self.config.prof {
+            prof::install(pc, self.config.seed);
+        }
         let endpoints = build_mesh::<F>(n, &self.config.backend, self.config.faults.as_ref())?;
         let program = &program;
         // Same live-telemetry bracketing as the BGW engine: the guard's
@@ -219,6 +223,9 @@ impl<F: PrimeField> AdditiveCtx<F> {
         // Live telemetry (collector installed) — same out-of-band publish
         // path as the BGW engine; accounting is untouched either way.
         let live_round = live::is_active().then(|| (Instant::now(), self.endpoint.round()));
+        // Cost profiling — same out-of-band recording as the BGW engine,
+        // under the `additive;` path prefix.
+        let prof_round = prof::is_active().then(|| (Instant::now(), self.endpoint.round()));
         // Causal stamping (traced runs only) — same protocol as the BGW
         // engine: every real outgoing payload carries this party's Lamport
         // clock and a per-link sequence number, out-of-band of the byte
@@ -265,6 +272,21 @@ impl<F: PrimeField> AdditiveCtx<F> {
         };
         let (messages, bytes) = (outcome.messages, outcome.bytes);
         self.stats.record_round(&self.phase, messages, bytes);
+        if let Some((t0, round)) = prof_round {
+            let wall_ns = t0.elapsed().as_nanos() as u64;
+            prof::record_round(
+                &format!("additive;{};exchange", self.phase),
+                messages,
+                bytes,
+                wall_ns,
+            );
+            prof::record_round(
+                &format!("additive;{};round{round:04}", self.phase),
+                messages,
+                bytes,
+                wall_ns,
+            );
+        }
         let events = self.endpoint.drain_events();
         if let Some((t0, round)) = live_round {
             for e in &events {

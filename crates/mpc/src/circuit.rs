@@ -8,6 +8,7 @@
 //! (sequential in depth, parallel in width).
 
 use sqm_field::PrimeField;
+use sqm_obs::prof::{self, BatchingReport};
 
 use crate::engine::PartyCtx;
 
@@ -190,6 +191,34 @@ impl<F: PrimeField> Circuit<F> {
             .count()
     }
 
+    /// Independent-multiplication width of each sequential mul round, in
+    /// round order: `widths[l-1]` is the number of `Mul` gates the MPC
+    /// evaluator batches into the level-`l` degree reduction. The widths
+    /// always sum to [`Circuit::n_mul_gates`], and their count equals
+    /// [`Circuit::mul_depth`] whenever every multiplication feeds an
+    /// output.
+    pub fn mul_level_widths(&self) -> Vec<usize> {
+        let mut widths: Vec<usize> = Vec::new();
+        for (i, gate) in self.gates.iter().enumerate() {
+            if matches!(gate, Gate::Mul(_, _)) {
+                let level = self.mul_level[i] as usize;
+                if widths.len() < level {
+                    widths.resize(level, 0);
+                }
+                widths[level - 1] += 1;
+            }
+        }
+        widths
+    }
+
+    /// The batching-opportunity analysis for this circuit evaluated over
+    /// `n_parties` parties: the per-round width histogram and the
+    /// message-count reduction round-batched multiplication frames
+    /// (ROADMAP item 1) would achieve over one-round-per-mul execution.
+    pub fn batching_report(&self, n_parties: usize) -> BatchingReport {
+        BatchingReport::from_level_widths(self.mul_level_widths(), n_parties)
+    }
+
     /// Evaluate in the clear (reference semantics for tests and the
     /// plaintext VFL backend). `inputs[p]` are party `p`'s private inputs.
     pub fn eval_plain(&self, inputs: &[Vec<F>]) -> Vec<F> {
@@ -225,6 +254,42 @@ impl<F: PrimeField> Circuit<F> {
             self.input_counts.len(),
             ctx.n
         );
+        // Cost profiling (when installed): per-gate-kind counts, scratch
+        // allocation sizes, and the batching-opportunity report. Purely
+        // observational — the evaluation below is identical either way.
+        let profiling = prof::is_active();
+        if profiling {
+            const KINDS: [&str; 7] = [
+                "input",
+                "const",
+                "add",
+                "sub",
+                "mul",
+                "mul_const",
+                "add_const",
+            ];
+            let mut counts = [0u64; 7];
+            for gate in &self.gates {
+                let k = match gate {
+                    Gate::Input { .. } => 0,
+                    Gate::Const(_) => 1,
+                    Gate::Add(_, _) => 2,
+                    Gate::Sub(_, _) => 3,
+                    Gate::Mul(_, _) => 4,
+                    Gate::MulConst(_, _) => 5,
+                    Gate::AddConst(_, _) => 6,
+                };
+                counts[k] += 1;
+            }
+            for (kind, &count) in KINDS.iter().zip(&counts) {
+                if count > 0 {
+                    prof::record(&format!("circuit;gates;{kind}"), count, count);
+                }
+            }
+            prof::record("circuit;alloc;values", 1, self.gates.len() as u64);
+            prof::set_batching_report(self.batching_report(ctx.n));
+        }
+
         // Input phase: every party shares its inputs simultaneously.
         let contributions = ctx.share_all_uneven(my_inputs, &self.input_counts);
 
@@ -284,6 +349,14 @@ impl<F: PrimeField> Circuit<F> {
                     _ => unreachable!(),
                 })
                 .collect();
+            if profiling {
+                prof::record(
+                    &format!("circuit;mul;layer{level:04}"),
+                    1,
+                    batch.len() as u64,
+                );
+                prof::record("circuit;alloc;mul_locals", 1, batch.len() as u64);
+            }
             let reduced = ctx.reduce_degree(&locals);
             for (&i, r) in batch.iter().zip(reduced) {
                 values[i] = Some(r);
@@ -422,6 +495,45 @@ mod tests {
         for out in run.outputs {
             assert!(out.iter().all(|v| v.to_canonical() == 6));
         }
+    }
+
+    #[test]
+    fn batching_report_totals_match_circuit_invariants() {
+        // Balanced product tree over 8 factors: widths 4, 2, 1.
+        let mut b = CircuitBuilder::<M61>::new(1);
+        let factors: Vec<Wire> = (0..8).map(|_| b.input(0)).collect();
+        let p = b.product(&factors);
+        b.output(p);
+        let c = b.build();
+        let report = c.batching_report(4);
+        assert_eq!(report.level_widths, vec![4, 2, 1]);
+        assert_eq!(report.width_histogram, vec![(1, 1), (2, 1), (4, 1)]);
+        assert_eq!(report.n_mul_gates, c.n_mul_gates());
+        assert_eq!(report.mul_depth as u32, c.mul_depth());
+        // 4 parties: n(n-1) = 12 reduce-degree messages per round.
+        assert_eq!(report.messages_unbatched, 7 * 12);
+        assert_eq!(report.messages_batched, 3 * 12);
+
+        // A wide-but-shallow circuit batches 16 muls into one round.
+        let mut b = CircuitBuilder::<M61>::new(2);
+        for _ in 0..16 {
+            let x = b.input(0);
+            let y = b.input(1);
+            let p = b.mul(x, y);
+            b.output(p);
+        }
+        let c = b.build();
+        let report = c.batching_report(3);
+        assert_eq!(report.level_widths, vec![16]);
+        assert_eq!(report.n_mul_gates, c.n_mul_gates());
+        assert_eq!(report.mul_depth as u32, c.mul_depth());
+        assert!((report.reduction_factor() - 16.0).abs() < 1e-12);
+
+        // The sample circuit's single mul: no batching opportunity.
+        let report = sample_circuit().batching_report(3);
+        assert_eq!(report.n_mul_gates, sample_circuit().n_mul_gates());
+        assert_eq!(report.mul_depth as u32, sample_circuit().mul_depth());
+        assert_eq!(report.messages_unbatched, report.messages_batched);
     }
 
     #[test]

@@ -26,6 +26,7 @@ use sqm_net::transport::{build_mesh, NetBackend, Transport};
 use sqm_net::{TraceHeader, TransportError};
 use sqm_obs::live::{self, LiveConfig};
 use sqm_obs::metrics;
+use sqm_obs::prof::{self, ProfConfig};
 use sqm_obs::trace::{MsgStamp, PartyRecorder, Trace};
 
 use crate::shamir::{lagrange_at_zero, share_secret};
@@ -63,6 +64,14 @@ pub struct MpcConfig {
     /// relaxed atomic load per round. Accounting (`RunStats`, traces) is
     /// bit-identical either way.
     pub live: Option<LiveConfig>,
+    /// Attach the deterministic cost profiler (see [`sqm_obs::prof`]) to
+    /// runs under this config: the engine installs the process-global
+    /// profiler at run start and the hot paths attribute per-phase
+    /// exchange/round traffic, degree reductions, and bulk field ops to
+    /// collapsed-stack paths. `None` (the default) records nothing and
+    /// costs one relaxed atomic load per hook; protocol bits and
+    /// [`RunStats`] are identical either way.
+    pub prof: Option<ProfConfig>,
 }
 
 impl MpcConfig {
@@ -90,6 +99,7 @@ impl MpcConfig {
             backend: NetBackend::InProcess,
             faults: None,
             live: None,
+            prof: None,
         }
     }
 
@@ -134,6 +144,12 @@ impl MpcConfig {
     /// [`sqm_obs::live`]).
     pub fn with_live(mut self, live: Option<LiveConfig>) -> Self {
         self.live = live;
+        self
+    }
+
+    /// Attach the deterministic cost profiler (see [`sqm_obs::prof`]).
+    pub fn with_prof(mut self, prof: Option<ProfConfig>) -> Self {
+        self.prof = prof;
         self
     }
 
@@ -308,7 +324,14 @@ impl MpcEngine {
             "endpoint mesh size must match config.n_parties"
         );
         install_quiet_abort_hook();
+        if let Some(pc) = &self.config.prof {
+            prof::install(pc, self.config.seed);
+        }
         let lagrange_all = lagrange_at_zero::<F>(&(0..n).collect::<Vec<_>>());
+        if prof::is_active() {
+            // One field inversion per Lagrange denominator.
+            prof::record("engine;setup;field_inv", 1, n as u64);
+        }
         let program = &program;
 
         // Bracket the run for live telemetry. The guard's Drop path covers
@@ -501,6 +524,11 @@ impl<F: PrimeField> PartyCtx<F> {
         // exchange and rides entirely outside `PartyStats` and the trace,
         // so accounting is bit-identical with telemetry on or off.
         let live_round = live::is_active().then(|| (Instant::now(), self.endpoint.round()));
+        // Cost profiling (profiler installed): capture the round index
+        // before the exchange bumps it. Like live telemetry, recording
+        // happens after the exchange and rides entirely outside
+        // `PartyStats` and the trace.
+        let prof_round = prof::is_active().then(|| (Instant::now(), self.endpoint.round()));
         // Causal stamping (traced runs only): every real outgoing payload
         // carries this party's Lamport clock and a per-link sequence
         // number; the header travels out-of-band of the byte accounting.
@@ -548,6 +576,21 @@ impl<F: PrimeField> PartyCtx<F> {
         };
         let (messages, bytes) = (outcome.messages, outcome.bytes);
         self.stats.record_round(&self.phase, messages, bytes);
+        if let Some((t0, round)) = prof_round {
+            let wall_ns = t0.elapsed().as_nanos() as u64;
+            prof::record_round(
+                &format!("engine;{};exchange", self.phase),
+                messages,
+                bytes,
+                wall_ns,
+            );
+            prof::record_round(
+                &format!("engine;{};round{round:04}", self.phase),
+                messages,
+                bytes,
+                wall_ns,
+            );
+        }
         let events = self.endpoint.drain_events();
         if let Some((t0, round)) = live_round {
             // Injected fault events first: they carry the deterministic
@@ -733,6 +776,21 @@ impl<F: PrimeField> PartyCtx<F> {
             metrics::counter_add("mpc.reduced_elems", len as u64);
             metrics::histogram_record("mpc.degree_reduction_batch", len as f64);
         }
+        if prof::is_active() {
+            prof::record(
+                &format!("engine;{};reduce_degree", self.phase),
+                1,
+                len as u64,
+            );
+            // Bulk field multiplications underneath: re-sharing evaluates a
+            // degree-t polynomial at n points (t muls each, Horner) and
+            // recombination applies n Lagrange weights per element.
+            prof::record(
+                &format!("engine;{};reduce_degree;field_mul", self.phase),
+                1,
+                (len * self.n * (self.t + 1)) as u64,
+            );
+        }
         // Re-share each local value with a fresh degree-t polynomial.
         let mut per_party: Vec<Vec<F>> = vec![Vec::with_capacity(len); self.n];
         for &v in d {
@@ -853,6 +911,14 @@ impl<F: PrimeField> PartyCtx<F> {
     /// Open shared secrets to all parties: broadcast shares, reconstruct
     /// from all `n` evaluation points. One round.
     pub fn open(&mut self, shares: &[F]) -> Vec<F> {
+        if prof::is_active() {
+            // Reconstruction applies n Lagrange weights per opened element.
+            prof::record(
+                &format!("engine;{};open;field_mul", self.phase),
+                1,
+                (shares.len() * self.n) as u64,
+            );
+        }
         let incoming = self.exchange(vec![shares.to_vec(); self.n]);
         let len = shares.len();
         let mut out = vec![F::ZERO; len];
@@ -1187,6 +1253,7 @@ mod tests {
             backend: NetBackend::InProcess,
             faults: None,
             live: None,
+            prof: None,
         });
     }
 

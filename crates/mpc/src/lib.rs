@@ -45,4 +45,5 @@ pub use sqm_net::fault::{CrashPoint, FaultSpec};
 pub use sqm_net::transport::NetBackend;
 pub use sqm_net::{TcpOptions, TransportError};
 pub use sqm_obs::live::LiveConfig;
+pub use sqm_obs::prof::ProfConfig;
 pub use stats::{PhaseStats, RunStats};

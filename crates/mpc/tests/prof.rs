@@ -1,0 +1,171 @@
+//! Acceptance tests for the cost profiler (`sqm_obs::prof`) at the engine
+//! level: profiling must be *passive* (outputs and every deterministic
+//! `RunStats` counter bit-identical with profiling on or off), the
+//! deterministic artifacts must be byte-identical across two same-seed
+//! runs, and the batching-opportunity report attached by `eval_mpc` must
+//! agree exactly with the circuit's own `n_mul_gates()` / `mul_depth()`.
+//!
+//! The profiler is process-global (like the live collector), so these
+//! tests serialize on one mutex and reset the profile between runs.
+
+use std::sync::Mutex;
+use std::time::Duration;
+
+use sqm_field::{PrimeField, M61};
+use sqm_mpc::circuit::{Circuit, CircuitBuilder};
+use sqm_mpc::{AdditiveEngine, MpcConfig, MpcEngine, ProfConfig};
+use sqm_obs::prof;
+
+static PROF_LOCK: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    PROF_LOCK.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+/// Product of six inputs (two per party): mul widths 3, 1, 1 — a circuit
+/// with a real batching profile.
+fn product_circuit() -> Circuit<M61> {
+    let mut b = CircuitBuilder::<M61>::new(3);
+    let mut wires = Vec::new();
+    for party in 0..3 {
+        for _ in 0..2 {
+            wires.push(b.input(party));
+        }
+    }
+    let p = b.product(&wires);
+    b.output(p);
+    b.build()
+}
+
+fn run_product(prof_cfg: Option<ProfConfig>) -> sqm_mpc::MpcRun<Vec<M61>> {
+    let circ = product_circuit();
+    let cfg = MpcConfig::semi_honest(3)
+        .with_latency(Duration::ZERO)
+        .with_seed(33)
+        .with_prof(prof_cfg);
+    MpcEngine::new(cfg).run::<M61, _, _>(move |ctx| {
+        ctx.set_phase("compute");
+        let my_inputs = vec![M61::from_u64(ctx.id as u64 + 2); 2];
+        let shares = circ.eval_mpc(ctx, &my_inputs);
+        ctx.set_phase("open");
+        ctx.open(&shares)
+    })
+}
+
+#[test]
+fn outputs_and_runstats_bit_identical_with_prof_on_and_off() {
+    let _g = lock();
+    prof::deactivate();
+    prof::reset();
+    let off = run_product(None);
+    let on = run_product(Some(ProfConfig::default().with_dir(std::env::temp_dir())));
+    assert!(prof::is_active(), "engine must install the profiler");
+
+    // 2^2 * 3^2 * 4^2 at every party, profiled or not.
+    for run in [&off, &on] {
+        for out in &run.outputs {
+            assert_eq!(out[0].to_canonical(), 576);
+        }
+    }
+    // Deterministic accounting is bit-identical (wall time is measured and
+    // excluded — it differs between any two runs, profiled or not).
+    assert_eq!(off.stats.total.rounds, on.stats.total.rounds);
+    assert_eq!(off.stats.total.messages, on.stats.total.messages);
+    assert_eq!(off.stats.total.bytes, on.stats.total.bytes);
+    let phases_off: Vec<&String> = off.stats.phases.keys().collect();
+    let phases_on: Vec<&String> = on.stats.phases.keys().collect();
+    assert_eq!(phases_off, phases_on);
+    for (name, p_off) in &off.stats.phases {
+        let p_on = &on.stats.phases[name];
+        assert_eq!(p_off.rounds, p_on.rounds, "{name}");
+        assert_eq!(p_off.messages, p_on.messages, "{name}");
+        assert_eq!(p_off.bytes, p_on.bytes, "{name}");
+    }
+    prof::deactivate();
+    prof::reset();
+}
+
+#[test]
+fn profile_is_byte_deterministic_and_batching_matches_circuit() {
+    let _g = lock();
+    prof::deactivate();
+    prof::reset();
+
+    let dir = std::env::temp_dir().join(format!("sqm-prof-mpc-{}", std::process::id()));
+    run_product(Some(ProfConfig::default().with_dir(&dir)));
+    let first = prof::snapshot().expect("profiler installed");
+    let (folded1, json1) = (prof::render_folded(&first), prof::render_json(&first));
+    prof::deactivate();
+    prof::reset();
+    run_product(Some(ProfConfig::default().with_dir(&dir)));
+    let second = prof::snapshot().expect("profiler installed");
+    assert_eq!(folded1, prof::render_folded(&second));
+    assert_eq!(json1, prof::render_json(&second));
+
+    // The batching report eval_mpc attached agrees exactly with the
+    // circuit's own invariants.
+    let circ = product_circuit();
+    let batching = second.batching.as_ref().expect("eval_mpc reports batching");
+    assert_eq!(batching.level_widths, vec![3, 1, 1]);
+    assert_eq!(batching.n_mul_gates, circ.n_mul_gates());
+    assert_eq!(batching.mul_depth as u32, circ.mul_depth());
+    assert_eq!(batching.n_parties, 3);
+    // 5 muls one-per-round vs 3 batched rounds, 6 messages per round.
+    assert_eq!(batching.messages_unbatched, 5 * 6);
+    assert_eq!(batching.messages_batched, 3 * 6);
+
+    // Attribution structure: per-layer mul widths (3 parties each record
+    // the batch width), degree reductions with their field-mul bulk, the
+    // setup inversions, and per-phase exchange traffic.
+    let nodes = &second.nodes;
+    assert_eq!(nodes["circuit;mul;layer0001"].work, 3 * 3);
+    assert_eq!(nodes["circuit;mul;layer0002"].work, 3);
+    assert_eq!(nodes["circuit;mul;layer0003"].work, 3);
+    assert_eq!(nodes["circuit;gates;mul"].calls, 3 * 5);
+    assert_eq!(nodes["engine;compute;reduce_degree"].work, 3 * (3 + 1 + 1));
+    assert!(nodes.contains_key("engine;compute;reduce_degree;field_mul"));
+    assert_eq!(nodes["engine;setup;field_inv"].work, 3);
+    // The open phase is one all-to-all exchange: n(n-1) messages.
+    assert_eq!(nodes["engine;open;exchange"].messages, 6);
+    assert!(nodes.contains_key("engine;open;round0004"));
+    // Wall time is collected in memory but never rendered.
+    assert!(!json1.contains("wall"));
+    prof::deactivate();
+    prof::reset();
+}
+
+#[test]
+fn additive_backend_records_under_additive_prefix() {
+    let _g = lock();
+    prof::deactivate();
+    prof::reset();
+
+    let dir = std::env::temp_dir().join(format!("sqm-prof-add-{}", std::process::id()));
+    let cfg = MpcConfig::semi_honest(3)
+        .with_latency(Duration::ZERO)
+        .with_seed(44)
+        .with_prof(Some(ProfConfig::default().with_dir(&dir)));
+    let run = AdditiveEngine::new(cfg).run::<M61, _, _>(|ctx| {
+        let x = ctx.share_input(
+            0,
+            (ctx.id == 0).then(|| vec![M61::from_u64(6); 2]).as_deref(),
+            2,
+        );
+        let triples = ctx.dealer_triples(2);
+        let z = ctx.mul_beaver(&x, &x.clone(), &triples);
+        ctx.open(&z)
+    });
+    for out in run.outputs {
+        assert!(out.iter().all(|v| v.to_canonical() == 36));
+    }
+    let snap = prof::snapshot().expect("profiler installed");
+    let exchange = &snap.nodes["additive;default;exchange"];
+    // share + mask-open + final open = 3 rounds per party.
+    assert_eq!(exchange.calls, 3 * 3);
+    assert_eq!(exchange.messages, run.stats.total.messages);
+    assert_eq!(exchange.bytes, run.stats.total.bytes);
+    assert!(snap.nodes.contains_key("additive;default;round0000"));
+    assert!(!snap.nodes.keys().any(|k| k.starts_with("engine;")));
+    prof::deactivate();
+    prof::reset();
+}

@@ -287,7 +287,7 @@ fn html_escape(s: &str) -> String {
 
 /// Stable phase → color assignment (FNV-1a hash into a hue), so the same
 /// phase gets the same color across reports and report regenerations.
-fn phase_color(phase: &str) -> String {
+pub(crate) fn phase_color(phase: &str) -> String {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for b in phase.bytes() {
         h ^= u64::from(b);
@@ -342,6 +342,20 @@ pub fn html_report_with_slo(
     ledger: Option<&LedgerReport>,
     metrics: Option<&MetricsSnapshot>,
     slo: Option<&crate::span::SloSnapshot>,
+) -> String {
+    html_report_full(title, trace, ledger, metrics, slo, None)
+}
+
+/// [`html_report_with_slo`] plus an optional "Cost profile" section: the
+/// deterministic flamegraph and batching-opportunity summary from an
+/// [`crate::prof::ProfSnapshot`].
+pub fn html_report_full(
+    title: &str,
+    trace: &Trace,
+    ledger: Option<&LedgerReport>,
+    metrics: Option<&MetricsSnapshot>,
+    slo: Option<&crate::span::SloSnapshot>,
+    prof: Option<&crate::prof::ProfSnapshot>,
 ) -> String {
     let summary = trace.summary();
     let mut out = String::with_capacity(16 * 1024);
@@ -663,6 +677,72 @@ pub fn html_report_with_slo(
         }
     }
 
+    // --- cost profile (flamegraph) -------------------------------------
+    if let Some(prof) = prof {
+        out.push_str(&flamegraph_section(prof));
+    }
+
+    out.push_str("</body></html>\n");
+    out
+}
+
+/// The "Cost profile" report section: batching-opportunity summary plus
+/// the self-contained SVG flamegraph. Deterministic for a given snapshot
+/// (key-sorted layout, hash-stable colors, no wall time).
+fn flamegraph_section(prof: &crate::prof::ProfSnapshot) -> String {
+    let mut out = String::with_capacity(8 * 1024);
+    out.push_str("<h2>Cost profile (flamegraph)</h2>\n<p class=\"meta\">");
+    out.push_str(&format!(
+        "{} attribution node(s), seed {}",
+        prof.nodes.len(),
+        prof.seed
+    ));
+    if let Some(b) = &prof.batching {
+        out.push_str(&format!(
+            " · batching opportunity: {} secure mul(s) over {} round(s) — \
+             {} reduce-degree messages gate-at-a-time vs {} round-batched \
+             (x{:.1} reduction, P = {})",
+            b.n_mul_gates,
+            b.mul_depth,
+            b.messages_unbatched,
+            b.messages_batched,
+            b.reduction_factor(),
+            b.n_parties,
+        ));
+    }
+    out.push_str("</p>\n");
+    if let Some(b) = &prof.batching {
+        out.push_str(
+            "<table>\n<tr><th>independent-mul width</th><th>rounds at this width</th></tr>\n",
+        );
+        for (width, count) in &b.width_histogram {
+            out.push_str(&format!("<tr><td>{width}</td><td>{count}</td></tr>\n"));
+        }
+        out.push_str("</table>\n");
+    }
+    out.push_str(&crate::prof::render_flamegraph_svg(prof));
+    out
+}
+
+/// Render a profile snapshot as a standalone self-contained HTML page
+/// (the `prof_<seed>.html` artifact): no scripts, stylesheets, or network
+/// references; byte-deterministic for a given snapshot.
+pub fn flamegraph_html(title: &str, prof: &crate::prof::ProfSnapshot) -> String {
+    let mut out = String::with_capacity(16 * 1024);
+    out.push_str("<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\">\n<title>");
+    out.push_str(&html_escape(title));
+    out.push_str(
+        "</title>\n<style>\nbody{font-family:system-ui,sans-serif;margin:2em auto;\
+         max-width:64em;color:#1a1a2e}\nh1{font-size:1.4em}\
+         h2{font-size:1.1em;margin-top:2em;border-bottom:1px solid #ccd}\n\
+         table{border-collapse:collapse;margin:0.8em 0}\n\
+         th,td{border:1px solid #ccd;padding:0.25em 0.7em;text-align:right;\
+         font-variant-numeric:tabular-nums}\nth{background:#eef;font-weight:600}\n\
+         .meta{color:#556}\n</style></head><body>\n<h1>",
+    );
+    out.push_str(&html_escape(title));
+    out.push_str("</h1>\n");
+    out.push_str(&flamegraph_section(prof));
     out.push_str("</body></html>\n");
     out
 }
@@ -966,6 +1046,36 @@ mod tests {
         assert!(html.contains("+0ns") || html.contains("+0.0"));
         // Plain html_report stays SLO-free.
         assert!(!html_report("plain", &sample_trace(), None, None).contains("Serving SLO"));
+    }
+
+    #[test]
+    fn html_report_renders_cost_profile_section_when_given() {
+        use crate::prof::{BatchingReport, NodeAgg, ProfSnapshot};
+        let mut nodes = std::collections::BTreeMap::new();
+        nodes.insert(
+            "engine;compute;reduce_degree".to_string(),
+            NodeAgg {
+                calls: 1,
+                work: 1830,
+                ..NodeAgg::default()
+            },
+        );
+        let snap = ProfSnapshot {
+            seed: 5,
+            dir: PathBuf::new(),
+            nodes,
+            batching: Some(BatchingReport::from_level_widths(vec![16], 4)),
+        };
+        let html = html_report_full("prof run", &sample_trace(), None, None, None, Some(&snap));
+        assert!(html.contains("Cost profile (flamegraph)"));
+        assert!(html.contains("x16.0 reduction"));
+        assert!(!html.contains("<script") && !html.contains("http://"));
+        let standalone = flamegraph_html("prof", &snap);
+        assert!(standalone.starts_with("<!DOCTYPE html>"));
+        assert!(standalone.contains("<svg"));
+        assert!(!standalone.contains("<script") && !standalone.contains("http://"));
+        // Plain reports stay profile-free.
+        assert!(!html_report("plain", &sample_trace(), None, None).contains("Cost profile"));
     }
 
     #[test]

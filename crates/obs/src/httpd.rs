@@ -349,6 +349,88 @@ mod tests {
     }
 
     #[test]
+    fn oversized_header_is_rejected_with_400_not_a_hang() {
+        let mut server = echo_server();
+        let addr = server.local_addr();
+        let mut stream = TcpStream::connect(addr).unwrap();
+        // A request line that never terminates its headers and exceeds the
+        // cap by exactly one byte, so the server consumes every byte before
+        // replying (a close with unread bytes would RST the client).
+        stream.write_all(b"GET /").unwrap();
+        let filler = vec![b'a'; MAX_REQUEST_BYTES + 1 - 5];
+        stream.write_all(&filler).unwrap();
+        stream.flush().unwrap();
+        let mut out = String::new();
+        stream.read_to_string(&mut out).unwrap();
+        assert!(
+            out.starts_with("HTTP/1.1 400"),
+            "{}",
+            &out[..out.len().min(200)]
+        );
+        assert!(out.contains("oversized"), "{}", &out[..out.len().min(200)]);
+        server.shutdown();
+    }
+
+    #[test]
+    fn oversized_declared_body_is_rejected_with_400() {
+        let mut server = echo_server();
+        let got = fetch(
+            server.local_addr(),
+            &format!(
+                "POST /echo HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+                MAX_REQUEST_BYTES + 1
+            ),
+        );
+        assert!(got.starts_with("HTTP/1.1 400"), "{got}");
+        assert!(got.contains("body too large"), "{got}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn drain_completes_inflight_responses_for_concurrent_clients() {
+        use std::sync::atomic::AtomicUsize;
+
+        let entered = Arc::new(AtomicUsize::new(0));
+        let entered_h = Arc::clone(&entered);
+        let body = "drain-payload ".repeat(4096);
+        let body_h = body.clone();
+        let mut server = HttpServer::bind(
+            "127.0.0.1:0",
+            "httpd-drain",
+            Arc::new(move |req: &HttpRequest| {
+                if req.path == "/slow" {
+                    entered_h.fetch_add(1, Ordering::SeqCst);
+                    std::thread::sleep(Duration::from_millis(100));
+                    HttpResponse::text(200, body_h.clone())
+                } else {
+                    HttpResponse::not_found()
+                }
+            }),
+        )
+        .unwrap();
+        let addr = server.local_addr();
+        let clients: Vec<_> = (0..2)
+            .map(|_| std::thread::spawn(move || fetch(addr, "GET /slow HTTP/1.1\r\n\r\n")))
+            .collect();
+        // Wait until the second request is inside its (slow) handler, then
+        // initiate shutdown while it is still running: the drain must let
+        // the in-flight response finish rather than cutting it off.
+        while entered.load(Ordering::SeqCst) < 2 {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        server.shutdown();
+        for client in clients {
+            let got = client.join().unwrap();
+            assert!(
+                got.starts_with("HTTP/1.1 200 OK"),
+                "{}",
+                &got[..got.len().min(200)]
+            );
+            assert!(got.ends_with(&body), "response truncated");
+        }
+    }
+
+    #[test]
     fn shutdown_is_idempotent_and_port_is_released() {
         let mut server = echo_server();
         let addr = server.local_addr();

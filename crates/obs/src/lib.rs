@@ -49,6 +49,14 @@
 //!   slow-request recorder whose `slowreq_<seed>.jsonl` dump is
 //!   byte-deterministic (flight-recorder discipline: counters and
 //!   structure only, never measured wall time).
+//! * [`prof`] — a deterministic hierarchical cost profiler: `;`-separated
+//!   collapsed-stack paths attribute engine cost to circuit layers, gate
+//!   kinds, degree reductions, bulk field ops and sampler draws; a
+//!   batching-opportunity analyzer ([`prof::BatchingReport`]) predicts the
+//!   message-count reduction of round-batched multiplication frames; and
+//!   the exporters (folded format, deterministic `prof_<seed>.json`,
+//!   self-contained SVG flamegraph) never carry wall time, so same-seed
+//!   runs dump byte-identical artifacts.
 //! * [`live`] — streaming telemetry for runs *in flight*: a bounded
 //!   lock-free event ring the engines and the TCP transport publish
 //!   per-round events into, a background aggregator with rolling per-party
@@ -69,16 +77,19 @@ pub mod json;
 pub mod ledger;
 pub mod live;
 pub mod metrics;
+pub mod prof;
 pub mod span;
 pub mod trace;
 
 pub use causal::{CriticalPath, FlowEdge, MessageDag, PartyBreakdown, PathSegment};
 pub use export::{
-    atomic_write, atomic_write_str, chrome_trace_json, html_report, html_report_with_slo,
-    write_chrome_trace, write_html_report, write_jsonl, write_ledger_jsonl,
+    atomic_write, atomic_write_str, chrome_trace_json, flamegraph_html, html_report,
+    html_report_full, html_report_with_slo, write_chrome_trace, write_html_report, write_jsonl,
+    write_ledger_jsonl,
 };
 pub use ledger::{LedgerEntry, LedgerReport, PrivacyLedger};
 pub use live::{LiveConfig, LiveEvent, LiveSnapshot, StallEvent};
+pub use prof::{BatchingReport, ProfConfig, ProfSnapshot};
 pub use span::{
     CriticalSummary, FinishedRequest, PartyCost, RequestContext, RequestOutcome, SloBucket,
     SloSnapshot, Span, SpanCollector, SpanConfig,

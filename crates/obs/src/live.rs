@@ -1062,37 +1062,44 @@ fn prom_name(name: &str) -> String {
 /// given state.
 pub fn render_prometheus(snap: &LiveSnapshot) -> String {
     let mut out = String::with_capacity(8 * 1024);
-    let scalar = |out: &mut String, name: &str, kind: &str, value: String| {
-        out.push_str(&format!("# TYPE {name} {kind}\n{name} {value}\n"));
+    let scalar = |out: &mut String, name: &str, kind: &str, help: &str, value: String| {
+        out.push_str(&format!(
+            "# HELP {name} {help}\n# TYPE {name} {kind}\n{name} {value}\n"
+        ));
     };
     scalar(
         &mut out,
         "sqm_live_runs_started_total",
         "counter",
+        "Engine runs started since the live collector was installed.",
         snap.runs_started.to_string(),
     );
     scalar(
         &mut out,
         "sqm_live_runs_failed_total",
         "counter",
+        "Engine runs ended by a transport error or party panic.",
         snap.runs_failed.to_string(),
     );
     scalar(
         &mut out,
         "sqm_live_stalls_total",
         "counter",
+        "Stall events flagged by the watchdog (slow_round, heartbeat, crash).",
         snap.stalls_total.to_string(),
     );
     scalar(
         &mut out,
         "sqm_live_events_published_total",
         "counter",
+        "Events accepted into the live ring by engines and transports.",
         snap.events_published.to_string(),
     );
     scalar(
         &mut out,
         "sqm_live_events_dropped_total",
         "counter",
+        "Events dropped because the live ring was full.",
         snap.events_dropped.to_string(),
     );
     if let Some(run) = &snap.run {
@@ -1100,33 +1107,52 @@ pub fn render_prometheus(snap: &LiveSnapshot) -> String {
             &mut out,
             "sqm_live_run_in_progress",
             "gauge",
+            "1 while the current engine run is still executing, else 0.",
             u64::from(run.in_progress).to_string(),
         );
-        scalar(&mut out, "sqm_live_run_seed", "gauge", run.seed.to_string());
+        scalar(
+            &mut out,
+            "sqm_live_run_seed",
+            "gauge",
+            "Seed of the current (or most recent) engine run.",
+            run.seed.to_string(),
+        );
     }
     if !snap.parties.is_empty() {
-        out.push_str("# TYPE sqm_live_party_rounds counter\n");
+        out.push_str(
+            "# HELP sqm_live_party_rounds Exchange rounds completed, per party.\n\
+             # TYPE sqm_live_party_rounds counter\n",
+        );
         for p in &snap.parties {
             out.push_str(&format!(
                 "sqm_live_party_rounds{{party=\"{}\"}} {}\n",
                 p.party, p.rounds
             ));
         }
-        out.push_str("# TYPE sqm_live_party_messages counter\n");
+        out.push_str(
+            "# HELP sqm_live_party_messages Messages sent, per party.\n\
+             # TYPE sqm_live_party_messages counter\n",
+        );
         for p in &snap.parties {
             out.push_str(&format!(
                 "sqm_live_party_messages{{party=\"{}\"}} {}\n",
                 p.party, p.messages
             ));
         }
-        out.push_str("# TYPE sqm_live_party_bytes counter\n");
+        out.push_str(
+            "# HELP sqm_live_party_bytes Payload bytes sent, per party.\n\
+             # TYPE sqm_live_party_bytes counter\n",
+        );
         for p in &snap.parties {
             out.push_str(&format!(
                 "sqm_live_party_bytes{{party=\"{}\"}} {}\n",
                 p.party, p.bytes
             ));
         }
-        out.push_str("# TYPE sqm_live_party_round_wall_seconds summary\n");
+        out.push_str(
+            "# HELP sqm_live_party_round_wall_seconds Windowed per-round wall-time quantiles, per party.\n\
+             # TYPE sqm_live_party_round_wall_seconds summary\n",
+        );
         for p in &snap.parties {
             for (q, v) in [
                 ("0.5", p.round_wall.p50_ns),
@@ -1143,7 +1169,10 @@ pub fn render_prometheus(snap: &LiveSnapshot) -> String {
         }
     }
     if !snap.phases.is_empty() {
-        out.push_str("# TYPE sqm_live_phase_rounds counter\n");
+        out.push_str(
+            "# HELP sqm_live_phase_rounds Exchange rounds completed, per protocol phase.\n\
+             # TYPE sqm_live_phase_rounds counter\n",
+        );
         for (phase, c) in &snap.phases {
             out.push_str(&format!(
                 "sqm_live_phase_rounds{{phase=\"{}\"}} {}\n",
@@ -1151,7 +1180,10 @@ pub fn render_prometheus(snap: &LiveSnapshot) -> String {
                 c.rounds
             ));
         }
-        out.push_str("# TYPE sqm_live_phase_bytes counter\n");
+        out.push_str(
+            "# HELP sqm_live_phase_bytes Payload bytes sent, per protocol phase.\n\
+             # TYPE sqm_live_phase_bytes counter\n",
+        );
         for (phase, c) in &snap.phases {
             out.push_str(&format!(
                 "sqm_live_phase_bytes{{phase=\"{}\"}} {}\n",
@@ -1159,6 +1191,12 @@ pub fn render_prometheus(snap: &LiveSnapshot) -> String {
                 c.bytes
             ));
         }
+    }
+    if !snap.stalls.is_empty() {
+        out.push_str(
+            "# HELP sqm_live_stall Seconds a flagged party was stalled, labeled by round and stall kind.\n\
+             # TYPE sqm_live_stall gauge\n",
+        );
     }
     for s in &snap.stalls {
         out.push_str(&format!(
@@ -1181,18 +1219,30 @@ pub fn render_prometheus(snap: &LiveSnapshot) -> String {
 pub fn render_metrics_prometheus(metrics: &MetricsSnapshot) -> String {
     let mut out = String::with_capacity(1024);
     for (name, v) in &metrics.counters {
+        let raw = name;
         let name = prom_name(&format!("sqm_{name}"));
-        out.push_str(&format!("# TYPE {name} counter\n{name} {v}\n"));
+        out.push_str(&format!(
+            "# HELP {name} Process metrics registry counter `{raw}`.\n\
+             # TYPE {name} counter\n{name} {v}\n"
+        ));
     }
     for (name, v) in &metrics.gauges {
+        let raw = name;
         let name = prom_name(&format!("sqm_{name}"));
-        out.push_str(&format!("# TYPE {name} gauge\n{name} "));
+        out.push_str(&format!(
+            "# HELP {name} Process metrics registry gauge `{raw}`.\n\
+             # TYPE {name} gauge\n{name} "
+        ));
         json::write_f64(&mut out, *v);
         out.push('\n');
     }
     for (name, h) in &metrics.histograms {
+        let raw = name;
         let name = prom_name(&format!("sqm_{name}"));
-        out.push_str(&format!("# TYPE {name} summary\n"));
+        out.push_str(&format!(
+            "# HELP {name} Process metrics registry histogram `{raw}` (quantile summary).\n\
+             # TYPE {name} summary\n"
+        ));
         for (q, v) in [("0.5", h.p50), ("0.9", h.p90), ("0.99", h.p99)] {
             out.push_str(&format!("{name}{{quantile=\"{q}\"}} "));
             json::write_f64(&mut out, v);
@@ -1548,6 +1598,71 @@ mod tests {
         let mut sorted = reg_lines.clone();
         sorted.sort_unstable();
         assert_eq!(reg_lines, sorted);
+    }
+
+    #[test]
+    fn every_prometheus_type_line_has_a_matching_help_line() {
+        // Populate every exported family: per-party, per-phase, run gauges,
+        // a stall, and all three registry metric kinds.
+        let cfg = test_config();
+        let c = detached(&cfg, 3, 5);
+        for party in 0..3 {
+            c.publish(
+                LiveEvent::fault(
+                    party,
+                    4,
+                    (party + 1) % 3,
+                    "delay",
+                    if party == 1 { 0.05 } else { 0.001 },
+                )
+                .unwrap(),
+            );
+            c.publish(LiveEvent::round(
+                party,
+                4,
+                "mul",
+                Duration::from_millis(50),
+                2,
+                64,
+            ));
+        }
+        c.pump();
+        let mut snap = c.snapshot();
+        assert!(!snap.stalls.is_empty(), "need a stall line in the fixture");
+        snap.metrics.counters.insert("mpc.rounds".to_string(), 7);
+        snap.metrics.gauges.insert("queue.depth".to_string(), 1.5);
+        snap.metrics.histograms.insert(
+            "round.wall".to_string(),
+            crate::metrics::HistogramSummary::default(),
+        );
+        let text = render_prometheus(&snap);
+        let lines: Vec<&str> = text.lines().collect();
+        let mut families = 0usize;
+        for (i, line) in lines.iter().enumerate() {
+            if let Some(rest) = line.strip_prefix("# TYPE ") {
+                families += 1;
+                let name = rest.split_whitespace().next().unwrap();
+                let help_name = i
+                    .checked_sub(1)
+                    .and_then(|p| lines[p].strip_prefix("# HELP "))
+                    .and_then(|r| r.split_whitespace().next());
+                assert_eq!(
+                    help_name,
+                    Some(name),
+                    "# TYPE without an immediately preceding matching # HELP: {line}"
+                );
+            }
+        }
+        // Scalars (7) + party families (4) + phase families (2) + stall +
+        // registry counter/gauge/summary (3).
+        assert!(families >= 17, "only {families} TYPE lines in:\n{text}");
+        assert!(text.contains("# TYPE sqm_live_stall gauge"));
+        // The shared registry renderer (the serve /metrics tail) carries
+        // HELP on its own too.
+        let registry = render_metrics_prometheus(&snap.metrics);
+        assert!(registry.contains("# HELP sqm_mpc_rounds "), "{registry}");
+        assert!(registry.contains("# HELP sqm_queue_depth "));
+        assert!(registry.contains("# HELP sqm_round_wall "));
     }
 
     #[test]

@@ -349,7 +349,10 @@ pub struct SpanCollector {
 
 impl SpanCollector {
     pub fn new(config: SpanConfig) -> SpanCollector {
-        assert!(config.history_buckets > 0, "history_buckets must be positive");
+        assert!(
+            config.history_buckets > 0,
+            "history_buckets must be positive"
+        );
         assert!(
             config.bucket_width > Duration::ZERO,
             "bucket_width must be positive"

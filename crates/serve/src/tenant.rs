@@ -368,7 +368,7 @@ impl Tenant {
             &format!("serve.request_phase_ns.encode.{}", self.config.name),
             encode_wall.as_nanos() as f64,
         );
-        if let Some(c) = ctx.as_deref_mut() {
+        if let Some(c) = ctx {
             c.add_child(EXEC, "encode", encode_wall);
         }
         Ok(reply)

@@ -17,17 +17,14 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use sqm_obs::span::{RequestOutcome, SpanConfig, EXEC, QUEUE, ROOT};
-use sqm_serve::{
-    run_load, LoadSpec, Reply, Request, Server, ServerConfig, Tenant, TenantConfig,
-};
+use sqm_serve::{run_load, LoadSpec, Reply, Request, Server, ServerConfig, Tenant, TenantConfig};
 
 fn records(n: usize, cols: usize, salt: u64) -> Vec<Vec<f64>> {
     (0..n)
         .map(|i| {
             (0..cols)
                 .map(|j| {
-                    ((i * cols + j) as f64 * 0.31 + salt as f64 * 0.17).sin()
-                        / (cols as f64).sqrt()
+                    ((i * cols + j) as f64 * 0.31 + salt as f64 * 0.17).sin() / (cols as f64).sqrt()
                 })
                 .collect()
         })
@@ -130,8 +127,16 @@ fn tracing_is_passive_results_bit_identical_on_vs_off() {
         (
             a.covariance.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
             b.covariance.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
-            (a.stats.total.rounds, a.stats.total.messages, a.stats.total.bytes),
-            (b.stats.total.rounds, b.stats.total.messages, b.stats.total.bytes),
+            (
+                a.stats.total.rounds,
+                a.stats.total.messages,
+                a.stats.total.bytes,
+            ),
+            (
+                b.stats.total.rounds,
+                b.stats.total.messages,
+                b.stats.total.bytes,
+            ),
         )
     };
     assert_eq!(run(true), run(false), "tracing must not perturb results");

@@ -17,6 +17,7 @@ use sqm_core::quantize::quantize_vec;
 use sqm_field::{FieldChoice, PrimeField, M127, M61};
 use sqm_linalg::Matrix;
 use sqm_mpc::{MpcEngine, RunStats, TransportError};
+use sqm_obs::prof;
 use sqm_sampling::skellam::{sample_skellam, sample_skellam_symmetric};
 
 use crate::partition::ColumnPartition;
@@ -283,6 +284,12 @@ fn chunked_impl<F: PrimeField>(
         }
 
         ctx.set_phase("compute");
+        if prof::is_active() {
+            prof::set_batching_report(prof::BatchingReport::from_level_widths(
+                vec![upper_len],
+                p_clients,
+            ));
+        }
         let mut reduced = ctx.reduce_degree(&acc);
 
         ctx.set_phase("dp_noise");
@@ -291,6 +298,7 @@ fn chunked_impl<F: PrimeField>(
         let my_noise: Vec<F> = (0..upper_len)
             .map(|_| F::from_i128(sample_skellam(&mut nrng, local_mu) as i128))
             .collect();
+        prof::record("vfl;dp_noise;skellam_draw", 1, upper_len as u64);
         for contrib in ctx.share_all(&my_noise) {
             reduced = ctx.add(&reduced, &contrib);
         }
@@ -372,6 +380,15 @@ fn covariance_impl<F: PrimeField>(
                 locals.push(acc);
             }
         }
+        if prof::is_active() {
+            // The whole covariance is one independent-mul round of width
+            // n(n+1)/2: already maximally batched (ROADMAP item 1 would
+            // change nothing here, which the report makes measurable).
+            prof::set_batching_report(prof::BatchingReport::from_level_widths(
+                vec![upper_len],
+                p_clients,
+            ));
+        }
         let mut reduced = ctx.reduce_degree(&locals);
 
         // --- distributed Skellam noise (one round) ------------------------
@@ -381,6 +398,7 @@ fn covariance_impl<F: PrimeField>(
         let my_noise: Vec<F> = (0..upper_len)
             .map(|_| F::from_i128(sample_skellam(&mut nrng, local_mu) as i128))
             .collect();
+        prof::record("vfl;dp_noise;skellam_draw", 1, upper_len as u64);
         let noise_contribs = ctx.share_all(&my_noise);
         for contrib in noise_contribs {
             reduced = ctx.add(&reduced, &contrib);

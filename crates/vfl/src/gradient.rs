@@ -20,6 +20,7 @@ use sqm_core::quantize::quantize_vec;
 use sqm_field::{FieldChoice, PrimeField, M127, M61};
 use sqm_linalg::Matrix;
 use sqm_mpc::{MpcEngine, RunStats};
+use sqm_obs::prof;
 use sqm_sampling::rounding::stochastic_round;
 use sqm_sampling::skellam::sample_skellam;
 
@@ -221,6 +222,11 @@ fn gradient_impl<F: PrimeField>(
             }
             locals.push(acc);
         }
+        if prof::is_active() {
+            // One independent-mul round of width `d`: the gradient step is
+            // already maximally batched.
+            prof::set_batching_report(prof::BatchingReport::from_level_widths(vec![d], p_clients));
+        }
         let mut reduced = ctx.reduce_degree(&locals);
 
         // --- distributed Skellam noise --------------------------------------
@@ -230,6 +236,7 @@ fn gradient_impl<F: PrimeField>(
         let my_noise: Vec<F> = (0..d)
             .map(|_| F::from_i128(sample_skellam(&mut nrng, local_mu) as i128))
             .collect();
+        prof::record("vfl;dp_noise;skellam_draw", 1, d as u64);
         for contrib in ctx.share_all(&my_noise) {
             reduced = ctx.add(&reduced, &contrib);
         }

@@ -53,7 +53,9 @@ pub use session::{BudgetRefusal, ServerView, VflSession};
 pub use stream::{covariance_streaming_oracle, StreamCov};
 
 pub use sqm_mpc::net;
-pub use sqm_mpc::{CrashPoint, FaultSpec, LiveConfig, NetBackend, TcpOptions, TransportError};
+pub use sqm_mpc::{
+    CrashPoint, FaultSpec, LiveConfig, NetBackend, ProfConfig, TcpOptions, TransportError,
+};
 
 use std::time::Duration;
 
@@ -85,6 +87,12 @@ pub struct VflConfig {
     /// `/snapshot` HTTP endpoint, crash flight recorder. `None` (the
     /// default) publishes nothing; `RunStats` are bit-identical either way.
     pub live: Option<sqm_mpc::LiveConfig>,
+    /// Attach the deterministic cost profiler (see `sqm_obs::prof`) to the
+    /// MPC runs this config drives: collapsed-stack attribution of engine
+    /// traffic, degree reductions, Skellam draws, and the batching
+    /// opportunity report. `None` (the default) records nothing; release
+    /// bits and `RunStats` are bit-identical either way.
+    pub prof: Option<sqm_mpc::ProfConfig>,
 }
 
 impl VflConfig {
@@ -98,6 +106,7 @@ impl VflConfig {
             backend: NetBackend::InProcess,
             faults: None,
             live: None,
+            prof: None,
         }
     }
 
@@ -147,6 +156,13 @@ impl VflConfig {
         self
     }
 
+    /// Attach the deterministic cost profiler to the MPC runs this config
+    /// drives (see `sqm_obs::prof`).
+    pub fn with_prof(mut self, prof: Option<sqm_mpc::ProfConfig>) -> Self {
+        self.prof = prof;
+        self
+    }
+
     /// The `MpcConfig` every VFL protocol derives from this configuration.
     pub fn mpc_config(&self) -> MpcConfig {
         let config = MpcConfig::semi_honest(self.n_clients)
@@ -155,7 +171,8 @@ impl VflConfig {
             .with_trace(self.trace)
             .with_backend(self.backend.clone())
             .with_faults(self.faults.clone())
-            .with_live(self.live.clone());
+            .with_live(self.live.clone())
+            .with_prof(self.prof.clone());
         match self.trace_event_cap {
             Some(cap) => config.with_trace_event_cap(cap),
             None => config,

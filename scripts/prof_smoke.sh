@@ -1,0 +1,60 @@
+#!/usr/bin/env bash
+# Cost-profiler smoke test: run one Table II workload twice with `--prof`
+# at the same seed and assert the deterministic artifacts behave as
+# documented — the folded collapsed-stack file is non-empty and
+# byte-identical across the two runs, prof_<seed>.json parses as JSON and
+# carries no wall-clock field, and the flamegraph HTML is self-contained.
+# Outputs land in results/prof_smoke/ so CI can upload them as artifacts.
+#
+# Usage: scripts/prof_smoke.sh [seed]   (default 7)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SEED="${1:-7}"
+OUT=results/prof_smoke
+rm -rf "$OUT"
+mkdir -p "$OUT/run1" "$OUT/run2"
+
+cargo build --release -p sqm-experiments
+
+for run in run1 run2; do
+  (
+    cd "$OUT/$run"
+    # The binary writes results/prof_<seed>.* relative to its cwd.
+    timeout 420 "$(git rev-parse --show-toplevel)/target/release/table2_dim_scaling" \
+      --prof --seed "$SEED" --runs 1 >run.log 2>&1
+  )
+done
+
+FOLDED1="$OUT/run1/results/prof_$SEED.folded"
+FOLDED2="$OUT/run2/results/prof_$SEED.folded"
+JSON1="$OUT/run1/results/prof_$SEED.json"
+JSON2="$OUT/run2/results/prof_$SEED.json"
+HTML1="$OUT/run1/results/prof_$SEED.html"
+
+[ -s "$FOLDED1" ] || { echo "error: $FOLDED1 is empty or missing" >&2; exit 1; }
+cmp "$FOLDED1" "$FOLDED2" || {
+  echo "error: folded profiles differ across same-seed runs" >&2
+  diff "$FOLDED1" "$FOLDED2" >&2 || true
+  exit 1
+}
+cmp "$JSON1" "$JSON2" || {
+  echo "error: JSON profiles differ across same-seed runs" >&2
+  exit 1
+}
+python3 -m json.tool "$JSON1" >/dev/null
+if grep -q '"wall' "$JSON1"; then
+  echo "error: prof JSON must not carry wall-clock fields" >&2
+  exit 1
+fi
+grep -q 'engine;' "$FOLDED1" || { echo "error: no engine frames in folded output" >&2; exit 1; }
+grep -q 'skellam_draw' "$FOLDED1" || { echo "error: no Skellam frames in folded output" >&2; exit 1; }
+[ -s "$HTML1" ] || { echo "error: flamegraph HTML missing" >&2; exit 1; }
+if grep -q 'http://\|https://' "$HTML1"; then
+  echo "error: flamegraph HTML must be self-contained (no external refs)" >&2
+  exit 1
+fi
+
+# Flatten the byte-identical artifacts to the top of $OUT for upload.
+cp "$FOLDED1" "$JSON1" "$HTML1" "$OUT/"
+echo "prof smoke OK: $(wc -l <"$FOLDED1") folded frames, byte-identical across runs"

@@ -25,4 +25,11 @@ for bin in "${BINS[@]}"; do
   echo "=== $bin ==="
   cargo run --release -p sqm-experiments --bin "$bin" -- "${ARGS[@]:-}" | tee "results/$bin.txt"
 done
+
+# Cost profile of the headline timing workload: where the rounds, bytes and
+# field operations go, plus the batching-opportunity report. Deterministic
+# in the seed — results/prof_<seed>.{folded,json,html}.
+echo "=== profiling (table2_dim_scaling --prof) ==="
+cargo run --release -p sqm-experiments --bin table2_dim_scaling -- \
+  --prof "${ARGS[@]:-}" | tee "results/table2_dim_scaling.prof.txt"
 echo "All outputs written to results/."
