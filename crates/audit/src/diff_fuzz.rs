@@ -10,6 +10,9 @@
 //! across the execution axes —
 //!
 //! * **in-process channels** vs **loopback TCP** (`NetBackend`),
+//! * round-**batched** wire frames vs the **per-element** reference
+//!   framing (`Batching`) — the oracle replay is mode-independent because
+//!   both modes consume the documented RNG streams in the same order,
 //! * fault-free vs **delay** / **drop-with-retransmit** / **crash**
 //!   injection (`FaultSpec`),
 //! * BGW vs the **additive-sharing** engine on the linear column-sum
@@ -28,7 +31,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::Serialize;
 use sqm_linalg::Matrix;
-use sqm_mpc::{FaultSpec, NetBackend};
+use sqm_mpc::{Batching, FaultSpec, NetBackend};
 use sqm_vfl::{
     column_sums_skellam, column_sums_skellam_additive, covariance_quantized_oracle,
     try_covariance_skellam, ColumnPartition, VflConfig,
@@ -49,6 +52,8 @@ pub struct FuzzCase {
     pub mu: f64,
     /// `"in_process"` or `"tcp"`.
     pub backend: String,
+    /// `"batched"` (round-batched frames) or `"per_element"` (reference).
+    pub batching: String,
     /// `"none"`, `"delay"`, `"drop"` or `"crash"`.
     pub fault: String,
     /// `"match"`, `"typed_error"`, `"divergence"` or `"panic"`.
@@ -163,10 +168,19 @@ pub fn run_diff_fuzz(cfg: &AuditConfig) -> FuzzSummary {
         } else {
             "none"
         };
+        // Interleave the wire-framing axis with every other axis: the
+        // oracle predicts both modes, so a divergence pins the frame
+        // codec, not the protocol.
+        let (batching_name, batching) = if id % 3 == 2 {
+            ("per_element", Batching::Off)
+        } else {
+            ("batched", Batching::default())
+        };
 
         let mut vfl_cfg = VflConfig::fast(n_clients)
             .with_seed(seed)
-            .with_backend(backend);
+            .with_backend(backend)
+            .with_batching(batching);
         vfl_cfg = match fault {
             "delay" => vfl_cfg.with_faults(
                 FaultSpec::seeded(seed ^ 0xFA)
@@ -193,6 +207,7 @@ pub fn run_diff_fuzz(cfg: &AuditConfig) -> FuzzSummary {
             gamma,
             mu,
             backend: backend_name.to_string(),
+            batching: batching_name.to_string(),
             fault: fault.to_string(),
             outcome: String::new(),
             error_kind: None,
@@ -257,6 +272,11 @@ mod tests {
             assert!(has(&|c| c.fault == fault), "no {fault} case");
         }
         assert!(has(&|c| c.workload == "column_sums"));
+        // The wire-framing axis crosses both backends and the fault axis.
+        assert!(has(&|c| c.batching == "per_element"));
+        assert!(has(&|c| c.batching == "batched"));
+        assert!(has(&|c| c.batching == "per_element" && c.backend == "tcp"));
+        assert!(has(&|c| c.batching == "per_element" && c.fault != "none"));
         // Every crash case surfaced the root-cause error.
         for c in summary.results.iter().filter(|c| c.fault == "crash") {
             assert_eq!(c.outcome, "typed_error", "{c:?}");

@@ -40,8 +40,8 @@ use sqm::obs::{metrics, MessageDag, SpanConfig};
 use sqm::sampling::skellam::sample_skellam_vec;
 use sqm::serve::{load_tenant_config, run_load, LoadSpec, Reply, Request, Server, ServerConfig};
 use sqm::vfl::{
-    covariance_skellam, gradient_sum_skellam, ColumnPartition, LiveConfig, NetBackend, ProfConfig,
-    VflConfig,
+    covariance_skellam, gradient_sum_skellam, Batching, ColumnPartition, LiveConfig, NetBackend,
+    ProfConfig, VflConfig,
 };
 
 use crate::json::JsonValue;
@@ -520,6 +520,29 @@ pub fn run_vfl(tier: Tier) -> BenchArtifact {
         sqm::obs::prof::reset();
     }
 
+    // Batched-vs-reference message accounting at the paper's n = 31
+    // covariance shape (reduce width n(n+1)/2 = 496 at P = 4). The
+    // per-element reference counts one message per field element, so the
+    // exact-diffed `messages` of this entry pair pins the realized
+    // batching win — a frame-codec regression that quietly splits frames
+    // fails the gate even if wall-clock is unchanged. The shape is fixed
+    // across tiers: it is the acceptance point, not a load knob.
+    let (bm, bn, bp) = (40usize, 31usize, 4usize);
+    for (mode_name, batching) in [
+        ("batched", Batching::default()),
+        ("unbatched", Batching::Off),
+    ] {
+        let name = format!("covariance_{mode_name}_m{bm}_n{bn}_p{bp}");
+        entries.push(measure(&name, tier, move || {
+            let data = SpectralSpec::new(bm, bn).with_seed(35).generate();
+            let partition = ColumnPartition::even(bn, bp);
+            let cfg = VflConfig::new(bp).with_seed(36).with_batching(batching);
+            let out = covariance_skellam(&data, &partition, 18.0, 100.0, &cfg);
+            black_box(&out.c_hat);
+            RunCost::from_stats(&out.stats)
+        }));
+    }
+
     BenchArtifact::new("vfl", tier, entries)
 }
 
@@ -719,6 +742,32 @@ mod tests {
         assert_eq!(back.entries.len(), 1);
         assert_eq!(back.entries[0].name, "noop");
         assert_eq!(back.entries[0].median_ns, artifact.entries[0].median_ns);
+    }
+
+    #[test]
+    fn batching_win_meets_the_acceptance_floor() {
+        // The bench pair's exact-diffed counters must show the reduce
+        // width: at n = 31, P = 4 the per-element reference sends >= 100x
+        // the messages of the batched default, for identical payloads.
+        let data = SpectralSpec::new(40, 31).with_seed(35).generate();
+        let partition = ColumnPartition::even(31, 4);
+        let run = |batching: Batching| {
+            let cfg = VflConfig::fast(4).with_seed(36).with_batching(batching);
+            covariance_skellam(&data, &partition, 18.0, 100.0, &cfg)
+        };
+        let batched = run(Batching::default());
+        let reference = run(Batching::Off);
+        assert_eq!(batched.c_hat, reference.c_hat);
+        assert_eq!(batched.stats.total.bytes, reference.stats.total.bytes);
+        assert_eq!(reference.stats.total.messages, reference.stats.total.elems);
+        let ratio = reference.stats.total.messages as f64 / batched.stats.total.messages as f64;
+        assert!(
+            ratio >= 100.0,
+            "batching win x{ratio:.0} below the 100x acceptance floor \
+             ({} vs {} messages)",
+            reference.stats.total.messages,
+            batched.stats.total.messages
+        );
     }
 
     #[test]

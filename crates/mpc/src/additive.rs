@@ -96,10 +96,12 @@ impl AdditiveEngine {
             .as_ref()
             .map(|lc| live::begin_run(lc, n, self.config.seed));
         type PartyResult<T> = (T, PartyStats, Option<sqm_obs::trace::PartyTrace>);
+        let frame_mode = self.config.batching.frame_mode();
         let results: Vec<Result<PartyResult<T>, TransportError>> = std::thread::scope(|s| {
             let handles: Vec<_> = endpoints
                 .into_iter()
-                .map(|endpoint| {
+                .map(|mut endpoint| {
+                    endpoint.set_frame_mode(frame_mode);
                     let id = endpoint.id();
                     let config = self.config.clone();
                     s.spawn(move || {
@@ -271,7 +273,8 @@ impl<F: PrimeField> AdditiveCtx<F> {
             Err(e) => std::panic::panic_any(PartyAbort(e)),
         };
         let (messages, bytes) = (outcome.messages, outcome.bytes);
-        self.stats.record_round(&self.phase, messages, bytes);
+        self.stats
+            .record_round(&self.phase, messages, bytes, outcome.elems);
         if let Some((t0, round)) = prof_round {
             let wall_ns = t0.elapsed().as_nanos() as u64;
             prof::record_round(

@@ -211,6 +211,25 @@ impl<F: PrimeField> Circuit<F> {
         widths
     }
 
+    /// The width-parallel gate schedule: `schedule[l-1]` lists the `Mul`
+    /// gate indices the MPC evaluator batches into the level-`l` degree
+    /// reduction, in gate order. One forward pass over the gate list,
+    /// computed once per evaluation instead of one rescan per level; the
+    /// per-level lengths are exactly [`Circuit::mul_level_widths`].
+    fn mul_schedule(&self) -> Vec<Vec<usize>> {
+        let mut schedule: Vec<Vec<usize>> = Vec::new();
+        for (i, gate) in self.gates.iter().enumerate() {
+            if matches!(gate, Gate::Mul(_, _)) {
+                let level = self.mul_level[i] as usize;
+                if schedule.len() < level {
+                    schedule.resize_with(level, Vec::new);
+                }
+                schedule[level - 1].push(i);
+            }
+        }
+        schedule
+    }
+
     /// The batching-opportunity analysis for this circuit evaluated over
     /// `n_parties` parties: the per-round width histogram and the
     /// message-count reduction round-batched multiplication frames
@@ -294,7 +313,6 @@ impl<F: PrimeField> Circuit<F> {
         let contributions = ctx.share_all_uneven(my_inputs, &self.input_counts);
 
         let mut values: Vec<Option<F>> = vec![None; self.gates.len()];
-        let max_level = self.gates.len().min(u32::MAX as usize) as u32;
 
         // Evaluate all local (non-mul) gates whose operands are ready.
         // Gates are topologically ordered, so one forward pass suffices.
@@ -322,33 +340,44 @@ impl<F: PrimeField> Circuit<F> {
             }
         };
 
+        // Width-parallel gate scheduling: the mul gates of each sequential
+        // level are grouped once up front; each level's independent local
+        // products are computed (across the engine's worker pool when the
+        // batch is wide) and shared/reduced in a single round.
+        let schedule = self.mul_schedule();
         local_pass(&mut values);
-        for level in 1..=max_level {
-            // Collect the mul gates at this level.
-            let batch: Vec<usize> = self
-                .gates
-                .iter()
-                .enumerate()
-                .filter(|&(i, g)| matches!(g, Gate::Mul(_, _)) && self.mul_level[i] == level)
-                .map(|(i, _)| i)
-                .collect();
+        for (li, batch) in schedule.iter().enumerate() {
+            let level = li + 1;
             if batch.is_empty() {
-                if self.mul_level.iter().all(|&l| l < level) {
-                    break;
-                }
                 continue;
             }
-            let locals: Vec<F> = batch
-                .iter()
-                .map(|&i| match self.gates[i] {
-                    Gate::Mul(a, b) => {
-                        let x = values[a.0].expect("mul operand not ready");
-                        let y = values[b.0].expect("mul operand not ready");
-                        x * y
-                    }
-                    _ => unreachable!(),
-                })
-                .collect();
+            let gate_product = |i: usize, values: &[Option<F>]| match self.gates[i] {
+                Gate::Mul(a, b) => {
+                    let x = values[a.0].expect("mul operand not ready");
+                    let y = values[b.0].expect("mul operand not ready");
+                    x * y
+                }
+                _ => unreachable!("mul schedule lists only Mul gates"),
+            };
+            let locals: Vec<F> = match ctx.batch_options() {
+                Some(opts) if opts.parallel(batch.len()) => {
+                    let mut out = vec![F::ZERO; batch.len()];
+                    let chunk = batch.len().div_ceil(opts.workers);
+                    std::thread::scope(|s| {
+                        let values = &values;
+                        let gate_product = &gate_product;
+                        for (slice, idxs) in out.chunks_mut(chunk).zip(batch.chunks(chunk)) {
+                            s.spawn(move || {
+                                for (o, &i) in slice.iter_mut().zip(idxs) {
+                                    *o = gate_product(i, values);
+                                }
+                            });
+                        }
+                    });
+                    out
+                }
+                _ => batch.iter().map(|&i| gate_product(i, &values)).collect(),
+            };
             if profiling {
                 prof::record(
                     &format!("circuit;mul;layer{level:04}"),
@@ -534,6 +563,92 @@ mod tests {
         assert_eq!(report.n_mul_gates, sample_circuit().n_mul_gates());
         assert_eq!(report.mul_depth as u32, sample_circuit().mul_depth());
         assert_eq!(report.messages_unbatched, report.messages_batched);
+    }
+
+    #[test]
+    fn mul_schedule_widths_match_batching_report_predictions() {
+        // The widths the evaluator actually batches must equal the
+        // BatchingReport's per-level predictions, gate for gate.
+        let circuits: Vec<Circuit<M61>> = vec![
+            sample_circuit(),
+            {
+                let mut b = CircuitBuilder::<M61>::new(1);
+                let factors: Vec<Wire> = (0..8).map(|_| b.input(0)).collect();
+                let p = b.product(&factors);
+                b.output(p);
+                b.build()
+            },
+            {
+                let mut b = CircuitBuilder::<M61>::new(2);
+                for _ in 0..16 {
+                    let x = b.input(0);
+                    let y = b.input(1);
+                    let p = b.mul(x, y);
+                    b.output(p);
+                }
+                b.build()
+            },
+        ];
+        for c in circuits {
+            let schedule = c.mul_schedule();
+            let widths: Vec<usize> = schedule.iter().map(Vec::len).collect();
+            assert_eq!(widths, c.mul_level_widths());
+            assert_eq!(widths, c.batching_report(4).level_widths);
+            assert_eq!(widths.iter().sum::<usize>(), c.n_mul_gates());
+            // Gate order within a level is ascending (deterministic batch).
+            for batch in &schedule {
+                assert!(batch.windows(2).all(|w| w[0] < w[1]));
+            }
+        }
+    }
+
+    #[test]
+    fn eval_mpc_identical_across_batching_modes() {
+        use crate::engine::Batching;
+        // Deep + wide circuit: (prod of 8 factors) plus 16 independent
+        // pair-products, evaluated under the batched default, a stressed
+        // worker pool, and the per-element reference mode.
+        let mut b = CircuitBuilder::<M61>::new(3);
+        let factors: Vec<Wire> = (0..8).map(|k| b.input(k % 3)).collect();
+        let p = b.product(&factors);
+        b.output(p);
+        for _ in 0..16 {
+            let x = b.input(0);
+            let y = b.input(1);
+            let q = b.mul(x, y);
+            b.output(q);
+        }
+        let c = b.build();
+        let inputs_of = |id: usize| -> Vec<M61> {
+            (0..c.input_counts()[id] as u64)
+                .map(|k| M61::from_u64(2 + k % 5))
+                .collect()
+        };
+        let base = MpcConfig::semi_honest(3).with_latency(Duration::ZERO);
+        let run = |cfg: MpcConfig| {
+            let c = c.clone();
+            MpcEngine::new(cfg).run::<M61, _, _>(move |ctx| {
+                let shares = c.eval_mpc(ctx, &inputs_of(ctx.id));
+                ctx.open(&shares)
+            })
+        };
+        let batched = run(base.clone());
+        let reference = run(base.clone().with_batching(Batching::Off));
+        let stressed =
+            run(base
+                .clone()
+                .with_batching(Batching::PerRound(crate::engine::BatchOptions {
+                    workers: 3,
+                    min_parallel_width: 1,
+                })));
+        assert_eq!(batched.outputs, reference.outputs);
+        assert_eq!(batched.outputs, stressed.outputs);
+        assert_eq!(batched.stats.total.rounds, reference.stats.total.rounds);
+        assert_eq!(batched.stats.total.bytes, reference.stats.total.bytes);
+        assert_eq!(batched.stats.total.elems, reference.stats.total.elems);
+        assert_eq!(reference.stats.total.messages, reference.stats.total.elems);
+        let expect = c.eval_plain(&[inputs_of(0), inputs_of(1), inputs_of(2)]);
+        assert_eq!(batched.outputs[0], expect);
     }
 
     #[test]

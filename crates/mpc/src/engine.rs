@@ -22,15 +22,92 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sqm_field::PrimeField;
 use sqm_net::fault::FaultSpec;
-use sqm_net::transport::{build_mesh, NetBackend, Transport};
+use sqm_net::transport::{build_mesh, FrameMode, NetBackend, Transport};
 use sqm_net::{TraceHeader, TransportError};
 use sqm_obs::live::{self, LiveConfig};
 use sqm_obs::metrics;
 use sqm_obs::prof::{self, ProfConfig};
 use sqm_obs::trace::{MsgStamp, PartyRecorder, Trace};
 
-use crate::shamir::{lagrange_at_zero, share_secret};
+use crate::shamir::{lagrange_at_zero, share_secret, share_secrets_batch};
 use crate::stats::{merge, PartyStats, RunStats};
+
+/// Tuning knobs for the round-batched execution path.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BatchOptions {
+    /// Size of the per-party worker pool that wide batches of polynomial
+    /// evaluations and Lagrange recombinations split across. `1` keeps all
+    /// arithmetic on the party thread.
+    pub workers: usize,
+    /// Minimum batch width (field elements) before the worker pool is
+    /// engaged; narrower batches run inline, where thread hand-off would
+    /// cost more than it saves.
+    pub min_parallel_width: usize,
+}
+
+impl Default for BatchOptions {
+    /// Sized for the SPMD engine, where every party is already a thread:
+    /// the pool only helps once the machine has cores to spare beyond the
+    /// party threads, so the default halves the available parallelism and
+    /// caps it at 4 — on small containers (1-2 cores) it degenerates to
+    /// `workers: 1` and all arithmetic stays inline. Results are
+    /// bit-identical for every worker count; this knob is wall-clock only.
+    fn default() -> Self {
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        BatchOptions {
+            workers: (cores / 2).clamp(1, 4),
+            min_parallel_width: 1024,
+        }
+    }
+}
+
+impl BatchOptions {
+    /// Should a batch of `width` elements use the worker pool?
+    pub(crate) fn parallel(&self, width: usize) -> bool {
+        self.workers > 1 && width >= self.min_parallel_width.max(2)
+    }
+}
+
+/// How the engine maps a round's field elements onto wire frames and
+/// schedules the local arithmetic of that round.
+///
+/// Both modes run the **same** synchronous protocol: identical rounds,
+/// identical payload bytes, identical RNG streams, identical opened values.
+/// They differ only in wire framing — and therefore in the `messages`
+/// column of [`RunStats`] and in the physical frame count over TCP — and in
+/// whether wide batches may use a worker pool. The `batch_equivalence`
+/// suite in `sqm-vfl` pins this contract down bit-for-bit.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Batching {
+    /// Reference mode: one wire message per field element
+    /// ([`FrameMode::PerElement`]) and strictly sequential per-secret
+    /// arithmetic — the classical one-message-per-element cost model that
+    /// the batched path is diffed against.
+    Off,
+    /// Round-batched mode (the default): one frame per link per round
+    /// carrying all of that round's elements, with wide batches of
+    /// polynomial evaluations split across a small worker pool while the
+    /// transport drives the mesh.
+    PerRound(BatchOptions),
+}
+
+impl Default for Batching {
+    fn default() -> Self {
+        Batching::PerRound(BatchOptions::default())
+    }
+}
+
+impl Batching {
+    /// The wire framing this mode selects on every transport endpoint.
+    pub fn frame_mode(&self) -> FrameMode {
+        match self {
+            Batching::Off => FrameMode::PerElement,
+            Batching::PerRound(_) => FrameMode::PerRound,
+        }
+    }
+}
 
 /// Configuration of a BGW session.
 #[derive(Clone, Debug)]
@@ -72,6 +149,11 @@ pub struct MpcConfig {
     /// costs one relaxed atomic load per hook; protocol bits and
     /// [`RunStats`] are identical either way.
     pub prof: Option<ProfConfig>,
+    /// Wire framing and gate-scheduling mode (see [`Batching`]). The
+    /// round-batched default and the per-element reference mode are
+    /// protocol-equivalent; only the message accounting, the physical TCP
+    /// frame count, and local parallelism differ.
+    pub batching: Batching,
 }
 
 impl MpcConfig {
@@ -100,6 +182,7 @@ impl MpcConfig {
             faults: None,
             live: None,
             prof: None,
+            batching: Batching::default(),
         }
     }
 
@@ -153,8 +236,17 @@ impl MpcConfig {
         self
     }
 
+    /// Select the wire framing / gate-scheduling mode (see [`Batching`]).
+    pub fn with_batching(mut self, batching: Batching) -> Self {
+        self.batching = batching;
+        self
+    }
+
     fn validate(&self) {
         assert!(self.n_parties >= 2, "need at least 2 parties");
+        if let Batching::PerRound(opts) = self.batching {
+            assert!(opts.workers >= 1, "batching needs at least one worker");
+        }
         assert!(
             2 * self.threshold < self.n_parties,
             "BGW multiplication requires 2t < n (t={}, n={})",
@@ -345,11 +437,13 @@ impl MpcEngine {
 
         type PartyResult<T, E> = (T, PartyStats, Option<sqm_obs::trace::PartyTrace>, E);
         type Endpoint<F> = Box<dyn Transport<F>>;
+        let frame_mode = self.config.batching.frame_mode();
         let results: Vec<Result<PartyResult<T, Endpoint<F>>, TransportError>> =
             std::thread::scope(|s| {
                 let handles: Vec<_> = endpoints
                     .into_iter()
-                    .map(|endpoint| {
+                    .map(|mut endpoint| {
+                        endpoint.set_frame_mode(frame_mode);
                         let id = endpoint.id();
                         let config = self.config.clone();
                         let lagrange = lagrange_all.clone();
@@ -366,6 +460,7 @@ impl MpcEngine {
                                 stats: PartyStats::default(),
                                 recorder: make_recorder(&config, id),
                                 lagrange_all: lagrange,
+                                batching: config.batching,
                                 phase: "default".to_string(),
                                 phase_started: Instant::now(),
                                 run_id: config.seed,
@@ -481,6 +576,7 @@ pub struct PartyCtx<F: PrimeField> {
     stats: PartyStats,
     recorder: Option<PartyRecorder>,
     lagrange_all: Vec<F>,
+    batching: Batching,
     phase: String,
     phase_started: Instant,
     /// Causal stamping state (active only when tracing): run identifier
@@ -575,7 +671,8 @@ impl<F: PrimeField> PartyCtx<F> {
             Err(e) => std::panic::panic_any(PartyAbort(e)),
         };
         let (messages, bytes) = (outcome.messages, outcome.bytes);
-        self.stats.record_round(&self.phase, messages, bytes);
+        self.stats
+            .record_round(&self.phase, messages, bytes, outcome.elems);
         if let Some((t0, round)) = prof_round {
             let wall_ns = t0.elapsed().as_nanos() as u64;
             prof::record_round(
@@ -662,6 +759,80 @@ impl<F: PrimeField> PartyCtx<F> {
         &mut self.rng
     }
 
+    /// The worker-pool options of the round-batched mode, or `None` in the
+    /// per-element reference mode. Callers scheduling their own wide local
+    /// arithmetic (e.g. the circuit evaluator's gate layers) use this to
+    /// match the engine's parallelism policy.
+    pub fn batch_options(&self) -> Option<BatchOptions> {
+        match self.batching {
+            Batching::Off => None,
+            Batching::PerRound(opts) => Some(opts),
+        }
+    }
+
+    /// Share a whole vector: party-major shares of `values`. Dispatches on
+    /// the batching mode — the reference mode keeps the original
+    /// one-`share_secret`-per-value loop; the round-batched mode draws the
+    /// identical RNG stream but evaluates the share polynomials through the
+    /// width-parallel batch kernel. Identical output by construction.
+    fn share_vector(&mut self, values: &[F]) -> Vec<Vec<F>> {
+        match self.batching {
+            Batching::Off => {
+                let mut per_party: Vec<Vec<F>> = vec![Vec::with_capacity(values.len()); self.n];
+                for &v in values {
+                    let shares = share_secret(&mut self.rng, v, self.t, self.n);
+                    for (j, s) in shares.into_iter().enumerate() {
+                        per_party[j].push(s);
+                    }
+                }
+                per_party
+            }
+            Batching::PerRound(opts) => share_secrets_batch(
+                &mut self.rng,
+                values,
+                self.t,
+                self.n,
+                opts.workers,
+                opts.min_parallel_width,
+            ),
+        }
+    }
+
+    /// Lagrange recombination `out[k] = sum_i lambda_i * incoming[i][k]`,
+    /// split across the worker pool when the batch is wide and the
+    /// round-batched mode is on. The per-element accumulation order over
+    /// `i` is unchanged by the chunking, so both paths are bit-identical.
+    fn recombine(&self, incoming: &[Vec<F>], len: usize, what: &str) -> Vec<F> {
+        for (i, inc) in incoming.iter().enumerate() {
+            assert_eq!(inc.len(), len, "{what}: party {i} sent wrong share count");
+        }
+        let mut out = vec![F::ZERO; len];
+        // Capture only the weight table, not `self`: the endpoint behind
+        // `self` is deliberately not shared with the worker threads.
+        let lagrange_all = &self.lagrange_all;
+        let accumulate = |out: &mut [F], offset: usize| {
+            for (i, inc) in incoming.iter().enumerate() {
+                let li = lagrange_all[i];
+                for (o, &s) in out.iter_mut().zip(&inc[offset..]) {
+                    *o += li * s;
+                }
+            }
+        };
+        match self.batching {
+            Batching::PerRound(opts) if opts.parallel(len) => {
+                let chunk = len.div_ceil(opts.workers);
+                std::thread::scope(|s| {
+                    let accumulate = &accumulate;
+                    for (ci, slice) in out.chunks_mut(chunk).enumerate() {
+                        s.spawn(move || accumulate(slice, ci * chunk));
+                    }
+                });
+            }
+            _ => accumulate(&mut out, 0),
+        }
+        out
+    }
+
     // ----- input sharing ---------------------------------------------------
 
     /// Share a vector of secrets owned by `owner`. The owner passes
@@ -676,14 +847,7 @@ impl<F: PrimeField> PartyCtx<F> {
                 len,
                 "owner's values do not match the declared length"
             );
-            let mut per_party: Vec<Vec<F>> = vec![Vec::with_capacity(len); self.n];
-            for &v in values {
-                let shares = share_secret(&mut self.rng, v, self.t, self.n);
-                for (j, s) in shares.into_iter().enumerate() {
-                    per_party[j].push(s);
-                }
-            }
-            outgoing = per_party;
+            outgoing = self.share_vector(values);
         } else {
             assert!(
                 values.is_none(),
@@ -717,13 +881,7 @@ impl<F: PrimeField> PartyCtx<F> {
             "party {}: declared length mismatch",
             self.id
         );
-        let mut per_party: Vec<Vec<F>> = vec![Vec::with_capacity(my_values.len()); self.n];
-        for &v in my_values {
-            let shares = share_secret(&mut self.rng, v, self.t, self.n);
-            for (j, s) in shares.into_iter().enumerate() {
-                per_party[j].push(s);
-            }
-        }
+        let per_party = self.share_vector(my_values);
         let incoming = self.exchange(per_party);
         for (i, inc) in incoming.iter().enumerate() {
             assert_eq!(
@@ -792,24 +950,10 @@ impl<F: PrimeField> PartyCtx<F> {
             );
         }
         // Re-share each local value with a fresh degree-t polynomial.
-        let mut per_party: Vec<Vec<F>> = vec![Vec::with_capacity(len); self.n];
-        for &v in d {
-            let shares = share_secret(&mut self.rng, v, self.t, self.n);
-            for (j, s) in shares.into_iter().enumerate() {
-                per_party[j].push(s);
-            }
-        }
+        let per_party = self.share_vector(d);
         let incoming = self.exchange(per_party);
         // New share = sum_i lambda_i * (party i's re-share of its value).
-        let mut out = vec![F::ZERO; len];
-        for (i, inc) in incoming.iter().enumerate() {
-            assert_eq!(inc.len(), len, "degree reduction: party {i} misbehaved");
-            let li = self.lagrange_all[i];
-            for (o, &s) in out.iter_mut().zip(inc) {
-                *o += li * s;
-            }
-        }
-        out
+        self.recombine(&incoming, len, "degree reduction")
     }
 
     /// `[a] * [b]` element-wise: local products followed by one batched
@@ -920,16 +1064,7 @@ impl<F: PrimeField> PartyCtx<F> {
             );
         }
         let incoming = self.exchange(vec![shares.to_vec(); self.n]);
-        let len = shares.len();
-        let mut out = vec![F::ZERO; len];
-        for (i, inc) in incoming.iter().enumerate() {
-            assert_eq!(inc.len(), len, "open: party {i} sent wrong share count");
-            let li = self.lagrange_all[i];
-            for (o, &s) in out.iter_mut().zip(inc) {
-                *o += li * s;
-            }
-        }
-        out
+        self.recombine(&incoming, shares.len(), "open")
     }
 }
 
@@ -1254,6 +1389,7 @@ mod tests {
             faults: None,
             live: None,
             prof: None,
+            batching: Batching::default(),
         });
     }
 
@@ -1634,6 +1770,121 @@ mod tests {
             ctx.open(&x)
         });
         assert!(run.trace.is_none());
+    }
+
+    #[test]
+    fn per_element_reference_mode_is_bit_identical_except_messages() {
+        // Batching::Off reframes each round as one message per element but
+        // must not change anything else: same outputs, rounds, bytes, and
+        // element counts; `messages` collapses to the element count.
+        let program = |ctx: &mut PartyCtx<M61>| {
+            ctx.set_phase("input");
+            let a = ctx.share_input(
+                0,
+                (ctx.id == 0)
+                    .then(|| {
+                        (0..300)
+                            .map(|k| M61::from_i128(k - 150))
+                            .collect::<Vec<_>>()
+                    })
+                    .as_deref(),
+                300,
+            );
+            ctx.set_phase("mul");
+            let sq = ctx.mul(&a, &a);
+            ctx.set_phase("open");
+            ctx.open(&sq)
+        };
+        let base = MpcConfig::semi_honest(4).with_latency(Duration::ZERO);
+        for backend in [NetBackend::InProcess, NetBackend::tcp()] {
+            let batched = MpcEngine::new(base.clone().with_backend(backend.clone()))
+                .run::<M61, _, _>(program);
+            let reference = MpcEngine::new(
+                base.clone()
+                    .with_backend(backend.clone())
+                    .with_batching(Batching::Off),
+            )
+            .run::<M61, _, _>(program);
+            assert_eq!(batched.outputs, reference.outputs, "{backend:?}");
+            assert_eq!(
+                batched.stats.total.rounds, reference.stats.total.rounds,
+                "{backend:?}"
+            );
+            assert_eq!(
+                batched.stats.total.bytes, reference.stats.total.bytes,
+                "{backend:?}"
+            );
+            assert_eq!(
+                batched.stats.total.elems, reference.stats.total.elems,
+                "{backend:?}"
+            );
+            // In the reference mode every element is its own message.
+            assert_eq!(
+                reference.stats.total.messages, reference.stats.total.elems,
+                "{backend:?}"
+            );
+            // The batched path frames each link's round in one message, so
+            // it sends strictly fewer messages on this multi-element run.
+            assert!(
+                batched.stats.total.messages < reference.stats.total.messages,
+                "{backend:?}: {} !< {}",
+                batched.stats.total.messages,
+                reference.stats.total.messages
+            );
+            // Per-phase accounting splits the same way.
+            for phase in ["input", "mul", "open"] {
+                let b = &batched.stats.phases[phase];
+                let r = &reference.stats.phases[phase];
+                assert_eq!(b.rounds, r.rounds, "{backend:?} {phase}");
+                assert_eq!(b.bytes, r.bytes, "{backend:?} {phase}");
+                assert_eq!(b.elems, r.elems, "{backend:?} {phase}");
+                assert_eq!(r.messages, r.elems, "{backend:?} {phase}");
+            }
+        }
+    }
+
+    #[test]
+    fn worker_pool_width_does_not_change_results() {
+        // Any worker count / parallelism threshold must produce the exact
+        // same run: the RNG draws are serialized before the pool fans out.
+        let program = |ctx: &mut PartyCtx<M61>| {
+            let a = ctx.share_input(
+                0,
+                (ctx.id == 0)
+                    .then(|| (0..777u64).map(M61::from_u64).collect::<Vec<_>>())
+                    .as_deref(),
+                777,
+            );
+            let sq = ctx.mul(&a, &a);
+            ctx.open(&sq)
+        };
+        let base = MpcConfig::semi_honest(5).with_latency(Duration::ZERO);
+        let golden = MpcEngine::new(base.clone()).run::<M61, _, _>(program);
+        for opts in [
+            BatchOptions {
+                workers: 1,
+                min_parallel_width: 1,
+            },
+            BatchOptions {
+                workers: 2,
+                min_parallel_width: 0,
+            },
+            BatchOptions {
+                workers: 7,
+                min_parallel_width: 10,
+            },
+            BatchOptions {
+                workers: 4,
+                min_parallel_width: 1_000_000,
+            },
+        ] {
+            let run = MpcEngine::new(base.clone().with_batching(Batching::PerRound(opts)))
+                .run::<M61, _, _>(program);
+            assert_eq!(run.outputs, golden.outputs, "{opts:?}");
+            assert_eq!(run.stats.total.messages, golden.stats.total.messages);
+            assert_eq!(run.stats.total.bytes, golden.stats.total.bytes);
+            assert_eq!(run.stats.total.elems, golden.stats.total.elems);
+        }
     }
 
     #[test]

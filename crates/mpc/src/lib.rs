@@ -39,10 +39,10 @@ pub mod wire;
 pub use sqm_net as net;
 
 pub use additive::{AdditiveCtx, AdditiveEngine, AdditiveRun};
-pub use engine::{MpcConfig, MpcEngine, MpcRun, PartyCtx};
-pub use shamir::{reconstruct, share_secret, ShamirShare};
+pub use engine::{BatchOptions, Batching, MpcConfig, MpcEngine, MpcRun, PartyCtx};
+pub use shamir::{reconstruct, share_secret, share_secrets_batch, ShamirShare};
 pub use sqm_net::fault::{CrashPoint, FaultSpec};
-pub use sqm_net::transport::NetBackend;
+pub use sqm_net::transport::{FrameMode, NetBackend};
 pub use sqm_net::{TcpOptions, TransportError};
 pub use sqm_obs::live::LiveConfig;
 pub use sqm_obs::prof::ProfConfig;

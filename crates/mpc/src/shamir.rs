@@ -33,6 +33,72 @@ pub fn share_secret<F: PrimeField, R: Rng + ?Sized>(
         .collect()
 }
 
+/// Share a whole vector of secrets at once — the width-parallel batch
+/// variant of [`share_secret`] behind the engine's round-batched path.
+///
+/// The polynomial coefficients are drawn **serially, in secret order**
+/// (`[secret, r_1..r_t]` per secret), so the RNG stream — and therefore
+/// every wire byte — is bit-identical to calling [`share_secret`] once per
+/// secret. Only the pure polynomial evaluations fan out across `workers`
+/// scoped threads, and only once the batch is at least `min_parallel_width`
+/// secrets wide (thread hand-off costs more than it saves on narrow
+/// batches).
+///
+/// Returns party-major shares: `out[j][k]` is party `j`'s share of
+/// `secrets[k]`.
+pub fn share_secrets_batch<F: PrimeField, R: Rng + ?Sized>(
+    rng: &mut R,
+    secrets: &[F],
+    t: usize,
+    n: usize,
+    workers: usize,
+    min_parallel_width: usize,
+) -> Vec<Vec<F>> {
+    assert!(n >= 1, "need at least one party");
+    assert!(t < n, "threshold t={t} must be below the party count n={n}");
+    let width = secrets.len();
+    let mut coeffs = Vec::with_capacity(width * (t + 1));
+    for &s in secrets {
+        coeffs.push(s);
+        for _ in 0..t {
+            coeffs.push(F::random(rng));
+        }
+    }
+    let xs: Vec<F> = (1..=n as u64).map(F::from_u64).collect();
+    // Secret-major scratch (row `k` holds all n shares of secret `k`) so
+    // each worker owns a contiguous chunk; transposed to party-major below.
+    let mut rows = vec![F::ZERO; width * n];
+    let eval_rows = |rows: &mut [F], coeffs: &[F]| {
+        for (row, poly) in rows.chunks_mut(n).zip(coeffs.chunks(t + 1)) {
+            for (share, &x) in row.iter_mut().zip(&xs) {
+                *share = sqm_field::traits::horner(poly, x);
+            }
+        }
+    };
+    let workers = workers.max(1);
+    if workers > 1 && width >= min_parallel_width.max(2) {
+        let chunk = width.div_ceil(workers);
+        std::thread::scope(|s| {
+            let eval_rows = &eval_rows;
+            for (rows, coeffs) in rows
+                .chunks_mut(chunk * n)
+                .zip(coeffs.chunks(chunk * (t + 1)))
+            {
+                s.spawn(move || eval_rows(rows, coeffs));
+            }
+        });
+    } else {
+        eval_rows(&mut rows, &coeffs);
+    }
+    let mut per_party: Vec<Vec<F>> = vec![Vec::with_capacity(width); n];
+    for row in rows.chunks(n) {
+        for (j, &share) in row.iter().enumerate() {
+            per_party[j].push(share);
+        }
+    }
+    per_party
+}
+
 /// Lagrange coefficients for interpolating at 0 from evaluation points
 /// `x = i+1` for each party index `i` in `parties`.
 pub fn lagrange_at_zero<F: PrimeField>(parties: &[usize]) -> Vec<F> {
@@ -178,6 +244,52 @@ mod tests {
     fn rejects_threshold_not_below_n() {
         let mut rng = StdRng::seed_from_u64(0);
         share_secret(&mut rng, M61::ONE, 3, 3);
+    }
+
+    /// The batch kernel must consume the RNG in the exact order the scalar
+    /// loop does, so both paths produce bit-identical shares — the
+    /// determinism contract the engine's batched/reference equivalence
+    /// rests on.
+    #[test]
+    fn batch_sharing_is_bit_identical_to_scalar_loop() {
+        let (t, n) = (2, 5);
+        for width in [0usize, 1, 3, 7, 64, 513] {
+            let secrets: Vec<M61> = (0..width as u64)
+                .map(|k| M61::from_i128(k as i128 - 200))
+                .collect();
+            let mut scalar_rng = StdRng::seed_from_u64(9 + width as u64);
+            let mut per_party_scalar: Vec<Vec<M61>> = vec![Vec::new(); n];
+            for &v in &secrets {
+                for (j, s) in share_secret(&mut scalar_rng, v, t, n)
+                    .into_iter()
+                    .enumerate()
+                {
+                    per_party_scalar[j].push(s);
+                }
+            }
+            for (workers, min_width) in [(1, 4), (4, 4), (4, 0), (3, 1_000_000)] {
+                let mut batch_rng = StdRng::seed_from_u64(9 + width as u64);
+                let batch = share_secrets_batch(&mut batch_rng, &secrets, t, n, workers, min_width);
+                assert_eq!(batch, per_party_scalar, "width={width} workers={workers}");
+                // Both paths must leave the RNG in the same state.
+                assert_eq!(
+                    rand::Rng::gen::<u64>(&mut batch_rng),
+                    rand::Rng::gen::<u64>(&mut scalar_rng.clone()),
+                    "width={width} workers={workers}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batch_shares_reconstruct() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let secrets: Vec<M61> = (0..300u64).map(M61::from_u64).collect();
+        let per_party = share_secrets_batch(&mut rng, &secrets, 2, 5, 4, 16);
+        for (k, &s) in secrets.iter().enumerate() {
+            let pairs: Vec<(usize, M61)> = (0..5).map(|j| (j, per_party[j][k])).collect();
+            assert_eq!(reconstruct(&pairs[..3]), s, "secret {k}");
+        }
     }
 }
 

@@ -17,10 +17,16 @@ use serde::Serialize;
 pub struct PhaseStats {
     /// Synchronous communication rounds spent in this phase.
     pub rounds: u64,
-    /// Total point-to-point messages (over all parties).
+    /// Total point-to-point messages (over all parties). Under round-batched
+    /// framing (the default) each non-empty frame is one message; under the
+    /// per-element reference framing each field element is one message.
     pub messages: u64,
     /// Total payload bytes (over all parties).
     pub bytes: u64,
+    /// Total field elements sent (over all parties). Identical across
+    /// backends and frame modes — the mode-independent work measure that
+    /// `messages` divides into frames.
+    pub elems: u64,
     /// Wall time spent in this phase (max over parties).
     pub wall: Duration,
 }
@@ -72,21 +78,23 @@ impl std::fmt::Display for RunStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(
             f,
-            "{} rounds, {} messages, {:.2} MiB, simulated {:.2?} ({:?}/hop)",
+            "{} rounds, {} messages ({} elems), {:.2} MiB, simulated {:.2?} ({:?}/hop)",
             self.total.rounds,
             self.total.messages,
+            self.total.elems,
             self.total.bytes as f64 / (1024.0 * 1024.0),
             self.simulated_time(),
             self.latency,
         )?;
         // Per-phase rows use the same units as the totals line: message
-        // counts and MiB, not raw bytes.
+        // and element counts and MiB, not raw bytes.
         for (name, p) in &self.phases {
             writeln!(
                 f,
-                "  {name:<12} {:>3} rounds  {:>8} messages  {:>8.2} MiB  {:.2?}",
+                "  {name:<12} {:>3} rounds  {:>8} messages  {:>8} elems  {:>8.2} MiB  {:.2?}",
                 p.rounds,
                 p.messages,
+                p.elems,
                 p.bytes as f64 / (1024.0 * 1024.0),
                 p.simulated_time(self.latency),
             )?;
@@ -104,15 +112,17 @@ pub(crate) struct PartyStats {
 
 impl PartyStats {
     /// Record one exchange round: `messages` sent by this party carrying
-    /// `bytes` payload, attributed to `phase`.
-    pub fn record_round(&mut self, phase: &str, messages: u64, bytes: u64) {
+    /// `bytes` payload (`elems` field elements), attributed to `phase`.
+    pub fn record_round(&mut self, phase: &str, messages: u64, bytes: u64, elems: u64) {
         self.total.rounds += 1;
         self.total.messages += messages;
         self.total.bytes += bytes;
+        self.total.elems += elems;
         let p = self.phases.entry(phase.to_string()).or_default();
         p.rounds += 1;
         p.messages += messages;
         p.bytes += bytes;
+        p.elems += elems;
     }
 
     /// Attribute wall time to a phase.
@@ -136,12 +146,14 @@ pub(crate) fn merge(parties: Vec<PartyStats>, latency: Duration) -> RunStats {
         out.total.wall = out.total.wall.max(ps.total.wall);
         out.total.messages += ps.total.messages;
         out.total.bytes += ps.total.bytes;
+        out.total.elems += ps.total.elems;
         for (name, p) in ps.phases {
             let agg = out.phases.entry(name).or_default();
             agg.rounds = agg.rounds.max(p.rounds);
             agg.wall = agg.wall.max(p.wall);
             agg.messages += p.messages;
             agg.bytes += p.bytes;
+            agg.elems += p.elems;
         }
     }
     out
@@ -157,6 +169,7 @@ mod tests {
             rounds: 10,
             messages: 0,
             bytes: 0,
+            elems: 0,
             wall: Duration::from_millis(500),
         };
         assert_eq!(
@@ -168,7 +181,7 @@ mod tests {
     #[test]
     fn stats_serialize_and_display_consistent_units() {
         let mut a = PartyStats::default();
-        a.record_round("open", 3, 3 * 1024 * 1024);
+        a.record_round("open", 3, 3 * 1024 * 1024, 9);
         a.record_wall("open", Duration::from_millis(5));
         let merged = merge(vec![a], Duration::from_millis(100));
 
@@ -193,16 +206,17 @@ mod tests {
     #[test]
     fn merge_maxes_rounds_and_sums_traffic() {
         let mut a = PartyStats::default();
-        a.record_round("x", 3, 300);
-        a.record_round("x", 3, 300);
+        a.record_round("x", 3, 300, 30);
+        a.record_round("x", 3, 300, 30);
         let mut b = PartyStats::default();
-        b.record_round("x", 3, 300);
-        b.record_round("x", 3, 300);
+        b.record_round("x", 3, 300, 30);
+        b.record_round("x", 3, 300, 30);
         b.record_wall("x", Duration::from_millis(7));
         let merged = merge(vec![a, b], Duration::from_millis(100));
         assert_eq!(merged.total.rounds, 2);
         assert_eq!(merged.total.messages, 12);
         assert_eq!(merged.total.bytes, 1200);
+        assert_eq!(merged.total.elems, 120);
         assert_eq!(merged.total.wall, Duration::from_millis(7));
         assert_eq!(merged.simulated_time(), Duration::from_millis(207));
         assert_eq!(merged.phase_time("x"), Duration::from_millis(207));

@@ -42,6 +42,26 @@ pub enum WireError {
         /// Bytes available when header decoding started.
         remaining: usize,
     },
+    /// A round-batched [`crate::wire::Frame`] ended before its announced
+    /// content: the buffer is too short for the element-count prefix, or
+    /// for the payload the count announces.
+    TruncatedFrame {
+        /// Bytes actually available.
+        len: usize,
+        /// Bytes the frame layout required at this point.
+        needed: usize,
+    },
+    /// A round-batched [`crate::wire::Frame`]'s element-count prefix
+    /// disagrees with its payload length (trailing garbage after the
+    /// announced elements).
+    FrameCountMismatch {
+        /// The element count the prefix announced.
+        declared: usize,
+        /// Payload bytes actually present after the header.
+        payload_bytes: usize,
+        /// Canonical element width in bytes.
+        width: usize,
+    },
 }
 
 impl fmt::Display for WireError {
@@ -66,6 +86,18 @@ impl fmt::Display for WireError {
                     "malformed trace header (version byte {version}, {remaining} bytes available)"
                 )
             }
+            WireError::TruncatedFrame { len, needed } => {
+                write!(f, "frame truncated: {len} bytes available, {needed} needed")
+            }
+            WireError::FrameCountMismatch {
+                declared,
+                payload_bytes,
+                width,
+            } => write!(
+                f,
+                "frame announces {declared} elements ({} bytes at width {width}) but carries {payload_bytes} payload bytes",
+                declared * width
+            ),
         }
     }
 }

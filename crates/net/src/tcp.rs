@@ -7,15 +7,26 @@
 //!
 //! ## Framing
 //!
-//! Every payload is one frame: a 4-byte little-endian length prefix
-//! followed by the versioned optional [`wire::TraceHeader`] (one byte when
-//! absent) and then the [`crate::wire`] encoding of the element vector.
-//! Empty payloads still send a frame — the lock-step structure needs one
-//! frame per (pair, round) — but, like the channel backend, they are
-//! excluded from the message/byte accounting, and accounted bytes are the
+//! Every transmission is one outer frame: a 4-byte little-endian length
+//! prefix followed by a round-batched [`wire::Frame`] — the element count,
+//! the versioned optional [`wire::TraceHeader`] (one byte when absent),
+//! and the [`crate::wire`] encoding of the element vector.
+//!
+//! Under the default [`FrameMode::PerRound`], one frame per (pair, round)
+//! carries *all* of that round's elements for the link. Empty payloads
+//! still send a (count 0) frame — the lock-step structure needs one frame
+//! per (pair, round) — but, like the channel backend, they are excluded
+//! from the message/byte accounting, and accounted bytes are the
 //! wire-encoded payload only (no frame or trace headers). This is what
 //! makes `RunStats` message/byte counts *identical* across backends, and
 //! identical with tracing on or off.
+//!
+//! Under [`FrameMode::PerElement`] (the differential-testing reference
+//! framing) each element travels in its own single-element frame, the
+//! causal header rides on the first frame of the sequence, and an empty
+//! sentinel frame terminates the link's round. Bytes and element counts
+//! are accounted identically to `PerRound`; only the message count (one
+//! per element) and the physical frame count differ.
 //!
 //! ## Timeouts and reconnection
 //!
@@ -38,15 +49,15 @@ use std::marker::PhantomData;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::time::{Duration, Instant};
 
-use bytes::{BufMut, Bytes, BytesMut};
+use bytes::Bytes;
 use sqm_field::PrimeField;
 use sqm_obs::live;
 use sqm_obs::metrics;
 use sqm_obs::trace::NetEvent;
 
 use crate::error::{TransportError, WireError};
-use crate::transport::{RoundOutcome, Transport};
-use crate::wire::{self, TraceHeader};
+use crate::transport::{FrameMode, RoundOutcome, Transport};
+use crate::wire::{self, Frame, TraceHeader};
 
 /// Read-side result of one exchange: per-sender payloads plus the optional
 /// trace header decoded from each frame.
@@ -96,6 +107,7 @@ pub struct TcpEndpoint<F: PrimeField> {
     id: usize,
     n: usize,
     round: u64,
+    frame_mode: FrameMode,
     read_timeout: Duration,
     /// `writers[j]` carries `me -> j` traffic (`None` at the self slot).
     writers: Vec<Option<TcpStream>>,
@@ -293,6 +305,7 @@ pub fn tcp_mesh<F: PrimeField>(
             id,
             n,
             round: 0,
+            frame_mode: FrameMode::default(),
             read_timeout: opts.read_timeout,
             writers: w,
             readers: r,
@@ -328,15 +341,17 @@ impl<F: PrimeField> Transport<F> for TcpEndpoint<F> {
         let id = self.id;
         let round = self.round;
         let read_timeout = self.read_timeout;
+        let frame_mode = self.frame_mode;
 
         // Encode everything up front; account only real messages, and only
-        // their element bytes — the trace header rides inside the frame but
-        // never enters the byte accounting.
+        // their element bytes — the trace header and frame prefixes ride
+        // inside the frame but never enter the byte accounting.
         let mut messages = 0u64;
         let mut bytes = 0u64;
+        let mut elems = 0u64;
         let loopback = std::mem::take(&mut outgoing[id]);
         let loopback_header = headers.as_ref().and_then(|hs| hs[id]);
-        let frames: Vec<Option<Bytes>> = outgoing
+        let frames: Vec<Option<Vec<Bytes>>> = outgoing
             .iter()
             .enumerate()
             .map(|(j, payload)| {
@@ -344,17 +359,45 @@ impl<F: PrimeField> Transport<F> for TcpEndpoint<F> {
                     return None;
                 }
                 if !payload.is_empty() {
-                    messages += 1;
+                    messages += match frame_mode {
+                        FrameMode::PerRound => 1,
+                        FrameMode::PerElement => payload.len() as u64,
+                    };
                     bytes += wire::encoded_len::<F>(payload.len());
+                    elems += payload.len() as u64;
                 }
                 let header = headers.as_ref().and_then(|hs| hs[j]);
-                let encoded = wire::encode::<F>(payload);
-                let mut frame = BytesMut::with_capacity(1 + encoded.len());
-                TraceHeader::encode_into(header.as_ref(), &mut frame);
-                frame.put_slice(encoded.as_ref_slice());
-                Some(frame.freeze())
+                let sequence = match frame_mode {
+                    // One round-batched frame with all of the link's
+                    // elements for this round.
+                    FrameMode::PerRound => vec![Frame::<F>::encode(payload, header.as_ref())],
+                    // One single-element frame per element, the causal
+                    // header on the first frame of the sequence, closed by
+                    // an empty sentinel frame (which carries the header
+                    // itself when the payload is empty).
+                    FrameMode::PerElement => {
+                        let mut sequence = Vec::with_capacity(payload.len() + 1);
+                        for (k, v) in payload.iter().enumerate() {
+                            let h = if k == 0 { header.as_ref() } else { None };
+                            sequence.push(Frame::<F>::encode(std::slice::from_ref(v), h));
+                        }
+                        let sentinel_header = if payload.is_empty() {
+                            header.as_ref()
+                        } else {
+                            None
+                        };
+                        sequence.push(Frame::<F>::encode(&[], sentinel_header));
+                        sequence
+                    }
+                };
+                Some(sequence)
             })
             .collect();
+        let frames_sent: u64 = frames
+            .iter()
+            .flatten()
+            .map(|sequence| sequence.len() as u64)
+            .sum();
 
         let writers = &mut self.writers;
         let readers = &mut self.readers;
@@ -367,11 +410,13 @@ impl<F: PrimeField> Transport<F> for TcpEndpoint<F> {
         let live_on = live::is_active();
         let (write_result, read_result) = std::thread::scope(|s| {
             let writer = s.spawn(move || -> Result<(), TransportError> {
-                for (j, frame) in frames.iter().enumerate() {
-                    let Some(frame) = frame else { continue };
+                for (j, sequence) in frames.iter().enumerate() {
+                    let Some(sequence) = sequence else { continue };
                     let stream = writers[j].as_mut().expect("writer socket present");
                     let t0 = (timing || live_on).then(Instant::now);
-                    write_frame(stream, frame.as_ref(), j, round)?;
+                    for frame in sequence {
+                        write_frame(stream, frame.as_ref(), j, round)?;
+                    }
                     if let Some(t0) = t0 {
                         let elapsed = t0.elapsed();
                         if timing {
@@ -395,7 +440,36 @@ impl<F: PrimeField> Transport<F> for TcpEndpoint<F> {
                         continue;
                     };
                     let t0 = (timing || live_on).then(Instant::now);
-                    let mut frame = read_frame(stream, i, round, read_timeout)?;
+                    let wire_err = |source| TransportError::Wire {
+                        party: i,
+                        round,
+                        source,
+                    };
+                    match frame_mode {
+                        FrameMode::PerRound => {
+                            let raw = read_frame(stream, i, round, read_timeout)?;
+                            let frame = Frame::<F>::decode(raw).map_err(wire_err)?;
+                            in_headers[i] = frame.header;
+                            incoming[i] = frame.elements;
+                        }
+                        FrameMode::PerElement => {
+                            // Accumulate single-element frames until the
+                            // empty sentinel closes the link's round.
+                            let mut first = true;
+                            loop {
+                                let raw = read_frame(stream, i, round, read_timeout)?;
+                                let frame = Frame::<F>::decode(raw).map_err(&wire_err)?;
+                                if first {
+                                    in_headers[i] = frame.header;
+                                    first = false;
+                                }
+                                if frame.elements.is_empty() {
+                                    break;
+                                }
+                                incoming[i].extend(frame.elements);
+                            }
+                        }
+                    }
                     if let Some(t0) = t0 {
                         let elapsed = t0.elapsed();
                         if timing {
@@ -408,13 +482,6 @@ impl<F: PrimeField> Transport<F> for TcpEndpoint<F> {
                             live::publish(live::LiveEvent::link(id, round, i, false, elapsed));
                         }
                     }
-                    let wire_err = |source| TransportError::Wire {
-                        party: i,
-                        round,
-                        source,
-                    };
-                    in_headers[i] = TraceHeader::decode_from(&mut frame).map_err(wire_err)?;
-                    incoming[i] = wire::decode::<F>(frame).map_err(wire_err)?;
                 }
                 Ok((incoming, in_headers))
             })();
@@ -428,7 +495,7 @@ impl<F: PrimeField> Transport<F> for TcpEndpoint<F> {
         incoming[id] = loopback;
         in_headers[id] = loopback_header;
 
-        metrics::counter_add("net.tcp.frames_sent", (n - 1) as u64);
+        metrics::counter_add("net.tcp.frames_sent", frames_sent);
         metrics::counter_add("net.tcp.payload_bytes_sent", bytes);
         self.round += 1;
         Ok(RoundOutcome {
@@ -436,11 +503,16 @@ impl<F: PrimeField> Transport<F> for TcpEndpoint<F> {
             headers: in_headers,
             messages,
             bytes,
+            elems,
         })
     }
 
     fn drain_events(&mut self) -> Vec<NetEvent> {
         std::mem::take(&mut self.events)
+    }
+
+    fn set_frame_mode(&mut self, mode: FrameMode) {
+        self.frame_mode = mode;
     }
 }
 
@@ -555,6 +627,100 @@ mod tests {
             // Header bytes never enter the accounting.
             assert_eq!(out.bytes, 8);
         }
+    }
+
+    #[test]
+    fn per_element_mode_same_payloads_same_bytes_more_messages() {
+        metrics::set_enabled(false);
+        let run = |mode: FrameMode| -> Vec<(Vec<Vec<M61>>, u64, u64, u64)> {
+            let mut eps = tcp_mesh::<M61>(3, &TcpOptions::default()).unwrap();
+            for ep in eps.iter_mut() {
+                Transport::<M61>::set_frame_mode(ep, mode);
+            }
+            thread::scope(|s| {
+                let handles: Vec<_> = eps
+                    .iter_mut()
+                    .map(|ep| {
+                        s.spawn(move || {
+                            let id = Transport::<M61>::id(ep);
+                            let out: Vec<Vec<M61>> = (0..3)
+                                .map(|j| {
+                                    if j == 2 {
+                                        vec![] // party 2 gets a non-message
+                                    } else {
+                                        vec![M61::from_u64((10 * id + j) as u64); 4]
+                                    }
+                                })
+                                .collect();
+                            let o = ep.exchange(out).unwrap();
+                            (o.incoming, o.messages, o.bytes, o.elems)
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).collect()
+            })
+        };
+        let batched = run(FrameMode::PerRound);
+        let reference = run(FrameMode::PerElement);
+        for (j, (b, r)) in batched.iter().zip(&reference).enumerate() {
+            // Identical payloads, bytes, and element counts in both modes.
+            assert_eq!(b.0, r.0, "party {j} incoming differs across modes");
+            assert_eq!(b.2, r.2, "party {j} bytes differ across modes");
+            assert_eq!(b.3, r.3, "party {j} elems differ across modes");
+            // PerRound: one message per non-empty link; PerElement: one
+            // per element (4 per non-empty link here).
+            let real_destinations = [0usize, 1].iter().filter(|&&d| d != j).count() as u64;
+            assert_eq!(b.1, real_destinations);
+            assert_eq!(r.1, real_destinations * 4);
+        }
+    }
+
+    #[test]
+    fn per_element_mode_carries_trace_headers() {
+        let mut eps = tcp_mesh::<M61>(2, &TcpOptions::default()).unwrap();
+        for ep in eps.iter_mut() {
+            Transport::<M61>::set_frame_mode(ep, FrameMode::PerElement);
+        }
+        let results: Vec<RoundOutcome<M61>> = thread::scope(|s| {
+            let handles: Vec<_> = eps
+                .iter_mut()
+                .map(|ep| {
+                    s.spawn(move || {
+                        let id = Transport::<M61>::id(ep);
+                        let headers: Vec<Option<TraceHeader>> = (0..2)
+                            .map(|j| {
+                                (j != id).then_some(TraceHeader {
+                                    run_id: 21,
+                                    party: id as u32,
+                                    round: 0,
+                                    link_seq: 0,
+                                    lamport: 5 + id as u64,
+                                })
+                            })
+                            .collect();
+                        // Party 0 sends three elements, party 1 sends none:
+                        // the header must survive both the multi-frame and
+                        // the sentinel-only sequences.
+                        let payload = if id == 0 { vec![M61::ONE; 3] } else { vec![] };
+                        let out: Vec<Vec<M61>> = (0..2)
+                            .map(|j| if j == id { vec![] } else { payload.clone() })
+                            .collect();
+                        ep.exchange_stamped(out, Some(headers)).unwrap()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for (me, out) in results.iter().enumerate() {
+            let peer = 1 - me;
+            let h = out.headers[peer].expect("peer header in per-element mode");
+            assert_eq!(h.run_id, 21);
+            assert_eq!(h.party, peer as u32);
+            assert_eq!(h.lamport, 5 + peer as u64);
+            assert_eq!(out.headers[me], None);
+        }
+        assert_eq!(results[0].incoming[1], vec![]);
+        assert_eq!(results[1].incoming[0], vec![M61::ONE; 3]);
     }
 
     #[test]

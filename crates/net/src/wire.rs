@@ -157,6 +157,92 @@ impl TraceHeader {
     }
 }
 
+/// A round-batched wire frame: every field element one party sends to one
+/// peer in one synchronous round, carried as a single unit.
+///
+/// Layout (inside whatever outer framing the backend uses):
+///
+/// ```text
+/// [u32 element count, LE] [versioned TraceHeader] [elements]
+/// ```
+///
+/// The element count is redundant with the payload length but makes the
+/// frame self-describing and lets [`Frame::decode`] reject corruption with
+/// a *typed* error instead of silently mis-splitting: a buffer shorter than
+/// the announced content is [`WireError::TruncatedFrame`], trailing bytes
+/// beyond it are [`WireError::FrameCountMismatch`], and element validation
+/// reuses [`decode`]'s [`WireError::NonCanonical`]. Decoding never panics
+/// on untrusted input.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Frame<F> {
+    /// Causal trace context stamped by the sender, if any.
+    pub header: Option<TraceHeader>,
+    /// The field elements the frame carries.
+    pub elements: Vec<F>,
+}
+
+impl<F: PrimeField> Frame<F> {
+    /// Bytes of the element-count prefix.
+    pub const COUNT_BYTES: usize = 4;
+
+    /// Encode a frame carrying `elements` with an optional trace header.
+    pub fn encode(elements: &[F], header: Option<&TraceHeader>) -> Bytes {
+        let count = u32::try_from(elements.len()).expect("frame width exceeds u32 element count");
+        let body = encode(elements);
+        let mut buf = BytesMut::with_capacity(
+            Self::COUNT_BYTES + 1 + TraceHeader::ENCODED_BYTES + body.len(),
+        );
+        buf.put_slice(&count.to_le_bytes());
+        TraceHeader::encode_into(header, &mut buf);
+        buf.put_slice(body.as_ref_slice());
+        buf.freeze()
+    }
+
+    /// Decode a frame produced by [`Frame::encode`], validating the
+    /// element-count prefix against the payload.
+    pub fn decode(mut buf: Bytes) -> Result<Frame<F>, WireError> {
+        if buf.len() < Self::COUNT_BYTES {
+            return Err(WireError::TruncatedFrame {
+                len: buf.len(),
+                needed: Self::COUNT_BYTES,
+            });
+        }
+        let mut count = [0u8; 4];
+        buf.copy_to_slice(&mut count);
+        let declared = u32::from_le_bytes(count) as usize;
+        let header = TraceHeader::decode_from(&mut buf)?;
+        let width = F::byte_width();
+        let expected = declared * width;
+        match buf.len().cmp(&expected) {
+            std::cmp::Ordering::Less => Err(WireError::TruncatedFrame {
+                len: buf.len(),
+                needed: expected,
+            }),
+            std::cmp::Ordering::Greater => Err(WireError::FrameCountMismatch {
+                declared,
+                payload_bytes: buf.len(),
+                width,
+            }),
+            std::cmp::Ordering::Equal => Ok(Frame {
+                header,
+                elements: decode::<F>(buf)?,
+            }),
+        }
+    }
+
+    /// Total encoded bytes of a frame carrying `n_elements` elements.
+    pub fn encoded_bytes(n_elements: usize, with_header: bool) -> usize {
+        Self::COUNT_BYTES
+            + 1
+            + if with_header {
+                TraceHeader::ENCODED_BYTES
+            } else {
+                0
+            }
+            + n_elements * F::byte_width()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -274,6 +360,220 @@ mod tests {
                 assert_eq!(modulus, M61::modulus());
             }
             other => panic!("expected NonCanonical, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn frame_roundtrip_with_and_without_header() {
+        let vals: Vec<M61> = (0..17).map(M61::from_u64).collect();
+        let h = TraceHeader {
+            run_id: 3,
+            party: 1,
+            round: 9,
+            link_seq: 4,
+            lamport: 20,
+        };
+        let framed = Frame::<M61>::encode(&vals, Some(&h));
+        assert_eq!(framed.len(), Frame::<M61>::encoded_bytes(vals.len(), true));
+        let dec = Frame::<M61>::decode(framed).expect("frame roundtrip");
+        assert_eq!(dec.header, Some(h));
+        assert_eq!(dec.elements, vals);
+
+        let bare = Frame::<M61>::encode(&vals, None);
+        assert_eq!(bare.len(), Frame::<M61>::encoded_bytes(vals.len(), false));
+        let dec = Frame::<M61>::decode(bare).expect("bare frame roundtrip");
+        assert_eq!(dec.header, None);
+        assert_eq!(dec.elements, vals);
+    }
+
+    #[test]
+    fn empty_frame_is_five_bytes_and_roundtrips() {
+        let framed = Frame::<M61>::encode(&[], None);
+        assert_eq!(framed.len(), Frame::<M61>::COUNT_BYTES + 1);
+        let dec = Frame::<M61>::decode(framed).expect("empty frame");
+        assert_eq!(dec.header, None);
+        assert!(dec.elements.is_empty());
+    }
+
+    #[test]
+    fn frame_rejects_truncated_count_prefix() {
+        let err = Frame::<M61>::decode(Bytes::from_static(&[1, 0])).unwrap_err();
+        assert_eq!(err, WireError::TruncatedFrame { len: 2, needed: 4 });
+    }
+
+    #[test]
+    fn frame_rejects_truncated_payload() {
+        // Announce 2 elements, absent header, carry only one.
+        let mut buf = BytesMut::new();
+        buf.put_slice(&2u32.to_le_bytes());
+        TraceHeader::encode_into(None, &mut buf);
+        buf.put_slice(encode(&[M61::ONE]).as_ref_slice());
+        let err = Frame::<M61>::decode(buf.freeze()).unwrap_err();
+        assert_eq!(err, WireError::TruncatedFrame { len: 8, needed: 16 });
+    }
+
+    #[test]
+    fn frame_rejects_count_mismatch_with_trailing_bytes() {
+        // Announce 1 element but carry two.
+        let mut buf = BytesMut::new();
+        buf.put_slice(&1u32.to_le_bytes());
+        TraceHeader::encode_into(None, &mut buf);
+        buf.put_slice(encode(&[M61::ONE, M61::ONE]).as_ref_slice());
+        let err = Frame::<M61>::decode(buf.freeze()).unwrap_err();
+        assert_eq!(
+            err,
+            WireError::FrameCountMismatch {
+                declared: 1,
+                payload_bytes: 16,
+                width: 8,
+            }
+        );
+    }
+
+    #[test]
+    fn frame_rejects_non_canonical_element() {
+        let mut buf = BytesMut::new();
+        buf.put_slice(&1u32.to_le_bytes());
+        TraceHeader::encode_into(None, &mut buf);
+        buf.put_slice(&[0xFF; 8]);
+        let err = Frame::<M61>::decode(buf.freeze()).unwrap_err();
+        assert!(
+            matches!(err, WireError::NonCanonical { .. }),
+            "expected NonCanonical, got {err:?}"
+        );
+    }
+
+    #[test]
+    fn frame_rejects_bad_header_version() {
+        let mut buf = BytesMut::new();
+        buf.put_slice(&0u32.to_le_bytes());
+        buf.put_u8(42); // unknown header version
+        let err = Frame::<M61>::decode(buf.freeze()).unwrap_err();
+        assert!(
+            matches!(err, WireError::BadTraceHeader { version: 42, .. }),
+            "expected BadTraceHeader, got {err:?}"
+        );
+    }
+}
+
+#[cfg(test)]
+mod frame_proptests {
+    //! Satellite: frame encode/decode round-trips for arbitrary widths
+    //! 0..=4096 over both fields including the boundary values 0 and p-1,
+    //! and malformed input always yields a typed [`WireError`] — never a
+    //! panic or a silently wrong decode.
+
+    use super::*;
+    use proptest::prelude::*;
+    use sqm_field::{M127, M61};
+
+    /// Element values spanning the full canonical range, with the
+    /// boundaries 0 and p-1 explicitly over-weighted.
+    fn element<FP: PrimeField>(raw: u128) -> FP {
+        FP::from_u128(raw % FP::modulus())
+    }
+
+    fn header_from(seed: u64) -> TraceHeader {
+        TraceHeader {
+            run_id: seed,
+            party: (seed % 97) as u32,
+            round: seed.rotate_left(17),
+            link_seq: seed.rotate_left(33),
+            lamport: seed.rotate_left(49),
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_frame_roundtrip_m61(
+            width in 0usize..=4096,
+            fill in any::<u64>(),
+            with_header in any::<bool>(),
+            hseed in any::<u64>(),
+        ) {
+            // Mix the boundary values 0 and p-1 into every wide payload.
+            let vals: Vec<M61> = (0..width)
+                .map(|i| match i % 3 {
+                    0 => M61::ZERO,
+                    1 => M61::from_u128(M61::modulus() - 1),
+                    _ => element::<M61>((fill as u128).wrapping_add(i as u128)),
+                })
+                .collect();
+            let header = with_header.then(|| header_from(hseed));
+            let framed = Frame::<M61>::encode(&vals, header.as_ref());
+            let dec = Frame::<M61>::decode(framed).expect("roundtrip");
+            prop_assert_eq!(dec.header, header);
+            prop_assert_eq!(dec.elements, vals);
+        }
+
+        #[test]
+        fn prop_frame_roundtrip_m127(
+            width in 0usize..=4096,
+            fill in any::<u64>(),
+            with_header in any::<bool>(),
+            hseed in any::<u64>(),
+        ) {
+            let vals: Vec<M127> = (0..width)
+                .map(|i| match i % 3 {
+                    0 => M127::ZERO,
+                    1 => M127::from_u128(M127::modulus() - 1),
+                    _ => element::<M127>(((fill as u128) << 64).wrapping_add(i as u128)),
+                })
+                .collect();
+            let header = with_header.then(|| header_from(hseed));
+            let framed = Frame::<M127>::encode(&vals, header.as_ref());
+            let dec = Frame::<M127>::decode(framed).expect("roundtrip");
+            prop_assert_eq!(dec.header, header);
+            prop_assert_eq!(dec.elements, vals);
+        }
+
+        #[test]
+        fn prop_truncation_is_typed_never_panics(
+            width in 0usize..=256,
+            cut_frac in 0.0f64..1.0,
+            with_header in any::<bool>(),
+        ) {
+            let vals: Vec<M61> = (0..width).map(|i| M61::from_u64(i as u64)).collect();
+            let header = with_header.then(|| header_from(width as u64));
+            let framed = Frame::<M61>::encode(&vals, header.as_ref());
+            // Cut the frame strictly short: every truncation must decode to
+            // a typed error (TruncatedFrame or BadTraceHeader).
+            let keep = ((framed.len() as f64 * cut_frac) as usize).min(framed.len() - 1);
+            let cutout = Bytes::from(framed.as_ref_slice()[..keep].to_vec());
+            let err = Frame::<M61>::decode(cutout).expect_err("truncated frame must fail");
+            prop_assert!(matches!(
+                err,
+                WireError::TruncatedFrame { .. } | WireError::BadTraceHeader { .. }
+            ), "unexpected error for truncation at {keep}: {err:?}");
+        }
+
+        #[test]
+        fn prop_malformed_length_is_typed_never_panics(
+            width in 0usize..=64,
+            declared in 0u32..=8192,
+            garbage in collection::vec(any::<u8>(), 0usize..64),
+        ) {
+            // Arbitrary declared count glued to an arbitrary payload tail:
+            // decode must either succeed on an exactly-consistent frame or
+            // return a typed error — never panic.
+            let vals: Vec<M61> = (0..width).map(|i| M61::from_u64(i as u64)).collect();
+            let mut buf = BytesMut::new();
+            buf.put_slice(&declared.to_le_bytes());
+            TraceHeader::encode_into(None, &mut buf);
+            buf.put_slice(encode(&vals).as_ref_slice());
+            buf.put_slice(&garbage);
+            match Frame::<M61>::decode(buf.freeze()) {
+                Ok(frame) => {
+                    prop_assert_eq!(frame.elements.len(), declared as usize);
+                }
+                Err(
+                    WireError::TruncatedFrame { .. }
+                    | WireError::FrameCountMismatch { .. }
+                    | WireError::NonCanonical { .. }
+                    | WireError::RaggedBuffer { .. },
+                ) => {}
+                Err(other) => prop_assert!(false, "unexpected error {other:?}"),
+            }
         }
     }
 }

@@ -126,6 +126,11 @@ pub fn covariance_skellam_plaintext<R: rand::Rng + ?Sized>(
 /// protocol exactly, for any backend. It is the differential-fuzzing oracle:
 /// any bit of divergence from the MPC run is a correctness bug in
 /// secret-sharing, degree reduction, or transport.
+///
+/// The oracle honors `cfg.batching` implicitly: both the round-batched and
+/// the per-element reference engine modes consume the party RNG streams in
+/// the same order and release the same values, so one replay predicts both.
+/// A divergence *between modes* would therefore also surface here.
 pub fn covariance_quantized_oracle(
     data: &Matrix,
     partition: &ColumnPartition,
@@ -556,6 +561,22 @@ mod tests {
                 mpc.c_hat, oracle,
                 "oracle diverged at P={n_clients} seed={seed} mu={mu}"
             );
+        }
+    }
+
+    #[test]
+    fn quantized_oracle_matches_both_batching_modes() {
+        // One replay predicts both engine modes: the per-element reference
+        // path and the round-batched path consume identical RNG streams.
+        let data = small_data();
+        let partition = ColumnPartition::even(4, 3);
+        let gamma = 512.0;
+        let mu = 25.0;
+        for batching in [crate::Batching::default(), crate::Batching::Off] {
+            let cfg = VflConfig::fast(3).with_seed(41).with_batching(batching);
+            let mpc = covariance_skellam(&data, &partition, gamma, mu, &cfg);
+            let oracle = covariance_quantized_oracle(&data, &partition, gamma, mu, &cfg);
+            assert_eq!(mpc.c_hat, oracle, "oracle diverged under {batching:?}");
         }
     }
 

@@ -54,7 +54,8 @@ pub use stream::{covariance_streaming_oracle, StreamCov};
 
 pub use sqm_mpc::net;
 pub use sqm_mpc::{
-    CrashPoint, FaultSpec, LiveConfig, NetBackend, ProfConfig, TcpOptions, TransportError,
+    BatchOptions, Batching, CrashPoint, FaultSpec, LiveConfig, NetBackend, ProfConfig, TcpOptions,
+    TransportError,
 };
 
 use std::time::Duration;
@@ -93,6 +94,11 @@ pub struct VflConfig {
     /// opportunity report. `None` (the default) records nothing; release
     /// bits and `RunStats` are bit-identical either way.
     pub prof: Option<sqm_mpc::ProfConfig>,
+    /// Wire framing and gate-scheduling mode of the underlying MPC engine
+    /// (see [`Batching`]). The round-batched default and the per-element
+    /// reference mode release bit-identical values; only message accounting
+    /// and local parallelism differ.
+    pub batching: Batching,
 }
 
 impl VflConfig {
@@ -107,6 +113,7 @@ impl VflConfig {
             faults: None,
             live: None,
             prof: None,
+            batching: Batching::default(),
         }
     }
 
@@ -163,6 +170,13 @@ impl VflConfig {
         self
     }
 
+    /// Select the wire framing / gate-scheduling mode of the MPC engine
+    /// (see [`Batching`]).
+    pub fn with_batching(mut self, batching: Batching) -> Self {
+        self.batching = batching;
+        self
+    }
+
     /// The `MpcConfig` every VFL protocol derives from this configuration.
     pub fn mpc_config(&self) -> MpcConfig {
         let config = MpcConfig::semi_honest(self.n_clients)
@@ -172,7 +186,8 @@ impl VflConfig {
             .with_backend(self.backend.clone())
             .with_faults(self.faults.clone())
             .with_live(self.live.clone())
-            .with_prof(self.prof.clone());
+            .with_prof(self.prof.clone())
+            .with_batching(self.batching);
         match self.trace_event_cap {
             Some(cap) => config.with_trace_event_cap(cap),
             None => config,

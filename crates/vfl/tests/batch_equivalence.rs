@@ -1,0 +1,228 @@
+//! Batched-vs-reference differential suite: the round-batched execution
+//! mode against the per-element reference it replaced.
+//!
+//! `Batching::Off` keeps the one-message-per-element wire discipline as an
+//! executable reference. The round-batched default must be
+//! indistinguishable from it in everything except message accounting:
+//! released values, round structure, payload bytes, element counts, the
+//! deterministic component of the simulated clock, privacy-ledger
+//! epsilons, and typed failure surfaces are bit-identical across modes,
+//! backends and fault plans, while the reference counts exactly one
+//! message per field element (`messages == elems`) and the batched mode
+//! sends one frame per link per round.
+//!
+//! Profiler-counter equivalence lives in `batch_prof.rs` (own binary: the
+//! cost profiler is process-global).
+
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sqm_linalg::Matrix;
+use sqm_mpc::RunStats;
+use sqm_vfl::{
+    covariance_skellam, gradient_sum_skellam, try_covariance_skellam, Batching, ColumnPartition,
+    FaultSpec, NetBackend, TransportError, VflConfig, VflSession,
+};
+
+const M: usize = 24;
+const N: usize = 10;
+const P: usize = 4;
+const GAMMA: f64 = 256.0;
+const MU: f64 = 20.0;
+
+fn workload() -> (Matrix, ColumnPartition) {
+    let mut rng = StdRng::seed_from_u64(4242);
+    let data = Matrix::from_vec(M, N, (0..M * N).map(|_| rng.gen_range(-0.5..0.5)).collect());
+    (data, ColumnPartition::even(N, P))
+}
+
+fn cfg(batching: Batching) -> VflConfig {
+    VflConfig::fast(P).with_seed(42).with_batching(batching)
+}
+
+/// Everything except the message count must match, phase by phase; the
+/// reference must count exactly one message per field element.
+fn assert_stats_equivalent(batched: &RunStats, reference: &RunStats) {
+    assert_eq!(batched.total.rounds, reference.total.rounds);
+    assert_eq!(batched.total.bytes, reference.total.bytes);
+    assert_eq!(batched.total.elems, reference.total.elems);
+    assert_eq!(
+        reference.total.messages, reference.total.elems,
+        "per-element reference must count one message per element"
+    );
+    assert!(
+        batched.total.messages < reference.total.messages,
+        "batching must shrink the message count ({} vs {})",
+        batched.total.messages,
+        reference.total.messages
+    );
+    // The simulated clock is `wall + rounds * latency`; wall is measured,
+    // so compare the deterministic latency component on its own.
+    assert_eq!(
+        batched.simulated_time() - batched.total.wall,
+        reference.simulated_time() - reference.total.wall,
+        "simulated-clock latency component must be mode-independent"
+    );
+    assert_eq!(
+        batched.phases.keys().collect::<Vec<_>>(),
+        reference.phases.keys().collect::<Vec<_>>(),
+        "same phase structure"
+    );
+    for (name, b) in &batched.phases {
+        let r = &reference.phases[name];
+        assert_eq!(b.rounds, r.rounds, "phase {name}: rounds");
+        assert_eq!(b.bytes, r.bytes, "phase {name}: bytes");
+        assert_eq!(b.elems, r.elems, "phase {name}: elems");
+        assert_eq!(r.messages, r.elems, "phase {name}: reference framing");
+    }
+}
+
+#[test]
+fn covariance_reference_matches_batched_bit_for_bit() {
+    let (data, partition) = workload();
+    for backend in [NetBackend::InProcess, NetBackend::tcp()] {
+        let batched = covariance_skellam(
+            &data,
+            &partition,
+            GAMMA,
+            MU,
+            &cfg(Batching::default()).with_backend(backend.clone()),
+        );
+        let reference = covariance_skellam(
+            &data,
+            &partition,
+            GAMMA,
+            MU,
+            &cfg(Batching::Off).with_backend(backend),
+        );
+        // Field elements are exact integers in f64: demand bit-identity.
+        assert_eq!(batched.c_hat, reference.c_hat);
+        assert_stats_equivalent(&batched.stats, &reference.stats);
+    }
+}
+
+#[test]
+fn gradient_reference_matches_batched_bit_for_bit() {
+    let (data, partition) = workload();
+    let batch: Vec<usize> = vec![0, 2, 5, 7, 11, 13];
+    let w = vec![0.05; N - 1];
+    for backend in [NetBackend::InProcess, NetBackend::tcp()] {
+        let batched = gradient_sum_skellam(
+            &data,
+            &partition,
+            &batch,
+            &w,
+            GAMMA,
+            MU,
+            &cfg(Batching::default()).with_backend(backend.clone()),
+        );
+        let reference = gradient_sum_skellam(
+            &data,
+            &partition,
+            &batch,
+            &w,
+            GAMMA,
+            MU,
+            &cfg(Batching::Off).with_backend(backend),
+        );
+        assert_eq!(batched.grad_sum, reference.grad_sum);
+        assert_stats_equivalent(&batched.stats, &reference.stats);
+    }
+}
+
+#[test]
+fn seeded_drop_and_retransmit_cannot_distinguish_the_modes() {
+    let (data, partition) = workload();
+    let clean = covariance_skellam(&data, &partition, GAMMA, MU, &cfg(Batching::default()));
+    let faults = || {
+        FaultSpec::seeded(7)
+            .with_drop(0.05)
+            .with_retransmit(Duration::from_micros(50), 20)
+    };
+    for backend in [NetBackend::InProcess, NetBackend::tcp()] {
+        for batching in [Batching::default(), Batching::Off] {
+            let out = covariance_skellam(
+                &data,
+                &partition,
+                GAMMA,
+                MU,
+                &cfg(batching)
+                    .with_backend(backend.clone())
+                    .with_faults(faults()),
+            );
+            // Drops cost retransmit time in either framing; the opened
+            // matrix never moves.
+            assert_eq!(clean.c_hat, out.c_hat);
+        }
+    }
+}
+
+#[test]
+fn crash_surfaces_the_same_typed_error_in_both_modes() {
+    let (data, partition) = workload();
+    for backend in [NetBackend::InProcess, NetBackend::tcp()] {
+        for batching in [Batching::default(), Batching::Off] {
+            let c = cfg(batching)
+                .with_backend(backend.clone())
+                .with_faults(FaultSpec::seeded(3).with_crash(2, 1));
+            let err = try_covariance_skellam(&data, &partition, GAMMA, MU, &c)
+                .expect_err("a crashed party must not produce an output");
+            assert_eq!(err, TransportError::Crashed { party: 2, round: 1 });
+        }
+    }
+}
+
+#[test]
+fn ledger_epsilons_and_server_view_are_mode_independent() {
+    let (data, partition) = workload();
+    let batch: Vec<usize> = vec![1, 3, 6, 9];
+    let w = vec![-0.02; N - 1];
+    let run = |batching: Batching| {
+        let mut session = VflSession::new(partition.clone(), cfg(batching));
+        session.covariance(&data, GAMMA, MU);
+        session.gradient_sum(&data, &batch, &w, GAMMA, MU);
+        session
+    };
+
+    let batched = run(Batching::default());
+    let reference = run(Batching::Off);
+
+    // The server's entire view — every release, value by value — is the
+    // same in both modes.
+    assert_eq!(batched.server_view().len(), reference.server_view().len());
+    for (b, r) in batched
+        .server_view()
+        .releases()
+        .iter()
+        .zip(reference.server_view().releases())
+    {
+        assert_eq!(b.kind, r.kind);
+        assert_eq!(b.values, r.values);
+        assert_eq!(b.gamma, r.gamma);
+        assert_eq!(b.mu, r.mu);
+    }
+
+    // So are the accounted epsilons, bit for bit.
+    assert_eq!(batched.ledger().len(), reference.ledger().len());
+    for (b, r) in batched
+        .ledger()
+        .entries()
+        .iter()
+        .zip(reference.ledger().entries())
+    {
+        assert_eq!(b.kind, r.kind);
+        assert_eq!(b.server_epsilon.to_bits(), r.server_epsilon.to_bits());
+        assert_eq!(b.client_epsilon.to_bits(), r.client_epsilon.to_bits());
+    }
+    assert_eq!(
+        batched.ledger().server_epsilon().to_bits(),
+        reference.ledger().server_epsilon().to_bits()
+    );
+
+    // And the per-protocol run stats differ only in message framing.
+    assert_eq!(batched.stats().len(), reference.stats().len());
+    for (b, r) in batched.stats().iter().zip(reference.stats()) {
+        assert_stats_equivalent(b, r);
+    }
+}

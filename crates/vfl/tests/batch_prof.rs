@@ -1,0 +1,79 @@
+//! Profiler-counter equivalence between the batched and per-element
+//! reference execution modes.
+//!
+//! Lives in its own test binary with a single test: the cost profiler is
+//! process-global, so no other MPC run may execute in this process while
+//! it is active or the snapshots would absorb foreign traffic.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sqm_linalg::Matrix;
+use sqm_obs::prof;
+use sqm_vfl::{covariance_skellam, Batching, ColumnPartition, ProfConfig, VflConfig};
+
+#[test]
+fn prof_counters_differ_only_in_exchange_message_counts() {
+    let (m, n, p) = (20usize, 8usize, 4usize);
+    let mut rng = StdRng::seed_from_u64(4242);
+    let data = Matrix::from_vec(m, n, (0..m * n).map(|_| rng.gen_range(-0.5..0.5)).collect());
+    let partition = ColumnPartition::even(n, p);
+
+    let profile = |batching: Batching| {
+        prof::install(&ProfConfig::default(), 42);
+        prof::reset();
+        let out = covariance_skellam(
+            &data,
+            &partition,
+            256.0,
+            20.0,
+            &VflConfig::fast(p).with_seed(42).with_batching(batching),
+        );
+        let snap = prof::snapshot().expect("profiler installed");
+        prof::deactivate();
+        prof::reset();
+        (out, snap)
+    };
+
+    let (batched_out, batched) = profile(Batching::default());
+    let (reference_out, reference) = profile(Batching::Off);
+    assert_eq!(batched_out.c_hat, reference_out.c_hat);
+
+    // Same attribution tree: every recorded path exists in both modes.
+    assert_eq!(
+        batched.nodes.keys().collect::<Vec<_>>(),
+        reference.nodes.keys().collect::<Vec<_>>()
+    );
+    let (mut batched_msgs, mut reference_msgs) = (0u64, 0u64);
+    for (path, b) in &batched.nodes {
+        let r = &reference.nodes[path];
+        assert_eq!(b.calls, r.calls, "{path}: calls");
+        assert_eq!(b.work, r.work, "{path}: work");
+        assert_eq!(b.bytes, r.bytes, "{path}: bytes");
+        if b.bytes == 0 {
+            // Non-exchange nodes (field-op bulks, sampler draws, layer
+            // widths) are bit-identical: batching is a wire concern.
+            assert_eq!(b.messages, r.messages, "{path}: messages");
+        } else {
+            // Exchange nodes carry the same payload in fewer frames.
+            assert!(b.messages <= r.messages, "{path}: message framing");
+        }
+        batched_msgs += b.messages;
+        reference_msgs += r.messages;
+    }
+    // The profile's exchange totals reconcile with the engine's own
+    // accounting in both modes; `engine;<phase>;exchange` and
+    // `engine;<phase>;round<k>` double-record each round.
+    assert_eq!(batched_msgs, 2 * batched_out.stats.total.messages);
+    assert_eq!(reference_msgs, 2 * reference_out.stats.total.messages);
+    assert_eq!(
+        reference_out.stats.total.messages,
+        reference_out.stats.total.elems
+    );
+
+    // The batching-opportunity report is a function of the workload, not
+    // of the execution mode, and records the realized batch width.
+    assert_eq!(batched.batching, reference.batching);
+    let report = batched.batching.expect("covariance reports its mul widths");
+    assert_eq!(report.level_widths, vec![n * (n + 1) / 2]);
+    assert_eq!(report.reduction_factor(), (n * (n + 1) / 2) as f64);
+}

@@ -12,7 +12,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use sqm_linalg::Matrix;
 use sqm_vfl::{
-    covariance_skellam, try_covariance_skellam, ColumnPartition, FaultSpec, NetBackend,
+    covariance_skellam, try_covariance_skellam, Batching, ColumnPartition, FaultSpec, NetBackend,
     TransportError, VflConfig,
 };
 
@@ -122,4 +122,45 @@ fn faults_compose_over_the_tcp_backend_too() {
     );
     let out = covariance_skellam(&data, &partition, GAMMA, MU, &cfg);
     assert_eq!(clean.c_hat, out.c_hat);
+}
+
+#[test]
+fn per_element_framing_survives_drops_over_tcp_with_identical_output() {
+    // The reference mode sends one physical frame per element plus a
+    // sentinel, so a seeded drop schedule hits a very different wire
+    // pattern than the batched default — yet retransmission must still
+    // deliver the exact same opened matrix and payload-byte accounting.
+    let (data, partition) = workload();
+    let clean = covariance_skellam(&data, &partition, GAMMA, MU, &base_cfg());
+    let cfg = base_cfg()
+        .with_batching(Batching::Off)
+        .with_backend(NetBackend::tcp())
+        .with_faults(
+            FaultSpec::seeded(5)
+                .with_drop(0.05)
+                .with_retransmit(Duration::from_micros(50), 20),
+        );
+    let out = covariance_skellam(&data, &partition, GAMMA, MU, &cfg);
+    assert_eq!(clean.c_hat, out.c_hat);
+    assert_eq!(clean.stats.total.rounds, out.stats.total.rounds);
+    assert_eq!(clean.stats.total.bytes, out.stats.total.bytes);
+    assert_eq!(clean.stats.total.elems, out.stats.total.elems);
+    // One accounted message per element in the reference framing.
+    assert_eq!(out.stats.total.messages, out.stats.total.elems);
+}
+
+#[test]
+fn mid_round_crash_is_typed_identically_in_the_reference_mode() {
+    // A crash is a property of (party, round), not of wire framing: both
+    // modes must surface the identical typed error over framed TCP.
+    let (data, partition) = workload();
+    for batching in [Batching::default(), Batching::Off] {
+        let cfg = base_cfg()
+            .with_batching(batching)
+            .with_backend(NetBackend::tcp())
+            .with_faults(FaultSpec::seeded(3).with_crash(2, 1));
+        let err = try_covariance_skellam(&data, &partition, GAMMA, MU, &cfg)
+            .expect_err("a crashed party must not produce an output");
+        assert_eq!(err, TransportError::Crashed { party: 2, round: 1 });
+    }
 }
